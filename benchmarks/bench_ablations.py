@@ -1,0 +1,190 @@
+"""Ablations of RAHTM's design decisions (Section III discussion).
+
+- **Beam width** (the paper's N = 64): quality vs cost of the merge beam.
+- **Routing awareness**: the same pipeline evaluated with the MCL/MAR
+  objective vs dimension-order routing, and vs the hop-bytes annealer —
+  the Figure 1 argument at workload scale.
+- **MILP vs greedy phase 2**: the paper's "optimal leaf solve" choice.
+- **Phase-overlap sensitivity**: the simulator's one free parameter swept
+  over [0, 1] to show RAHTM's win is not an artifact of the default 0.5.
+"""
+
+import pytest
+
+from repro.baselines import DimOrderMapper, HopBytesMapper
+from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.experiments.report import Table
+from repro.metrics import evaluate_mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.simulator import NetworkModel, NetworkParams
+from repro.simulator.apps import cg_application
+from repro.simulator.app import calibrate_compute
+from repro.workloads import nas_cg
+
+
+@pytest.fixture(scope="module")
+def cg_setup(scale):
+    topo = scale.topology()
+    graph = nas_cg(scale.num_tasks, scale.problem_class)
+    router = MinimalAdaptiveRouter(topo)
+    return topo, graph, router
+
+
+def _cfg(scale, **kw):
+    base = scale.rahtm
+    return RAHTMConfig(**{**base.__dict__, **kw})
+
+
+@pytest.mark.parametrize("beam", [1, 8, 64])
+def test_ablation_beam_width(benchmark, cg_setup, scale, beam, capsys):
+    topo, graph, router = cg_setup
+    cfg = _cfg(scale, beam_width=beam)
+
+    def run():
+        return RAHTMMapper(topo, cfg).map(graph)
+
+    mapping = benchmark.pedantic(run, rounds=1, iterations=1)
+    mcl = evaluate_mapping(router, mapping, graph).mcl
+    with capsys.disabled():
+        print(f"\nbeam={beam}: CG MCL={mcl:.4g}")
+
+
+def test_ablation_routing_awareness(benchmark, cg_setup, scale, capsys):
+    """RAHTM's own objective vs routing-unaware alternatives."""
+    topo, graph, router = cg_setup
+    table = Table("Ablation: objective/routing awareness (CG MCL)")
+
+    def run_all():
+        from repro.baselines import RecursiveBisectionMapper
+
+        out = {}
+        out["rahtm-mar"] = RAHTMMapper(topo, _cfg(scale)).map(graph)
+        out["rahtm-dor"] = RAHTMMapper(
+            topo, _cfg(scale, routing="dor")
+        ).map(graph)
+        out["anneal-hopbytes"] = HopBytesMapper(
+            topo, "hopbytes", iterations=3000, seed=0
+        ).map(graph)
+        out["recursive-bisection"] = RecursiveBisectionMapper(
+            topo, seed=0
+        ).map(graph)
+        out["default"] = DimOrderMapper(topo).map(graph)
+        return out
+
+    mappings = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for label, mapping in mappings.items():
+        table.set(label, "MCL", evaluate_mapping(router, mapping, graph).mcl)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    assert table.get("rahtm-mar", "MCL") <= table.get("default", "MCL")
+
+
+def test_ablation_milp_vs_greedy_phase2(benchmark, cg_setup, scale, capsys):
+    topo, graph, router = cg_setup
+
+    def run_both():
+        milp = RAHTMMapper(topo, _cfg(scale, use_milp=True)).map(graph)
+        greedy = RAHTMMapper(topo, _cfg(scale, use_milp=False)).map(graph)
+        return milp, greedy
+
+    milp, greedy = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    m_mcl = evaluate_mapping(router, milp, graph).mcl
+    g_mcl = evaluate_mapping(router, greedy, graph).mcl
+    with capsys.disabled():
+        print(f"\nphase2 MILP MCL={m_mcl:.4g} vs greedy MCL={g_mcl:.4g}")
+
+
+def test_ablation_fluid_vs_mcl_model(benchmark, cg_setup, scale, capsys):
+    """Second-opinion timing model: does RAHTM's win survive max-min fair
+    fluid simulation of each phase (no MCL abstraction)?"""
+    from repro.simulator.fluid import FluidPhaseSimulator
+    from repro.simulator.apps import cg_application as build_cg
+
+    topo, graph, router = cg_setup
+    default = DimOrderMapper(topo).map(graph)
+    rahtm = RAHTMMapper(topo, _cfg(scale)).map(graph)
+    app = build_cg(scale.num_tasks, scale.problem_class)
+    fluid = FluidPhaseSimulator(router, link_bandwidth=1.8e9)
+
+    def run():
+        out = {}
+        for label, mapping in (("default", default), ("rahtm", rahtm)):
+            total = 0.0
+            for phase in app.phases:
+                srcs, dsts, vols = mapping.network_flows(phase)
+                total += fluid.phase_time(srcs, dsts, vols)
+            out[label] = total
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = times["rahtm"] / times["default"]
+    with capsys.disabled():
+        print(f"\nfluid-model comm ratio (RAHTM/default, serialized "
+              f"phases): {ratio:.3f}")
+
+
+def test_ablation_timing_models_cross_check(benchmark, cg_setup, scale,
+                                            capsys):
+    """Three timing models (MCL drain, max-min fluid, adaptive packet DES)
+    on the same phase: they must agree within a small factor, validating
+    the analytic abstraction the paper optimizes."""
+    from repro.simulator.des import AdaptivePacketSimulator
+    from repro.simulator.fluid import FluidPhaseSimulator
+
+    topo, graph, router = cg_setup
+    mapping = DimOrderMapper(topo).map(graph)
+    srcs, dsts, vols = mapping.network_flows(graph)
+    # scale volumes down so the DES packet budget is comfortable
+    scale_f = 1e-3
+    bw = 1.8e9 * scale_f
+
+    def run():
+        mcl_t = router.link_loads(srcs, dsts, vols * scale_f).max() / bw
+        fluid_t = FluidPhaseSimulator(router, bw).phase_time(
+            srcs, dsts, vols * scale_f
+        )
+        des = AdaptivePacketSimulator(
+            topo, link_bandwidth=bw,
+            packet_bytes=max(float(vols.max() * scale_f / 8), 1.0),
+            hop_latency=0.0,
+        )
+        des_t = des.phase_time(srcs, dsts, vols * scale_f)
+        return mcl_t, fluid_t, des_t
+
+    mcl_t, fluid_t, des_t = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\ntiming models on CG aggregate: MCL {mcl_t * 1e3:.3f}ms  "
+              f"fluid {fluid_t * 1e3:.3f}ms  DES {des_t * 1e3:.3f}ms")
+    assert fluid_t >= mcl_t * 0.999
+    assert 0.5 * mcl_t <= des_t <= 4.0 * mcl_t
+
+
+def test_ablation_phase_overlap_sweep(benchmark, cg_setup, scale, capsys):
+    """RAHTM's simulated win across the phase-overlap parameter."""
+    topo, graph, router = cg_setup
+    default = DimOrderMapper(topo).map(graph)
+    rahtm = RAHTMMapper(topo, _cfg(scale)).map(graph)
+    app = cg_application(scale.num_tasks, scale.problem_class)
+    table = Table("Ablation: comm-time ratio (RAHTM/default) vs phase overlap")
+
+    def sweep():
+        out = {}
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            net = NetworkModel(router, NetworkParams(phase_overlap=alpha))
+            capp = calibrate_compute(app, default, net, 0.72)
+            ratio = (
+                capp.simulate(rahtm, net).comm_seconds
+                / capp.simulate(default, net).comm_seconds
+            )
+            out[alpha] = ratio
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for alpha, ratio in ratios.items():
+        table.set(f"overlap={alpha}", "comm_ratio", ratio)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    # full overlap = pure aggregate-MCL regime: RAHTM must win there
+    assert ratios[1.0] < 1.0

@@ -1,0 +1,23 @@
+"""Mechanical verification of the paper's Section V claims.
+
+Consumes the shared comparison run and prints PASS/FAIL for each headline
+claim (see ``repro.experiments.claims``); the core RAHTM claims are
+asserted, the baseline-characterization ones are reported.
+"""
+
+from repro.experiments.claims import check_claims
+
+
+def test_paper_claims(benchmark, comparison, capsys):
+    claims = benchmark(check_claims, comparison)
+    with capsys.disabled():
+        print()
+        for claim in claims:
+            print(claim)
+    by_name = {c.claim: c for c in claims}
+    assert by_name[
+        "RAHTM improves mean execution time (paper -9%)"
+    ].holds
+    assert by_name[
+        "RAHTM improves mean communication time substantially (paper -20%)"
+    ].holds

@@ -1,0 +1,68 @@
+"""Section VI extension benches: mapping on fat-trees and dragonflies.
+
+Times the hierarchical mappers and verifies the qualitative claim: on a
+clustered workload, hierarchical mapping beats random placement on MCL for
+every topology family.
+"""
+
+import numpy as np
+
+from repro.extensions import (
+    Dragonfly,
+    DragonflyMapper,
+    DragonflyRouter,
+    FatTree,
+    FatTreeMapper,
+    FatTreeRouter,
+)
+from repro.mapping import Mapping
+from repro.workloads import nas_cg
+
+
+def _mcl(router, mapping, graph):
+    srcs, dsts, vols = mapping.network_flows(graph)
+    return router.max_channel_load(srcs, dsts, vols)
+
+
+def test_fattree_hierarchical_mapping(benchmark, capsys):
+    ft = FatTree(arity=2, levels=7)  # 128 leaves
+    graph = nas_cg(256, "W")
+    mapper = FatTreeMapper(ft)
+    mapping = benchmark(mapper.map, graph)
+    router = FatTreeRouter(ft)
+    rng = np.random.default_rng(0)
+    rand = Mapping(ft, rng.permutation(256) // 2, tasks_per_node=2)
+    mapped_mcl = _mcl(router, mapping, graph)
+    rand_mcl = _mcl(router, rand, graph)
+    with capsys.disabled():
+        print(f"\nfat-tree CG: hierarchical MCL {mapped_mcl:.3g} vs "
+              f"random {rand_mcl:.3g}")
+    assert mapped_mcl <= rand_mcl
+
+
+def test_dragonfly_hierarchical_mapping(benchmark, capsys):
+    df = Dragonfly(groups=8, routers_per_group=4, hosts_per_router=4,
+                   global_per_router=2)  # 128 hosts
+    graph = nas_cg(256, "W")
+    mapper = DragonflyMapper(df)
+    mapping = benchmark(mapper.map, graph)
+    router = DragonflyRouter(df)
+    rng = np.random.default_rng(0)
+    rand = Mapping(df, rng.permutation(256) // 2, tasks_per_node=2)
+    mapped_mcl = _mcl(router, mapping, graph)
+    rand_mcl = _mcl(router, rand, graph)
+    with capsys.disabled():
+        print(f"\ndragonfly CG: hierarchical MCL {mapped_mcl:.3g} vs "
+              f"random {rand_mcl:.3g}")
+    assert mapped_mcl <= rand_mcl
+
+
+def test_fattree_router_kernel(benchmark):
+    ft = FatTree(arity=4, levels=4)  # 256 leaves
+    router = FatTreeRouter(ft)
+    rng = np.random.default_rng(1)
+    srcs = rng.integers(0, 256, 2000)
+    dsts = rng.integers(0, 256, 2000)
+    vols = rng.uniform(1, 100, 2000)
+    loads = benchmark(router.link_loads, srcs, dsts, vols)
+    assert loads.max() > 0

@@ -1,0 +1,25 @@
+"""Figure 10 — communication time vs mapping.
+
+Prints the normalized communication-time table and asserts the headline
+shape: RAHTM reduces mean communication time substantially (the paper
+reports ~20%), and beats every dimension-permutation mapping.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10_comm_time(benchmark, comparison, capsys):
+    table = benchmark(fig10.from_comparison, comparison)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    cols = table.col_labels
+    rahtm = table.get("geomean", "RAHTM")
+    assert rahtm < 1.0
+    for col in cols[1:3]:  # the alternate dimension permutations
+        assert rahtm < table.get("geomean", col)
+    # the permutations are non-uniform: at least one benchmark regresses
+    worst_perm = max(
+        table.get(b, cols[1]) for b in ("BT", "SP", "CG")
+    )
+    assert worst_perm > 1.0

@@ -1,0 +1,16 @@
+"""Figure 1 — the routing-awareness motivation example.
+
+Regenerates the 2x2 comparison: the hop-bytes-optimal placement leaves the
+heavy pair on a single channel (MCL == heavy volume) while the MCL-optimal
+placement halves it by exploiting both minimal paths.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, capsys):
+    table = benchmark(fig1.run)
+    assert table.get("MCL/MAR", "MCL") < table.get("hop-bytes", "MCL")
+    with capsys.disabled():
+        print()
+        print(table.to_text())

@@ -1,0 +1,32 @@
+"""Figures 2-4 — phase-1 clustering walk-through.
+
+Regenerates the tile-shape search of Figure 2 and the contracted cluster
+graphs of Figures 3/4 on the 16-task running example, and times the full
+hierarchy construction at bench scale.
+"""
+
+from repro.core.clustering import build_cluster_hierarchy
+from repro.experiments import fig234
+from repro.topology.hierarchy import CubeHierarchy
+from repro.workloads import nas_bt
+
+
+def test_fig234_walkthrough(benchmark, capsys):
+    table = benchmark(fig234.run)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+
+
+def test_fig234_hierarchy_at_scale(benchmark, scale):
+    graph = nas_bt(scale.num_tasks, scale.problem_class)
+    topo = scale.topology()
+    cube_h = CubeHierarchy(topo)
+
+    def build():
+        return build_cluster_hierarchy(
+            graph, topo.num_nodes, 2**cube_h.n, cube_h.num_levels
+        )
+
+    hierarchy = benchmark(build)
+    assert hierarchy.num_node_clusters == topo.num_nodes

@@ -1,0 +1,38 @@
+"""Figure 7 — the phase-3 beam merge.
+
+Benchmarks one full hierarchical merge on the walk-through example and
+prints the MCL-vs-beam-width table showing the search's contribution.
+"""
+
+from repro.core.clustering import build_cluster_hierarchy
+from repro.core.merge import MergeConfig, hierarchical_merge
+from repro.core.pseudo_pin import pseudo_pin
+from repro.experiments import fig7
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import CubeHierarchy, torus
+from repro.workloads import random_uniform
+
+
+def test_fig7_walkthrough(benchmark, capsys):
+    table = benchmark(fig7.run)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+
+
+def test_fig7_merge_beam64(benchmark):
+    topo = torus(4, 4)
+    cube_h = CubeHierarchy(topo)
+    graph = random_uniform(16, 64, max_volume=50.0, seed=7)
+    hierarchy = build_cluster_hierarchy(graph, 16, 4, 2)
+    pin = pseudo_pin(hierarchy, cube_h, time_limit=20.0)
+    router = MinimalAdaptiveRouter(topo)
+
+    def merge():
+        return hierarchical_merge(
+            topo, router, cube_h, hierarchy.node_graph,
+            pin.cluster_to_node, MergeConfig(beam_width=64, seed=0),
+        )
+
+    assignment, stats = benchmark(merge)
+    assert stats["evaluations"] > 0

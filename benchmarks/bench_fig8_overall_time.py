@@ -1,0 +1,23 @@
+"""Figure 8 — overall execution time vs mapping.
+
+Prints the normalized execution-time table (rows BT/SP/CG + geomean,
+columns default/permutations/Hilbert/RHT/RAHTM) and asserts the paper's
+headline shape: RAHTM's geomean beats the default while the alternate
+dimension permutations do not.
+"""
+
+from repro.experiments import fig8
+from repro.experiments.report import geomean
+
+
+def test_fig8_overall_time(benchmark, comparison, capsys):
+    table = benchmark(fig8.from_comparison, comparison)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    rahtm = table.get("geomean", "RAHTM")
+    default = table.get("geomean", table.col_labels[0])
+    assert default == 1.0
+    assert rahtm < 1.0, "RAHTM must improve mean execution time"
+    # the second dimension permutation is no better than the default
+    assert table.get("geomean", table.col_labels[1]) >= 0.99

@@ -1,0 +1,25 @@
+"""Figure 9 — communication/computation fractions.
+
+Prints the per-benchmark split under the default mapping; the simulator is
+calibrated to the paper's measurements (CG > 70%, BT/SP ~ 35-40%), so this
+bench doubles as a calibration check.
+"""
+
+import pytest
+
+from repro.experiments import fig9
+from repro.simulator.apps import PAPER_COMM_FRACTIONS
+
+
+def test_fig9_comm_fraction(benchmark, comparison, capsys):
+    table = benchmark(fig9.from_comparison, comparison)
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    for bench, frac in PAPER_COMM_FRACTIONS.items():
+        assert table.get(bench, "communication") == pytest.approx(
+            frac, abs=0.01
+        )
+        assert table.get("CG", "communication") > table.get(
+            bench, "communication"
+        ) - 1e-9  # CG dominates, per the paper

@@ -1,0 +1,41 @@
+"""Section V-B — offline mapping (optimization) time.
+
+Benchmarks a full RAHTM run per benchmark at the bench scale and prints
+the per-phase wall-clock breakdown (the paper reports 33 minutes for BT up
+to ~35 hours for CG at 16K tasks on CPLEX; scaled-down runs here take
+seconds to minutes).
+"""
+
+from repro.core.rahtm import RAHTMMapper
+from repro.experiments.runner import benchmark_apps
+
+
+def _bench_mapping(benchmark, scale, bench_name):
+    app = benchmark_apps(scale)[bench_name]
+    graph = app.comm_graph()
+
+    def run():
+        mapper = RAHTMMapper(scale.topology(), scale.rahtm)
+        mapper.map(graph)
+        return mapper
+
+    mapper = benchmark.pedantic(run, rounds=1, iterations=1)
+    return mapper
+
+
+def test_opt_time_bt(benchmark, scale, capsys):
+    mapper = _bench_mapping(benchmark, scale, "BT")
+    with capsys.disabled():
+        print("\nBT phase breakdown:")
+        print(mapper.timer.report())
+
+
+def test_opt_time_sp(benchmark, scale):
+    _bench_mapping(benchmark, scale, "SP")
+
+
+def test_opt_time_cg(benchmark, scale, capsys):
+    mapper = _bench_mapping(benchmark, scale, "CG")
+    with capsys.disabled():
+        print("\nCG phase breakdown:")
+        print(mapper.timer.report())

@@ -1,0 +1,50 @@
+"""Microbenchmarks of the MCL-evaluation kernel.
+
+Phase 3 performs tens of thousands of link-load evaluations; these benches
+track the throughput of the stencil scatter-add engine that makes the
+merge search affordable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import torus
+
+
+@pytest.fixture(scope="module")
+def flows444():
+    topo = torus(4, 4, 4)
+    rng = np.random.default_rng(0)
+    m = 2000
+    srcs = rng.integers(0, topo.num_nodes, m)
+    dsts = rng.integers(0, topo.num_nodes, m)
+    vols = rng.uniform(1, 100, m)
+    return topo, srcs, dsts, vols
+
+
+def test_mar_link_loads_2000_flows(benchmark, flows444):
+    topo, srcs, dsts, vols = flows444
+    router = MinimalAdaptiveRouter(topo)
+    router.link_loads(srcs, dsts, vols)  # warm the stencil cache
+    loads = benchmark(router.link_loads, srcs, dsts, vols)
+    assert loads.max() > 0
+
+
+def test_dor_link_loads_2000_flows(benchmark, flows444):
+    topo, srcs, dsts, vols = flows444
+    router = DimensionOrderRouter(topo)
+    router.link_loads(srcs, dsts, vols)
+    loads = benchmark(router.link_loads, srcs, dsts, vols)
+    assert loads.max() > 0
+
+
+def test_mar_stencil_construction(benchmark):
+    topo = torus(8, 8, 8)
+
+    def build():
+        router = MinimalAdaptiveRouter(topo)
+        return router.stencil((4, 4, 4))  # worst case: ties everywhere
+
+    st = benchmark(build)
+    assert st.num_entries > 0

@@ -1,0 +1,23 @@
+"""Scaling study bench (paper Section VI's cost discussion).
+
+Runs RAHTM on CG across scales and prints the cost/quality curve —
+mapping seconds and MCL ratio vs the default mapping. The paper's own
+curve ends at 16K tasks / 35 CPLEX-hours; set ``RAHTM_BENCH_SCALE`` high
+and extend ``scales`` to climb it.
+"""
+
+from repro.experiments import scaling
+
+
+def test_scaling_curve(benchmark, capsys):
+    table = benchmark.pedantic(
+        scaling.run, kwargs={"scales": ("tiny", "small")},
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(table.to_text())
+    # cost grows with scale; quality (ratio <= 1) holds at every scale
+    assert table.get("small", "mapping_s") > table.get("tiny", "mapping_s")
+    for name in ("tiny", "small"):
+        assert table.get(name, "mcl_ratio") <= 1.05

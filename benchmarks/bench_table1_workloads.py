@@ -1,0 +1,31 @@
+"""Table I — benchmark workload generation.
+
+Benchmarks the communication-graph generators and prints the Table I
+summary (suite, structure, volume) produced through the virtual-MPI/IPM
+profiling path.
+"""
+
+from repro.experiments import table1
+from repro.workloads import nas_bt, nas_cg, nas_sp
+
+
+def test_table1_generate_bt(benchmark, scale):
+    g = benchmark(nas_bt, scale.num_tasks, scale.problem_class)
+    assert g.num_edges > 0
+
+
+def test_table1_generate_sp(benchmark, scale):
+    g = benchmark(nas_sp, scale.num_tasks, scale.problem_class)
+    assert g.num_edges > 0
+
+
+def test_table1_generate_cg(benchmark, scale):
+    g = benchmark(nas_cg, scale.num_tasks, scale.problem_class)
+    assert g.num_edges > 0
+
+
+def test_table1_report(benchmark, scale, capsys):
+    table = benchmark(table1.run, scale)
+    with capsys.disabled():
+        print()
+        print(table.to_text())

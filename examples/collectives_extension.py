@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Section VI extension: mapping applications with collectives.
+
+The paper's profiling could not see inside collectives; Section VI
+proposes expanding each collective into its *implementation's*
+point-to-point pattern. This example maps an application whose traffic is
+dominated by allreduce, expanded two ways (recursive doubling vs a ring
+allgather-based implementation), and shows RAHTM adapts the mapping to the
+algorithm actually used.
+
+Run:  python examples/collectives_extension.py
+"""
+
+from repro import RAHTMConfig, RAHTMMapper, evaluate_mapping, torus
+from repro.baselines import DimOrderMapper
+from repro.profile import VirtualMPI
+from repro.routing import MinimalAdaptiveRouter
+from repro.workloads import halo2d
+
+
+def build_graph(num_ranks: int, algorithm: str):
+    """A stencil application plus a heavy per-iteration allreduce."""
+    vm = VirtualMPI(num_ranks)
+    halo = halo2d(8, 8, volume=1_000.0)
+    for s, d, v in zip(halo.srcs, halo.dsts, halo.vols):
+        vm.send(int(s), int(d), float(v))
+    vm.collective(algorithm, nbytes=50_000.0)
+    return vm.comm_graph()
+
+
+def main() -> None:
+    topo = torus(4, 4)
+    router = MinimalAdaptiveRouter(topo)
+    config = RAHTMConfig(beam_width=16, max_orientations=16,
+                         milp_time_limit=15.0, seed=0)
+
+    for algorithm in ("allreduce-recursive-doubling", "allgather-ring"):
+        graph = build_graph(64, algorithm)
+        rahtm = RAHTMMapper(topo, config).map(graph)
+        default = DimOrderMapper(topo).map(graph)
+        r_rep = evaluate_mapping(router, rahtm, graph)
+        d_rep = evaluate_mapping(router, default, graph)
+        print(f"\ncollective implementation: {algorithm}")
+        print(f"  default MCL {d_rep.mcl:10.1f}   RAHTM MCL {r_rep.mcl:10.1f} "
+              f"({100 * (1 - r_rep.mcl / d_rep.mcl):+.0f}%)")
+    print("\nThe two implementations produce different traffic and "
+          "different optimal mappings — exactly why Section VI insists the "
+          "expansion must follow the implementation, not the MPI call name.")
+
+
+if __name__ == "__main__":
+    main()

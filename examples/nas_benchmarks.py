@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""The paper's evaluation in miniature: NAS BT/SP/CG across all mappers.
+
+Regenerates Figure 8 (overall execution time), Figure 9 (communication
+fraction) and Figure 10 (communication time) at a configurable scale.
+
+Run:  python examples/nas_benchmarks.py [tiny|small|medium|paper]
+
+``tiny`` (default) finishes in ~2 minutes; ``small`` in ~5-10 minutes;
+``paper`` is the full 16,384-task BG/Q configuration and runs for hours —
+matching the paper's own offline-mapping budget.
+"""
+
+import sys
+
+from repro.experiments import fig8, fig9, fig10, run_comparison
+from repro.utils.logconf import enable_console_logging
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "tiny"
+    enable_console_logging()
+    result = run_comparison(scale)
+    print()
+    print(fig8.from_comparison(result).to_text())
+    print()
+    print(fig9.from_comparison(result).to_text())
+    print()
+    print(fig10.from_comparison(result).to_text())
+    print()
+    print(result.mapping_seconds.to_text())
+    rahtm = fig8.from_comparison(result).get("geomean", "RAHTM")
+    print(
+        f"\nRAHTM mean execution-time change: {100 * (rahtm - 1):+.1f}% "
+        f"(paper: -9% at 16K tasks)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Baseline mappers the paper evaluates against (Section IV).
+
+- :class:`DimOrderMapper` — BG/Q dimension-permutation mappings (the
+  ABCDET default, TABCDE, ACEBDT, ...).
+- :class:`HilbertMapper` — space-filling-curve mapping over the square
+  sub-space, dimension order for the rest.
+- :class:`RubikTilingMapper` — Rubik-style hierarchical tiling (RHT).
+- :class:`HopBytesMapper` — annealed hop-bytes minimization: the
+  routing-*unaware* optimizer of the Figure 1 argument (also runs with an
+  MCL objective as a routing-aware ablation).
+- :class:`RandomMapper` — seeded random placement.
+"""
+
+from repro.baselines.base import Mapper
+from repro.baselines.bisection import RecursiveBisectionMapper
+from repro.baselines.dimorder import DimOrderMapper
+from repro.baselines.hilbert import HilbertMapper, hilbert_index_to_coords
+from repro.baselines.rubik import RubikTilingMapper
+from repro.baselines.hopbytes import HopBytesMapper
+from repro.baselines.random_map import RandomMapper
+
+__all__ = [
+    "Mapper",
+    "RecursiveBisectionMapper",
+    "DimOrderMapper",
+    "HilbertMapper",
+    "hilbert_index_to_coords",
+    "RubikTilingMapper",
+    "HopBytesMapper",
+    "RandomMapper",
+]

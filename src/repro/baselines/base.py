@@ -1,0 +1,52 @@
+"""Common mapper interface.
+
+Every mapper binds a topology at construction and produces a
+:class:`repro.mapping.Mapping` from a :class:`repro.commgraph.CommGraph`;
+:class:`repro.core.rahtm.RAHTMMapper` satisfies the same protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping.mapping import Mapping
+from repro.topology.bgq import BGQTopology
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["Mapper", "resolve_network"]
+
+
+def resolve_network(topology) -> CartesianTopology:
+    """Accept a :class:`CartesianTopology` or :class:`BGQTopology`."""
+    if isinstance(topology, BGQTopology):
+        return topology.network
+    if isinstance(topology, CartesianTopology):
+        return topology
+    raise ConfigError(f"unsupported topology type {type(topology).__name__}")
+
+
+class Mapper(abc.ABC):
+    """A task-to-node mapping strategy bound to one topology."""
+
+    name: str = "mapper"
+
+    def __init__(self, topology):
+        self.topology = resolve_network(topology)
+
+    def concentration(self, graph: CommGraph) -> int:
+        """Tasks per node implied by the graph size (must be integral)."""
+        V = self.topology.num_nodes
+        if graph.num_tasks % V:
+            raise ConfigError(
+                f"{graph.num_tasks} tasks do not divide over {V} nodes"
+            )
+        return graph.num_tasks // V
+
+    @abc.abstractmethod
+    def map(self, graph: CommGraph) -> Mapping:
+        """Produce a mapping for the application graph."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.topology!r})"

@@ -1,0 +1,93 @@
+"""Dimension-permutation (canonical) mappings.
+
+BG/Q's default assigns ranks in ABCDET order — the space is traversed
+dimension by dimension with the last letter varying fastest, T being the
+on-node slot. Alternate permutations (TABCDE, ACEBDT, ...) are the cheap
+human-guided option the paper compares against and finds *non-uniform*:
+good for some benchmarks, bad for others (Figures 8/10).
+
+This mapper generalizes the scheme to any Cartesian topology: an order is
+a sequence of network dimension indices plus the letter ``"T"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.commgraph.graph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping.mapping import Mapping
+
+__all__ = ["DimOrderMapper", "parse_order"]
+
+_LETTERS = "ABCDEFGHIJ"
+
+
+def parse_order(order, ndim: int) -> tuple:
+    """Normalize an order spec into a tuple of dim indices and ``"T"``.
+
+    Accepts letter strings (``"ABCDET"``, BG/Q style: A=dim 0) or mixed
+    sequences like ``(0, 1, "T", 2)``.
+    """
+    if isinstance(order, str):
+        items: list = []
+        for ch in order.upper():
+            if ch == "T":
+                items.append("T")
+            else:
+                idx = _LETTERS.find(ch)
+                if idx < 0 or idx >= ndim:
+                    raise ConfigError(
+                        f"dimension letter {ch!r} invalid for {ndim}-D topology"
+                    )
+                items.append(idx)
+    else:
+        items = ["T" if x == "T" else int(x) for x in order]
+    dims = [x for x in items if x != "T"]
+    if sorted(dims) != list(range(ndim)) or items.count("T") != 1:
+        raise ConfigError(
+            f"order must name every dimension once plus 'T', got {order!r}"
+        )
+    return tuple(items)
+
+
+class DimOrderMapper(Mapper):
+    """Assign ranks by traversing dimensions in a fixed order.
+
+    Parameters
+    ----------
+    topology:
+        Target network.
+    order:
+        Dimension order; the *last* entry varies fastest (BG/Q
+        convention, so ``"ABCDET"`` fills a node's T slots consecutively).
+        Defaults to all dimensions in index order followed by ``"T"``.
+    """
+
+    def __init__(self, topology, order=None):
+        super().__init__(topology)
+        ndim = self.topology.ndim
+        if order is None:
+            order = tuple(range(ndim)) + ("T",)
+        self.order = parse_order(order, ndim)
+        self.name = "dimorder-" + "".join(
+            "T" if x == "T" else _LETTERS[x] for x in self.order
+        )
+
+    def map(self, graph: CommGraph) -> Mapping:
+        conc = self.concentration(graph)
+        sizes = [
+            conc if x == "T" else self.topology.shape[x] for x in self.order
+        ]
+        ranks = np.arange(graph.num_tasks, dtype=np.int64)
+        rem = ranks.copy()
+        coord_by_item: dict = {}
+        for pos in range(len(self.order) - 1, -1, -1):
+            coord_by_item[self.order[pos]] = rem % sizes[pos]
+            rem //= sizes[pos]
+        node_coords = np.stack(
+            [coord_by_item[d] for d in range(self.topology.ndim)], axis=-1
+        )
+        nodes = self.topology.index(node_coords)
+        return Mapping(self.topology, nodes, tasks_per_node=conc)

@@ -1,0 +1,140 @@
+"""Hilbert space-filling-curve mapping.
+
+The paper's Hilbert baseline (Section IV): "Because Hilbert curves are
+well-defined in square spaces, we apply Hilbert mapping to the four
+dimensions that are all 4-nodes long (i.e., ABCD dimensions). For the
+remaining two dimensions, we map nodes in dimension order (ET order)."
+
+We implement the n-dimensional Hilbert curve with Skilling's transpose
+algorithm (J. Skilling, "Programming the Hilbert curve", AIP 2004), pick
+the largest group of equal power-of-two dimensions to curve through, and
+traverse the remaining dimensions plus T in dimension order (varying
+fastest, matching the paper's ET tail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.commgraph.graph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping.mapping import Mapping
+
+__all__ = ["hilbert_index_to_coords", "HilbertMapper"]
+
+
+def hilbert_index_to_coords(index: int, ndim: int, bits: int) -> tuple[int, ...]:
+    """Coordinates of position ``index`` on the ``ndim``-D Hilbert curve
+    through a ``2^bits``-side cube (Skilling's TransposeToAxes).
+
+    Consecutive indices are grid neighbours (Hamiltonian path) — the
+    locality property the baseline relies on.
+    """
+    if ndim < 1 or bits < 1:
+        raise ConfigError(f"need ndim >= 1 and bits >= 1, got {ndim}, {bits}")
+    total_bits = ndim * bits
+    if not (0 <= index < (1 << total_bits)):
+        raise ConfigError(f"index {index} out of range for {total_bits} bits")
+    # Bit-transpose the index into per-axis registers.
+    x = [0] * ndim
+    for b in range(total_bits):
+        bit = (index >> (total_bits - 1 - b)) & 1
+        x[b % ndim] = (x[b % ndim] << 1) | bit
+    # Gray decode.
+    t = x[ndim - 1] >> 1
+    for i in range(ndim - 1, 0, -1):
+        x[i] ^= x[i - 1]
+    x[0] ^= t
+    # Undo excess work.
+    q = 2
+    while q != (1 << bits):
+        p = q - 1
+        for i in range(ndim - 1, -1, -1):
+            if x[i] & q:
+                x[0] ^= p
+            else:
+                t = (x[0] ^ x[i]) & p
+                x[0] ^= t
+                x[i] ^= t
+        q <<= 1
+    return tuple(x)
+
+
+def _is_pow2(v: int) -> bool:
+    return v >= 2 and (v & (v - 1)) == 0
+
+
+class HilbertMapper(Mapper):
+    """Hilbert traversal over the square sub-space, dim order elsewhere.
+
+    Parameters
+    ----------
+    topology:
+        Target network.
+    curve_dims:
+        Dimensions to thread the Hilbert curve through; default picks the
+        largest group of dimensions sharing a power-of-two arity (ABCD on
+        the paper's BG/Q partition).
+    """
+
+    name = "hilbert"
+
+    def __init__(self, topology, curve_dims=None):
+        super().__init__(topology)
+        shape = self.topology.shape
+        if curve_dims is None:
+            groups: dict[int, list[int]] = {}
+            for d, k in enumerate(shape):
+                if _is_pow2(k):
+                    groups.setdefault(k, []).append(d)
+            if not groups:
+                raise ConfigError(
+                    f"no power-of-two dimension to curve through in {shape}"
+                )
+            curve_dims = max(groups.values(), key=len)
+        curve_dims = tuple(int(d) for d in curve_dims)
+        if len(set(curve_dims)) != len(curve_dims) or not curve_dims or any(
+            d < 0 or d >= self.topology.ndim for d in curve_dims
+        ):
+            raise ConfigError(f"invalid curve dimensions {curve_dims}")
+        arities = {shape[d] for d in curve_dims}
+        if len(arities) != 1 or not _is_pow2(arities := arities.pop()):
+            raise ConfigError(
+                f"curve dimensions {curve_dims} must share a power-of-two arity"
+            )
+        self.curve_dims = curve_dims
+        self.bits = int(arities).bit_length() - 1
+        self.rest_dims = tuple(
+            d for d in range(self.topology.ndim) if d not in curve_dims
+        )
+
+    def map(self, graph: CommGraph) -> Mapping:
+        conc = self.concentration(graph)
+        shape = self.topology.shape
+        nd = len(self.curve_dims)
+        curve_len = (1 << self.bits) ** nd
+        rest_sizes = [shape[d] for d in self.rest_dims] + [conc]
+        rest_len = int(np.prod(rest_sizes))
+        if curve_len * rest_len != graph.num_tasks:
+            raise ConfigError("task count does not match topology slots")
+        # Precompute the curve.
+        curve = np.array(
+            [hilbert_index_to_coords(h, nd, self.bits) for h in range(curve_len)],
+            dtype=np.int64,
+        )
+        ranks = np.arange(graph.num_tasks, dtype=np.int64)
+        h = ranks // rest_len
+        rem = ranks % rest_len
+        node_coords = np.zeros((graph.num_tasks, self.topology.ndim),
+                               dtype=np.int64)
+        node_coords[:, list(self.curve_dims)] = curve[h]
+        # Remaining dims + T vary fastest, in dimension order.
+        tail = rem.copy()
+        for pos in range(len(rest_sizes) - 1, -1, -1):
+            coord = tail % rest_sizes[pos]
+            tail //= rest_sizes[pos]
+            if pos < len(self.rest_dims):
+                node_coords[:, self.rest_dims[pos]] = coord
+        nodes = self.topology.index(node_coords)
+        return Mapping(self.topology, nodes, tasks_per_node=conc)

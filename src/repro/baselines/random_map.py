@@ -1,0 +1,28 @@
+"""Seeded random mapping — the sanity floor every real mapper must beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.commgraph.graph import CommGraph
+from repro.mapping.mapping import Mapping
+from repro.utils.rng import as_rng
+
+__all__ = ["RandomMapper"]
+
+
+class RandomMapper(Mapper):
+    """Uniformly random assignment of tasks to node slots."""
+
+    name = "random"
+
+    def __init__(self, topology, seed=None):
+        super().__init__(topology)
+        self.seed = seed
+
+    def map(self, graph: CommGraph) -> Mapping:
+        conc = self.concentration(graph)
+        rng = as_rng(self.seed)
+        slots = rng.permutation(graph.num_tasks)
+        return Mapping(self.topology, slots // conc, tasks_per_node=conc)

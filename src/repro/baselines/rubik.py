@@ -1,0 +1,178 @@
+"""Rubik-style hierarchical tiling (RHT).
+
+Rubik [18 in the paper] lets an expert divide the application's logical
+grid into tiles and map each tile onto a sub-torus of the machine. The
+paper's comparison point ("RHT") tiles the application with 4x4 tiles
+mapped to 4x2x2 sub-tori. This mapper reproduces the scheme: tile the app
+grid, tile the topology into boxes, send tile *i* to box *i* (both in C
+order), tasks within a tile filling the box's slots in C order.
+
+Unlike RAHTM this discovers nothing: the tiling is fixed a priori, which
+is precisely why it helps locality-friendly workloads (BT/SP) and hurts
+CG (Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Mapper
+from repro.commgraph.graph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping.mapping import Mapping
+
+__all__ = ["RubikTilingMapper"]
+
+
+def _factorizations(total: int, limits: tuple[int, ...]):
+    """All shapes with prod == total and shape[d] dividing limits[d]."""
+    out: list[tuple[int, ...]] = []
+
+    def recurse(d: int, rem: int, partial: list[int]):
+        if d == len(limits):
+            if rem == 1:
+                out.append(tuple(partial))
+            return
+        for extent in range(1, min(rem, limits[d]) + 1):
+            if rem % extent == 0 and limits[d] % extent == 0:
+                partial.append(extent)
+                recurse(d + 1, rem // extent, partial)
+                partial.pop()
+
+    recurse(0, total, [])
+    return out
+
+
+def _most_compact(shapes):
+    """Shape minimizing max/min extent ratio (most cube-like)."""
+    def key(s):
+        nz = [x for x in s]
+        return (max(nz) / min(nz), s)
+    return min(shapes, key=key)
+
+
+class RubikTilingMapper(Mapper):
+    """Fixed hierarchical tiling of app grid onto topology boxes.
+
+    Parameters
+    ----------
+    topology:
+        Target network.
+    tile_shape:
+        Tile extent in the app grid (must divide it). ``None`` = auto.
+    box_shape:
+        Box extent in the topology (must divide it). ``None`` = auto.
+    target_box_nodes:
+        Auto mode targets boxes of about this many nodes (default 16,
+        i.e. the paper's 4x2x2 sub-tori... times the E dimension).
+    """
+
+    name = "rubik-tiling"
+
+    def __init__(self, topology, tile_shape=None, box_shape=None,
+                 target_box_nodes: int = 16):
+        super().__init__(topology)
+        self.tile_shape = tile_shape
+        self.box_shape = box_shape
+        self.target_box_nodes = int(target_box_nodes)
+
+    def _auto_shapes(self, graph: CommGraph, conc: int):
+        grid = graph.grid_shape or (graph.num_tasks,)
+        V = self.topology.num_nodes
+        # Candidate box sizes near the target, dividing V.
+        candidates = sorted(
+            (b for b in range(1, V + 1) if V % b == 0),
+            key=lambda b: (abs(b - self.target_box_nodes), b),
+        )
+        for b in candidates:
+            tile_size = b * conc
+            if graph.num_tasks % tile_size:
+                continue
+            tiles = _factorizations(tile_size, grid)
+            boxes = _factorizations(b, self.topology.shape)
+            if tiles and boxes:
+                return _most_compact(tiles), _most_compact(boxes)
+        raise ConfigError(
+            f"no tile/box factorization found for grid {grid} on "
+            f"{self.topology.shape} with concentration {conc}"
+        )
+
+    def map(self, graph: CommGraph) -> Mapping:
+        conc = self.concentration(graph)
+        grid = graph.grid_shape or (graph.num_tasks,)
+        tile_shape = self.tile_shape
+        box_shape = self.box_shape
+        if tile_shape is None or box_shape is None:
+            auto_tile, auto_box = self._auto_shapes(graph, conc)
+            tile_shape = tuple(tile_shape or auto_tile)
+            box_shape = tuple(box_shape or auto_box)
+        tile_shape = tuple(int(t) for t in tile_shape)
+        box_shape = tuple(int(b) for b in box_shape)
+        if len(tile_shape) != len(grid):
+            raise ConfigError(f"tile {tile_shape} rank mismatch with grid {grid}")
+        if len(box_shape) != self.topology.ndim:
+            raise ConfigError(
+                f"box {box_shape} rank mismatch with topology "
+                f"{self.topology.shape}"
+            )
+        if any(g % t for g, t in zip(grid, tile_shape)):
+            raise ConfigError(f"tile {tile_shape} does not divide grid {grid}")
+        if any(s % b for s, b in zip(self.topology.shape, box_shape)):
+            raise ConfigError(
+                f"box {box_shape} does not divide topology {self.topology.shape}"
+            )
+        tile_size = int(np.prod(tile_shape))
+        box_nodes = int(np.prod(box_shape))
+        if tile_size != box_nodes * conc:
+            raise ConfigError(
+                f"tile holds {tile_size} tasks but box offers "
+                f"{box_nodes} nodes x {conc} tasks"
+            )
+        tile_grid = tuple(g // t for g, t in zip(grid, tile_shape))
+        box_grid = tuple(
+            s // b for s, b in zip(self.topology.shape, box_shape)
+        )
+        if int(np.prod(tile_grid)) != int(np.prod(box_grid)):
+            raise ConfigError(
+                f"{int(np.prod(tile_grid))} tiles vs "
+                f"{int(np.prod(box_grid))} boxes"
+            )
+
+        # Task -> (tile id, within-tile index), both C order.
+        num_tasks = graph.num_tasks
+        gs = np.asarray(grid, dtype=np.int64)
+        ts = np.asarray(tile_shape, dtype=np.int64)
+        gstr = _strides(grid)
+        ranks = np.arange(num_tasks, dtype=np.int64)
+        coords = (ranks[:, None] // gstr[None, :]) % gs[None, :]
+        tile_ids = (coords // ts) @ _strides(tile_grid)
+        within = (coords % ts) @ _strides(tile_shape)
+
+        # (box id, slot) -> node.
+        bs = np.asarray(box_shape, dtype=np.int64)
+        box_origin_coords = _all_coords(box_grid) * bs[None, :]
+        # Slot s of a box: node offset s // conc (C order within the box).
+        node_offset_coords = _all_coords(box_shape)
+        node_coords = (
+            box_origin_coords[tile_ids]
+            + node_offset_coords[within // conc]
+        )
+        nodes = self.topology.index(node_coords)
+        return Mapping(self.topology, nodes, tasks_per_node=conc)
+
+
+def _strides(shape) -> np.ndarray:
+    shape = tuple(int(s) for s in shape)
+    n = len(shape)
+    strides = np.ones(n, dtype=np.int64)
+    for d in range(n - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    return strides
+
+
+def _all_coords(shape) -> np.ndarray:
+    shape = tuple(int(s) for s in shape)
+    total = int(np.prod(shape))
+    strides = _strides(shape)
+    ids = np.arange(total, dtype=np.int64)
+    return (ids[:, None] // strides[None, :]) % np.asarray(shape, dtype=np.int64)

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro workload  --spec cg:256:C --out cg.npz
+    repro map       --topology 4x4x4 --workload cg:256:C --mapper rahtm \\
+                    --out mapping.npz
+    repro evaluate  --topology 4x4x4 --workload cg:256:C --mapping mapping.npz
+    repro compare   --topology 4x4x4 --workload cg:256:C \\
+                    --mappers default,hilbert,rahtm
+    repro experiment fig8 --scale tiny
+
+Workload specs: ``bt:TASKS[:CLASS]``, ``sp:...``, ``cg:...``,
+``halo2d:NXxNY[:VOL]``, ``halo3d:NXxNYxNZ[:VOL]``, ``random:TASKS:EDGES``,
+``butterfly:TASKS``, ``transpose:SIDE``, ``ring:TASKS``,
+``bisection:TASKS``, ``fft:RxC[:VOL]``, ``wavefront:RxC``,
+``stencil27:NXxNYxNZ``, ``collective:NAME:TASKS``, or a path to a
+``.npz``/``.json`` graph.
+
+Mapper specs: ``rahtm``, ``default``, ``dimorder:ORDER`` (e.g.
+``dimorder:TABC``), ``hilbert``, ``rubik``, ``rcb`` (recursive
+bisection), ``anneal-hopbytes``, ``anneal-mcl``, ``random``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import (
+    DimOrderMapper,
+    HilbertMapper,
+    HopBytesMapper,
+    RandomMapper,
+    RubikTilingMapper,
+)
+from repro.commgraph import CommGraph, load_commgraph, save_commgraph
+from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.errors import ConfigError, ReproError
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import CartesianTopology
+from repro.utils.logconf import enable_console_logging
+
+__all__ = ["main", "parse_topology", "parse_workload", "build_mapper"]
+
+
+# -- spec parsing -------------------------------------------------------------------
+def parse_topology(spec: str, mesh: bool = False) -> CartesianTopology:
+    """Parse ``4x4x4`` (torus) into a topology; ``mesh=True`` drops wrap."""
+    try:
+        shape = tuple(int(p) for p in spec.lower().split("x"))
+    except ValueError:
+        raise ConfigError(f"bad topology spec {spec!r}; expected e.g. 4x4x4")
+    return CartesianTopology(shape, wrap=not mesh)
+
+
+def parse_workload(spec: str, seed: int = 0) -> CommGraph:
+    """Parse a workload spec or load a graph file."""
+    path = Path(spec)
+    if path.suffix in (".npz", ".json") and path.exists():
+        return load_commgraph(path)
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    from repro import workloads as wl
+
+    try:
+        if kind in ("bt", "sp", "cg"):
+            tasks = int(parts[1])
+            cls = parts[2].upper() if len(parts) > 2 else "C"
+            return {"bt": wl.nas_bt, "sp": wl.nas_sp, "cg": wl.nas_cg}[kind](
+                tasks, cls
+            )
+        if kind in ("halo2d", "halo3d"):
+            dims = tuple(int(x) for x in parts[1].lower().split("x"))
+            vol = float(parts[2]) if len(parts) > 2 else 1.0
+            return wl.halo_nd(dims, volume=vol)
+        if kind == "random":
+            return wl.random_uniform(int(parts[1]), int(parts[2]), seed=seed)
+        if kind == "butterfly":
+            return wl.butterfly(int(parts[1]))
+        if kind == "transpose":
+            return wl.transpose2d(int(parts[1]))
+        if kind == "ring":
+            return wl.ring(int(parts[1]))
+        if kind == "bisection":
+            return wl.bisection_stress(int(parts[1]))
+        if kind == "fft":
+            rows, cols = (int(x) for x in parts[1].lower().split("x"))
+            return wl.fft_pencils(rows, cols,
+                                  float(parts[2]) if len(parts) > 2 else 1.0)
+        if kind == "wavefront":
+            rows, cols = (int(x) for x in parts[1].lower().split("x"))
+            return wl.wavefront3d(rows, cols)
+        if kind == "stencil27":
+            nx, ny, nz = (int(x) for x in parts[1].lower().split("x"))
+            return wl.stencil27(nx, ny, nz)
+        if kind == "collective":
+            return wl.collective_pattern(parts[1], int(parts[2]))
+        if kind == "amr":
+            return wl.amr_quadtree(int(parts[1]), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise ConfigError(f"bad workload spec {spec!r}: {exc}") from exc
+    raise ConfigError(f"unknown workload kind {kind!r} in {spec!r}")
+
+
+def build_mapper(spec: str, topology: CartesianTopology, args) -> object:
+    """Instantiate a mapper from its CLI spec."""
+    kind, _, arg = spec.partition(":")
+    kind = kind.lower()
+    if kind == "rahtm":
+        cfg = RAHTMConfig(
+            beam_width=args.beam_width,
+            max_orientations=args.max_orientations,
+            milp_time_limit=args.milp_time_limit,
+            milp_rel_gap=args.milp_gap,
+            reposition=args.reposition,
+            refine_iterations=args.refine,
+            seed=args.seed,
+        )
+        return RAHTMMapper(topology, cfg)
+    if kind == "default":
+        return DimOrderMapper(topology)
+    if kind == "dimorder":
+        return DimOrderMapper(topology, arg or None)
+    if kind == "hilbert":
+        return HilbertMapper(topology)
+    if kind == "rubik":
+        return RubikTilingMapper(topology)
+    if kind in ("rcb", "bisection"):
+        from repro.baselines import RecursiveBisectionMapper
+
+        return RecursiveBisectionMapper(topology, seed=args.seed)
+    if kind == "anneal-hopbytes":
+        return HopBytesMapper(topology, "hopbytes", iterations=args.anneal_iters,
+                              seed=args.seed)
+    if kind == "anneal-mcl":
+        return HopBytesMapper(topology, "mcl", iterations=args.anneal_iters,
+                              seed=args.seed)
+    if kind == "random":
+        return RandomMapper(topology, seed=args.seed)
+    raise ConfigError(f"unknown mapper {spec!r}")
+
+
+def _router(name: str, topology: CartesianTopology):
+    if name == "dor":
+        return DimensionOrderRouter(topology)
+    return MinimalAdaptiveRouter(topology)
+
+
+from repro.mapping import load_mapping as _load_mapping
+from repro.mapping import save_mapping as _save_mapping
+
+
+# -- subcommands ----------------------------------------------------------------------
+def cmd_workload(args) -> int:
+    graph = parse_workload(args.spec, seed=args.seed)
+    save_commgraph(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    topology = parse_topology(args.topology, mesh=args.mesh)
+    graph = parse_workload(args.workload, seed=args.seed)
+    mapper = build_mapper(args.mapper, topology, args)
+    mapping = mapper.map(graph)
+    router = _router(args.router, topology)
+    report = evaluate_mapping(router, mapping, graph)
+    print(f"topology: {topology.describe()}")
+    print(f"workload: {graph}")
+    print(f"mapper:   {getattr(mapper, 'name', args.mapper)}")
+    print(f"quality:  {report}")
+    if args.out:
+        _save_mapping(Path(args.out), mapping)
+        print(f"mapping saved to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    topology = parse_topology(args.topology, mesh=args.mesh)
+    graph = parse_workload(args.workload, seed=args.seed)
+    mapping = _load_mapping(Path(args.mapping), topology)
+    router = _router(args.router, topology)
+    print(evaluate_mapping(router, mapping, graph))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    topology = parse_topology(args.topology, mesh=args.mesh)
+    graph = parse_workload(args.workload, seed=args.seed)
+    router = _router(args.router, topology)
+    from repro.experiments.report import Table
+
+    table = Table(f"mapper comparison on {args.workload} @ {args.topology}")
+    for spec in args.mappers.split(","):
+        mapper = build_mapper(spec.strip(), topology, args)
+        mapping = mapper.map(graph)
+        report = evaluate_mapping(router, mapping, graph)
+        label = getattr(mapper, "name", spec)
+        table.set(label, "MCL", report.mcl)
+        table.set(label, "hop_bytes", report.hop_bytes)
+        table.set(label, "imbalance", report.load_imbalance)
+    print(table.to_text())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import (
+        fig1, fig234, fig7, fig8, fig9, fig10, opt_time, scaling,
+        table1, table2,
+    )
+
+    modules = {
+        "fig1": lambda: fig1.run(),
+        "fig234": lambda: fig234.run(),
+        "fig7": lambda: fig7.run(),
+        "table1": lambda: table1.run(args.scale),
+        "table2": lambda: table2.run(),
+        "fig8": lambda: fig8.run(args.scale),
+        "fig9": lambda: fig9.run(args.scale),
+        "fig10": lambda: fig10.run(args.scale),
+        "opt_time": lambda: opt_time.run(args.scale),
+        "scaling": lambda: scaling.run(),
+    }
+    if args.name not in modules:
+        raise ConfigError(
+            f"unknown experiment {args.name!r}; choose from {sorted(modules)}"
+        )
+    print(modules[args.name]().to_text())
+    return 0
+
+
+# -- parser --------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RAHTM (SC'14) reproduction: routing-aware task mapping",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="enable console logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--topology", required=True,
+                       help="torus shape, e.g. 4x4x4")
+        p.add_argument("--mesh", action="store_true",
+                       help="mesh instead of torus")
+        p.add_argument("--workload", required=True,
+                       help="workload spec or graph file")
+        p.add_argument("--router", choices=("mar", "dor"), default="mar")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--beam-width", type=int, default=16)
+        p.add_argument("--max-orientations", type=int, default=24)
+        p.add_argument("--milp-time-limit", type=float, default=60.0)
+        p.add_argument("--milp-gap", type=float, default=0.02)
+        p.add_argument("--reposition", action="store_true")
+        p.add_argument("--refine", type=int, default=0,
+                       help="post-merge refinement proposals")
+        p.add_argument("--anneal-iters", type=int, default=5000)
+
+    p = sub.add_parser("workload", help="generate and save a workload")
+    p.add_argument("--spec", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_workload)
+
+    p = sub.add_parser("map", help="compute a mapping")
+    common(p)
+    p.add_argument("--mapper", default="rahtm")
+    p.add_argument("--out", help="save mapping (.npz)")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("evaluate", help="evaluate a saved mapping")
+    common(p)
+    p.add_argument("--mapping", required=True)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="compare several mappers")
+    common(p)
+    p.add_argument("--mappers", default="default,hilbert,rubik,rahtm")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("name", help="fig1|fig234|fig7|fig8|fig9|fig10|"
+                                "table1|table2|opt_time")
+    p.add_argument("--scale", default="tiny")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Application communication graphs.
+
+A :class:`CommGraph` is the mapper's view of an application: tasks (MPI
+ranks) as vertices and directed communication volumes as weighted edges —
+what the paper extracts from IPM profiles of iterative applications.
+
+Graphs optionally carry a ``grid_shape``: the application's logical process
+grid (e.g. the sqrt(P) x sqrt(P) grid of NAS BT). RAHTM's phase-1 tiling
+search (Figure 2) exploits it when present and falls back to generic
+clustering when absent.
+"""
+
+from repro.commgraph.graph import CommGraph
+from repro.commgraph.io import save_commgraph, load_commgraph
+
+__all__ = ["CommGraph", "save_commgraph", "load_commgraph"]

@@ -1,0 +1,73 @@
+"""Serialization of communication graphs.
+
+Two formats:
+
+- ``.npz`` (default): compact binary via :func:`numpy.savez_compressed`.
+- ``.json``: human-inspectable, used by the examples for small graphs.
+
+Both round-trip ``grid_shape``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import CommGraphError
+
+__all__ = ["save_commgraph", "load_commgraph"]
+
+
+def save_commgraph(graph: CommGraph, path) -> None:
+    """Write ``graph`` to ``path`` (format chosen by suffix: .npz or .json)."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        grid = np.asarray(graph.grid_shape if graph.grid_shape else [], dtype=np.int64)
+        np.savez_compressed(
+            path,
+            num_tasks=np.int64(graph.num_tasks),
+            srcs=graph.srcs,
+            dsts=graph.dsts,
+            vols=graph.vols,
+            grid_shape=grid,
+        )
+    elif path.suffix == ".json":
+        payload = {
+            "num_tasks": graph.num_tasks,
+            "grid_shape": list(graph.grid_shape) if graph.grid_shape else None,
+            "edges": [
+                [int(s), int(d), float(v)]
+                for s, d, v in zip(graph.srcs, graph.dsts, graph.vols)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=1))
+    else:
+        raise CommGraphError(f"unsupported commgraph format {path.suffix!r}")
+
+
+def load_commgraph(path) -> CommGraph:
+    """Read a graph previously written by :func:`save_commgraph`."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        with np.load(path) as data:
+            grid = tuple(int(g) for g in data["grid_shape"]) or None
+            return CommGraph(
+                int(data["num_tasks"]),
+                data["srcs"],
+                data["dsts"],
+                data["vols"],
+                grid_shape=grid,
+            )
+    if path.suffix == ".json":
+        payload = json.loads(path.read_text())
+        edges = payload["edges"]
+        grid = payload.get("grid_shape")
+        return CommGraph.from_edges(
+            payload["num_tasks"],
+            [(int(s), int(d), float(v)) for s, d, v in edges],
+            grid_shape=tuple(grid) if grid else None,
+        )
+    raise CommGraphError(f"unsupported commgraph format {path.suffix!r}")

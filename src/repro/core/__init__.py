@@ -1,0 +1,36 @@
+"""RAHTM — the paper's contribution.
+
+Three phases (Section III):
+
+1. :mod:`repro.core.clustering` — tile-based clustering of the task graph
+   to the concentration factor and into a 2-ary hierarchy (Figures 2-4).
+2. :mod:`repro.core.milp` + :mod:`repro.core.pseudo_pin` — optimal MILP
+   mapping of each level's cluster graph onto a 2-ary n-cube, top-down
+   (Table II, Figures 5-6).
+3. :mod:`repro.core.merge` — bottom-up beam-search merging of block
+   mappings under rotations/reflections (Figure 7).
+
+:class:`repro.core.rahtm.RAHTMMapper` is the public facade.
+"""
+
+from repro.core.rahtm import RAHTMMapper, RAHTMConfig
+from repro.core.milp import solve_cluster_milp, solve_routing_lp, MILPResult
+from repro.core.orientation import Orientation, all_orientations, orientations_for_shape
+from repro.core.tiling import enumerate_tilings, best_tiling, tile_labels
+from repro.core.clustering import ClusterHierarchy, build_cluster_hierarchy
+
+__all__ = [
+    "RAHTMMapper",
+    "RAHTMConfig",
+    "solve_cluster_milp",
+    "solve_routing_lp",
+    "MILPResult",
+    "Orientation",
+    "all_orientations",
+    "orientations_for_shape",
+    "enumerate_tilings",
+    "best_tiling",
+    "tile_labels",
+    "ClusterHierarchy",
+    "build_cluster_hierarchy",
+]

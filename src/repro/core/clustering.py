@@ -1,0 +1,220 @@
+"""Phase 1 — clustering (paper Section III-B, Figures 2-4).
+
+Two jobs:
+
+1. **Concentration clustering**: contract the task graph by the
+   concentration factor so tasks co-located on a node stop counting as
+   network traffic (maximize intra-cluster volume).
+2. **Hierarchy construction**: repeatedly contract the node-cluster graph
+   by ``2^n`` so each level's siblings can be MILP-mapped onto a 2-ary
+   n-cube.
+
+Both use the tile-shape search of :mod:`repro.core.tiling` when the graph
+carries a logical grid, and fall back to greedy heavy-edge agglomeration
+otherwise (the paper's applications always have grids; the fallback keeps
+the library total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.core.tiling import best_tiling, tile_labels
+from repro.errors import ConfigError
+from repro.utils.logconf import get_logger
+
+__all__ = [
+    "ClusterLevel",
+    "ClusterHierarchy",
+    "cluster_fixed_size",
+    "greedy_fixed_size_labels",
+    "build_cluster_hierarchy",
+]
+
+log = get_logger("core.clustering")
+
+
+@dataclass(frozen=True)
+class ClusterLevel:
+    """One contraction step of the hierarchy.
+
+    ``labels[i]`` is the cluster (at this level) containing element ``i``
+    of the previous level; ``graph`` is the contracted communication graph.
+    """
+
+    labels: np.ndarray
+    graph: CommGraph
+    tile_shape: tuple[int, ...] | None = None
+
+
+@dataclass
+class ClusterHierarchy:
+    """Output of phase 1.
+
+    Attributes
+    ----------
+    task_graph:
+        The original task-level graph.
+    node_level:
+        Contraction of tasks into node-clusters (one per topology node).
+        Identity when the concentration factor is 1.
+    levels:
+        ``levels[l-1]`` contracts hierarchy level ``l-1`` into level ``l``
+        (level 0 = node-clusters), each by the cube branching factor.
+    """
+
+    task_graph: CommGraph
+    node_level: ClusterLevel
+    levels: list[ClusterLevel] = field(default_factory=list)
+
+    @property
+    def num_node_clusters(self) -> int:
+        return self.node_level.graph.num_tasks
+
+    @property
+    def node_graph(self) -> CommGraph:
+        return self.node_level.graph
+
+    def graph_at(self, level: int) -> CommGraph:
+        """Cluster graph at hierarchy level (0 = node-clusters)."""
+        if level == 0:
+            return self.node_level.graph
+        return self.levels[level - 1].graph
+
+    def labels_to_level(self, level: int) -> np.ndarray:
+        """Map node-cluster index -> cluster index at ``level``."""
+        out = np.arange(self.num_node_clusters, dtype=np.int64)
+        for lvl in self.levels[:level]:
+            out = lvl.labels[out]
+        return out
+
+    def children_of(self, level: int, cluster: int) -> np.ndarray:
+        """Level ``level-1`` cluster ids contracted into ``cluster``."""
+        if level < 1 or level > len(self.levels):
+            raise ConfigError(f"level {level} out of range")
+        return np.flatnonzero(self.levels[level - 1].labels == cluster)
+
+
+def greedy_fixed_size_labels(graph: CommGraph, group_size: int) -> np.ndarray:
+    """Heavy-edge agglomeration into equal groups of ``group_size``.
+
+    Merges along the heaviest symmetrized edges while groups fit, then
+    packs the resulting fragments into exact-size bins (fragments stay
+    contiguous so heavy pairs stay together).
+    """
+    n = graph.num_tasks
+    if n % group_size:
+        raise ConfigError(
+            f"{n} elements cannot form groups of {group_size}"
+        )
+    parent = np.arange(n, dtype=np.int64)
+    size = np.ones(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    sym = graph.symmetrized().without_self_loops()
+    order = np.argsort(-sym.vols, kind="stable")
+    for e in order:
+        a, b = find(int(sym.srcs[e])), find(int(sym.dsts[e]))
+        if a != b and size[a] + size[b] <= group_size:
+            parent[b] = a
+            size[a] += size[b]
+    roots = np.array([find(i) for i in range(n)])
+    # Gather fragments (largest first), then fill bins sequentially.
+    frag_ids, frag_sizes = np.unique(roots, return_counts=True)
+    frag_order = frag_ids[np.argsort(-frag_sizes, kind="stable")]
+    labels = np.empty(n, dtype=np.int64)
+    cursor = 0
+    for frag in frag_order:
+        members = np.flatnonzero(roots == frag)
+        for m in members:
+            labels[m] = cursor // group_size
+            cursor += 1
+    return labels
+
+
+def cluster_fixed_size(
+    graph: CommGraph, group_size: int
+) -> ClusterLevel:
+    """Contract ``graph`` into equal clusters of ``group_size`` elements.
+
+    Uses the Figure-2 tile search when the graph has a grid and the tile
+    divides it; greedy agglomeration otherwise.
+    """
+    if group_size == 1:
+        labels = np.arange(graph.num_tasks, dtype=np.int64)
+        return ClusterLevel(labels, graph, None)
+    if graph.num_tasks % group_size:
+        raise ConfigError(
+            f"group size {group_size} does not divide {graph.num_tasks} tasks"
+        )
+    if graph.grid_shape is not None:
+        try:
+            tile_shape, cut = best_tiling(graph, group_size)
+        except ConfigError:
+            tile_shape = None
+        if tile_shape is not None:
+            labels = tile_labels(graph.grid_shape, tile_shape)
+            new_grid = tuple(
+                g // t for g, t in zip(graph.grid_shape, tile_shape)
+            )
+            contracted = graph.contract(
+                labels, graph.num_tasks // group_size, grid_shape=new_grid
+            )
+            log.debug(
+                "tiled %d->%d clusters with tile %s (cut %.3g)",
+                graph.num_tasks, contracted.num_tasks, tile_shape, cut,
+            )
+            return ClusterLevel(labels, contracted, tile_shape)
+    labels = greedy_fixed_size_labels(graph, group_size)
+    contracted = graph.contract(labels, graph.num_tasks // group_size)
+    return ClusterLevel(labels, contracted, None)
+
+
+def build_cluster_hierarchy(
+    task_graph: CommGraph,
+    num_nodes: int,
+    branching: int,
+    num_levels: int,
+) -> ClusterHierarchy:
+    """Run all of phase 1.
+
+    Parameters
+    ----------
+    task_graph:
+        Application communication graph.
+    num_nodes:
+        Topology nodes the graph must contract onto (concentration factor
+        = tasks / nodes, which must be integral).
+    branching:
+        Children per hierarchy node (``2^n`` for an n-cube hierarchy).
+    num_levels:
+        Hierarchy depth ``q`` (``branching^q`` must equal ``num_nodes``).
+    """
+    if task_graph.num_tasks % num_nodes:
+        raise ConfigError(
+            f"{task_graph.num_tasks} tasks do not divide over {num_nodes} nodes"
+        )
+    if branching**num_levels != num_nodes:
+        raise ConfigError(
+            f"branching {branching} over {num_levels} levels covers "
+            f"{branching**num_levels} nodes, topology has {num_nodes}"
+        )
+    concentration = task_graph.num_tasks // num_nodes
+    node_level = cluster_fixed_size(task_graph, concentration)
+    levels = []
+    current = node_level.graph
+    for _ in range(num_levels):
+        lvl = cluster_fixed_size(current, branching)
+        levels.append(lvl)
+        current = lvl.graph
+    return ClusterHierarchy(task_graph, node_level, levels)

@@ -1,0 +1,283 @@
+"""The RAHTM mapper facade.
+
+Orchestrates the three phases over a (possibly non-uniform) torus:
+
+1. cluster the task graph to the concentration factor (phase 1a) and, when
+   the topology is non-uniform (e.g. BG/Q's arity-2 E dimension), split the
+   node-cluster graph across uniform topology partitions (Section III-B);
+2. per partition: build the 2-ary hierarchy (phase 1b), pseudo-pin via the
+   Table II MILP top-down (phase 2), and beam-merge bottom-up (phase 3);
+3. stitch partitions back together with one more orientation merge on the
+   full topology.
+
+Usage::
+
+    mapper = RAHTMMapper(torus(4, 4, 4), RAHTMConfig(seed=0))
+    mapping = mapper.map(graph)      # graph: CommGraph with V*c tasks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.core.clustering import build_cluster_hierarchy, cluster_fixed_size
+from repro.core.merge import (
+    MergeBlock,
+    MergeConfig,
+    hierarchical_merge,
+    merge_blocks,
+)
+from repro.core.pseudo_pin import pseudo_pin
+from repro.errors import ConfigError
+from repro.mapping.mapping import Mapping
+from repro.routing.dor import DimensionOrderRouter
+from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+from repro.topology.bgq import BGQTopology
+from repro.topology.cartesian import CartesianTopology
+from repro.topology.hierarchy import CubeHierarchy
+from repro.topology.partition import uniform_partitions
+from repro.utils.logconf import get_logger
+from repro.utils.timing import PhaseTimer
+
+__all__ = ["RAHTMConfig", "RAHTMMapper"]
+
+log = get_logger("core.rahtm")
+
+
+@dataclass(frozen=True)
+class RAHTMConfig:
+    """All tunables of the RAHTM pipeline.
+
+    Attributes
+    ----------
+    beam_width:
+        Phase-3 beam (``N = 64`` in the paper).
+    max_orientations:
+        Cap on block orientations searched (None = full hyperoctahedral
+        group; the paper searches all orientations at its scales).
+    order_mode / order_samples:
+        Merge-order heuristic fidelity (see :class:`MergeConfig`).
+    milp_time_limit / milp_rel_gap:
+        Phase-2 solver budget per subproblem.
+    use_milp:
+        ``False`` swaps phase 2's MILP for the greedy placer (ablation).
+    enforce_minimal:
+        Emit the C3 minimal-routing constraints (paper notes they may be
+        omitted; ablation knob).
+    fix_first:
+        Symmetry-break the MILP by pinning the heaviest cluster.
+    routing:
+        Router used for all MCL evaluations: ``"mar"`` (all-minimal-paths
+        approximation of BG/Q's adaptive routing) or ``"dor"``
+        (dimension-order; the routing-unaware ablation).
+    reposition:
+        Enable the merge phase's repositioning freedom (blocks may swap
+        congruent slots — the paper's second degree of freedom).
+    merge_evaluator:
+        ``"uniform"`` (stencil loads; the paper's evaluation) or ``"lp"``
+        (exact routing LP per merge candidate; ablation, slow).
+    refine_iterations:
+        Post-merge annealed swap proposals on the final placement
+        (Section VI's cheap-refinement direction); 0 disables.
+    seed:
+        Seeds orientation sampling and any stochastic fallback.
+    """
+
+    beam_width: int = 64
+    max_orientations: int | None = None
+    order_mode: str = "sampled"
+    order_samples: int = 4
+    milp_time_limit: float | None = 60.0
+    milp_rel_gap: float | None = None
+    use_milp: bool = True
+    enforce_minimal: bool = True
+    fix_first: bool = True
+    routing: str = "mar"
+    reposition: bool = False
+    merge_evaluator: str = "uniform"
+    refine_iterations: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.routing not in ("mar", "dor"):
+            raise ConfigError(f"routing must be 'mar' or 'dor', got {self.routing!r}")
+        if self.refine_iterations < 0:
+            raise ConfigError("refine_iterations must be >= 0")
+
+    def merge_config(self, seed_offset: int = 0) -> MergeConfig:
+        return MergeConfig(
+            beam_width=self.beam_width,
+            max_orientations=self.max_orientations,
+            order_mode=self.order_mode,
+            order_samples=self.order_samples,
+            reposition=self.reposition,
+            evaluator=self.merge_evaluator,
+            seed=self.seed + seed_offset,
+        )
+
+
+class RAHTMMapper:
+    """Routing Algorithm aware Hierarchical Task Mapper.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`CartesianTopology` or :class:`BGQTopology`.
+    config:
+        Algorithm tunables; defaults follow the paper.
+    """
+
+    name = "RAHTM"
+
+    def __init__(self, topology, config: RAHTMConfig | None = None):
+        if isinstance(topology, BGQTopology):
+            topology = topology.network
+        if not isinstance(topology, CartesianTopology):
+            raise ConfigError(
+                f"unsupported topology type {type(topology).__name__}"
+            )
+        self.topology = topology
+        self.config = config or RAHTMConfig()
+        self.timer = PhaseTimer()
+        self.stats: dict = {}
+
+    def _router(self, topo: CartesianTopology):
+        if self.config.routing == "dor":
+            return DimensionOrderRouter(topo)
+        return MinimalAdaptiveRouter(topo)
+
+    # ------------------------------------------------------------------------------
+    def map(self, graph: CommGraph) -> Mapping:
+        """Map ``graph``'s tasks onto the topology; returns a :class:`Mapping`."""
+        topo = self.topology
+        V = topo.num_nodes
+        if graph.num_tasks % V:
+            raise ConfigError(
+                f"{graph.num_tasks} tasks do not divide over {V} nodes"
+            )
+        concentration = graph.num_tasks // V
+        self.timer = PhaseTimer()
+        self.stats = {"concentration": concentration}
+
+        # Phase 1a: concentration clustering.
+        with self.timer.phase("phase1-concentration"):
+            node_level = cluster_fixed_size(graph, concentration)
+        node_graph = node_level.graph
+
+        # Partitioning for non-uniform topologies.
+        parts = uniform_partitions(topo) if not _is_uniform_pow2(topo) else None
+        if parts is None:
+            assignment = self._map_uniform(topo, node_graph, seed_offset=0)
+        else:
+            assignment = self._map_partitioned(topo, node_graph, parts)
+
+        if self.config.refine_iterations:
+            with self.timer.phase("phase4-refine"):
+                from repro.core.refine import refine_assignment
+
+                assignment, refined_mcl = refine_assignment(
+                    self._router(topo), node_graph, assignment,
+                    self.config.refine_iterations, seed=self.config.seed,
+                )
+            self.stats["refined_mcl"] = refined_mcl
+
+        task_to_node = assignment[node_level.labels]
+        mapping = Mapping(topo, task_to_node, tasks_per_node=concentration)
+        self.stats["phase_seconds"] = dict(self.timer.totals)
+        return mapping
+
+    # -- uniform path -----------------------------------------------------------------
+    def _map_uniform(
+        self, topo: CartesianTopology, node_graph: CommGraph, seed_offset: int
+    ) -> np.ndarray:
+        cube_h = CubeHierarchy(topo)
+        with self.timer.phase("phase1-hierarchy"):
+            hierarchy = build_cluster_hierarchy(
+                node_graph, topo.num_nodes, 2**cube_h.n, cube_h.num_levels
+            )
+        with self.timer.phase("phase2-milp"):
+            pin = pseudo_pin(
+                hierarchy, cube_h,
+                time_limit=self.config.milp_time_limit,
+                mip_rel_gap=self.config.milp_rel_gap,
+                enforce_minimal=self.config.enforce_minimal,
+                fix_first=self.config.fix_first,
+                use_milp=self.config.use_milp,
+            )
+        self.stats.setdefault("milp", []).extend(
+            (r.status, r.mcl, r.solve_seconds) for r in pin.milp_stats
+        )
+        self.stats.setdefault("milp_cache_hits", 0)
+        self.stats["milp_cache_hits"] += pin.cache_hits
+        with self.timer.phase("phase3-merge"):
+            router = self._router(topo)
+            assignment, mstats = hierarchical_merge(
+                topo, router, cube_h, node_graph, pin.cluster_to_node,
+                self.config.merge_config(seed_offset),
+            )
+        self.stats.setdefault("merge_evaluations", 0)
+        self.stats["merge_evaluations"] += mstats["evaluations"]
+        self.stats.setdefault("merge_cache_hits", 0)
+        self.stats["merge_cache_hits"] += mstats["cache_hits"]
+        return assignment
+
+    # -- partitioned path ----------------------------------------------------------------
+    def _map_partitioned(
+        self, topo: CartesianTopology, node_graph: CommGraph, parts
+    ) -> np.ndarray:
+        nparts = len(parts)
+        V = topo.num_nodes
+        if V % nparts:
+            raise ConfigError("partitions do not evenly divide the topology")
+        part_size = V // nparts
+
+        # Split node-clusters into one group per partition (phase-1 tiling
+        # again, at partition granularity).
+        with self.timer.phase("phase1-partition"):
+            part_level = cluster_fixed_size(node_graph, part_size)
+        group_of = part_level.labels  # node-cluster -> partition group
+
+        assignment = np.full(V, -1, dtype=np.int64)
+        blocks: list[MergeBlock] = []
+        for gi, part in enumerate(parts):
+            members = np.flatnonzero(group_of == gi)
+            sub = node_graph.subgraph(members)
+            local_topo = part.local_topology(topo)
+            local_assignment = self._map_uniform(
+                local_topo, sub, seed_offset=17 * (gi + 1)
+            )
+            # Record the partition as a rigid block for the stitch merge.
+            local_coords = local_topo.coords(local_assignment)
+            blocks.append(MergeBlock(
+                origin=np.asarray(part.origin, dtype=np.int64),
+                shape=part.shape,
+                clusters=members,
+                local_coords=local_coords,
+            ))
+        with self.timer.phase("phase3-stitch"):
+            router = self._router(topo)
+            outcome = merge_blocks(
+                topo, router, blocks,
+                node_graph.srcs, node_graph.dsts, node_graph.vols,
+                self.config.merge_config(seed_offset=9999),
+                num_clusters=node_graph.num_tasks,
+            )
+        self.stats.setdefault("merge_evaluations", 0)
+        self.stats["merge_evaluations"] += outcome.evaluations
+        self.stats["stitch_mcl"] = outcome.mcl
+        for cluster, node in outcome.positions.items():
+            assignment[cluster] = node
+        if (assignment < 0).any():
+            raise ConfigError("partition stitching left clusters unplaced")
+        return assignment
+
+
+def _is_uniform_pow2(topo: CartesianTopology) -> bool:
+    arities = {k for k in topo.shape if k > 1}
+    if len(arities) != 1:
+        return False
+    k = arities.pop()
+    return (k & (k - 1)) == 0

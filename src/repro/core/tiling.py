@@ -1,0 +1,114 @@
+"""Tile-shape search for phase-1 clustering (paper Figure 2).
+
+The communication graph is clustered by tiling the application's logical
+process grid with rectangular tiles of a fixed size; among all tile shapes
+of that size the one with minimal *inter-tile* volume wins ("we found that
+such simple tiling based clustering outperformed more sophisticated
+clustering because they preserved the structure of the communication
+pattern", Section III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import CommGraphError, ConfigError
+
+__all__ = ["enumerate_tilings", "tile_labels", "inter_tile_volume", "best_tiling"]
+
+
+def enumerate_tilings(grid_shape, tile_size: int) -> list[tuple[int, ...]]:
+    """All tile shapes of ``tile_size`` cells that evenly tile the grid.
+
+    A tile shape assigns each grid dimension an extent dividing both the
+    tile size decomposition and the grid extent. Returned in deterministic
+    (lexicographic) order.
+    """
+    grid_shape = tuple(int(g) for g in grid_shape)
+    tile_size = int(tile_size)
+    if tile_size < 1:
+        raise ConfigError(f"tile_size must be >= 1, got {tile_size}")
+    if int(np.prod(grid_shape)) % tile_size:
+        raise ConfigError(
+            f"tile size {tile_size} does not divide grid {grid_shape}"
+        )
+    results: list[tuple[int, ...]] = []
+
+    def recurse(dim: int, remaining: int, partial: list[int]):
+        if dim == len(grid_shape):
+            if remaining == 1:
+                results.append(tuple(partial))
+            return
+        extent = 1
+        while extent <= min(remaining, grid_shape[dim]):
+            if remaining % extent == 0 and grid_shape[dim] % extent == 0:
+                partial.append(extent)
+                recurse(dim + 1, remaining // extent, partial)
+                partial.pop()
+            extent += 1
+        return
+
+    recurse(0, tile_size, [])
+    return results
+
+
+def tile_labels(grid_shape, tile_shape) -> np.ndarray:
+    """Per-task tile id for C-ordered tasks over ``grid_shape``.
+
+    Tiles are numbered in C order over the tile grid
+    (``grid_shape / tile_shape``), matching the convention workload
+    generators and the cluster hierarchy use.
+    """
+    grid_shape = tuple(int(g) for g in grid_shape)
+    tile_shape = tuple(int(t) for t in tile_shape)
+    if len(tile_shape) != len(grid_shape):
+        raise ConfigError(
+            f"tile {tile_shape} and grid {grid_shape} rank mismatch"
+        )
+    if any(g % t for g, t in zip(grid_shape, tile_shape)):
+        raise ConfigError(f"tile {tile_shape} does not divide grid {grid_shape}")
+    n = len(grid_shape)
+    num = int(np.prod(grid_shape))
+    strides = np.ones(n, dtype=np.int64)
+    for d in range(n - 2, -1, -1):
+        strides[d] = strides[d + 1] * grid_shape[d + 1]
+    ids = np.arange(num, dtype=np.int64)
+    coords = (ids[:, None] // strides[None, :]) % np.asarray(grid_shape)
+    tile_coords = coords // np.asarray(tile_shape)
+    tile_grid = tuple(g // t for g, t in zip(grid_shape, tile_shape))
+    tstrides = np.ones(n, dtype=np.int64)
+    for d in range(n - 2, -1, -1):
+        tstrides[d] = tstrides[d + 1] * tile_grid[d + 1]
+    return tile_coords @ tstrides
+
+
+def inter_tile_volume(graph: CommGraph, tile_shape) -> float:
+    """Total volume crossing tile boundaries under a tiling."""
+    if graph.grid_shape is None:
+        raise CommGraphError("graph carries no grid_shape; cannot tile")
+    labels = tile_labels(graph.grid_shape, tile_shape)
+    cross = labels[graph.srcs] != labels[graph.dsts]
+    return float(graph.vols[cross].sum())
+
+
+def best_tiling(graph: CommGraph, tile_size: int) -> tuple[tuple[int, ...], float]:
+    """The tile shape of ``tile_size`` minimizing inter-tile volume.
+
+    Returns ``(tile_shape, inter_tile_volume)``. Ties break toward the
+    lexicographically earliest shape (deterministic).
+    """
+    if graph.grid_shape is None:
+        raise CommGraphError("graph carries no grid_shape; cannot tile")
+    candidates = enumerate_tilings(graph.grid_shape, tile_size)
+    if not candidates:
+        raise ConfigError(
+            f"no tile of size {tile_size} fits grid {graph.grid_shape}"
+        )
+    best_shape, best_cut = None, np.inf
+    for shape in candidates:
+        cut = inter_tile_volume(graph, shape)
+        if cut < best_cut - 1e-12:
+            best_shape, best_cut = shape, cut
+    assert best_shape is not None
+    return best_shape, float(best_cut)

@@ -1,0 +1,31 @@
+"""Figure 10 — communication time, normalized to the default mapping.
+
+The paper's headline: RAHTM reduces communication time ~20% consistently
+across all three benchmarks, while TABCDE/ACEBDT blow up CG (by 48%/19%)
+and RHT is non-uniform too.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ComparisonResult, run_comparison
+
+__all__ = ["run", "from_comparison", "main"]
+
+
+def from_comparison(result: ComparisonResult):
+    return result.normalized(
+        result.comm_seconds,
+        "Figure 10: communication time relative to the default mapping",
+    )
+
+
+def run(scale="small", **kwargs):
+    return from_comparison(run_comparison(scale, **kwargs))
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

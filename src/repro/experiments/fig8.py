@@ -1,0 +1,32 @@
+"""Figure 8 — overall execution time, normalized to the default mapping.
+
+Rows: BT, SP, CG (+ geomean). Columns: the default dimension order, two
+alternate permutations, Hilbert, RHT, RAHTM. Values < 1 are speedups; the
+paper reports RAHTM at ~0.91 geomean (9% improvement) with the alternate
+permutations non-uniform (CG badly hurt).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ComparisonResult, run_comparison
+
+__all__ = ["run", "from_comparison", "main"]
+
+
+def from_comparison(result: ComparisonResult):
+    return result.normalized(
+        result.exec_seconds,
+        "Figure 8: execution time relative to the default mapping",
+    )
+
+
+def run(scale="small", **kwargs):
+    return from_comparison(run_comparison(scale, **kwargs))
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

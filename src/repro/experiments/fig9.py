@@ -1,0 +1,34 @@
+"""Figure 9 — communication vs computation fraction per benchmark.
+
+The simulator is calibrated so the default mapping reproduces the paper's
+measured fractions (CG > 70%, BT/SP ~35-40%); this module reports them,
+confirming the calibration and quantifying each benchmark's optimization
+opportunity (Amdahl headroom).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import Table
+from repro.experiments.runner import ComparisonResult, run_comparison
+
+__all__ = ["run", "from_comparison", "main"]
+
+
+def from_comparison(result: ComparisonResult) -> Table:
+    table = Table("Figure 9: communication / computation split (default mapping)")
+    for bench, frac in result.comm_fraction.items():
+        table.set(bench, "communication", frac)
+        table.set(bench, "computation", 1.0 - frac)
+    return table
+
+
+def run(scale="small", **kwargs) -> Table:
+    return from_comparison(run_comparison(scale, **kwargs))
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

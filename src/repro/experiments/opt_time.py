@@ -1,0 +1,36 @@
+"""Section V-B — offline mapping (optimization) time.
+
+The paper reports RAHTM's offline cost of 33 minutes (BT) to ~35 hours
+(CG) on a single workstation, arguing it amortizes across runs. This
+module times each RAHTM phase per benchmark at the chosen scale.
+"""
+
+from __future__ import annotations
+
+from repro.core.rahtm import RAHTMMapper
+from repro.experiments.config import get_scale
+from repro.experiments.report import Table
+from repro.experiments.runner import benchmark_apps
+
+__all__ = ["run", "main"]
+
+
+def run(scale="tiny") -> Table:
+    scale = get_scale(scale)
+    topo = scale.topology()
+    table = Table(f"Section V-B: RAHTM offline mapping time at scale {scale.name!r}")
+    for name, app in benchmark_apps(scale).items():
+        mapper = RAHTMMapper(topo, scale.rahtm)
+        mapper.map(app.comm_graph())
+        for phase, seconds in mapper.timer.totals.items():
+            table.set(name, phase, seconds)
+        table.set(name, "total", mapper.timer.total)
+    return table
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Plain-text result tables mirroring the paper's figures."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "geomean"]
+
+
+def geomean(values) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate)."""
+    values = [float(v) for v in values]
+    if not values:
+        return float("nan")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class Table:
+    """A labelled 2-D table of floats with pretty printing."""
+
+    title: str
+    row_labels: list[str] = field(default_factory=list)
+    col_labels: list[str] = field(default_factory=list)
+    cells: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def set(self, row: str, col: str, value: float) -> None:
+        if row not in self.row_labels:
+            self.row_labels.append(row)
+        if col not in self.col_labels:
+            self.col_labels.append(col)
+        self.cells[(row, col)] = float(value)
+
+    def get(self, row: str, col: str) -> float:
+        return self.cells[(row, col)]
+
+    def row(self, row: str) -> list[float]:
+        return [self.cells[(row, c)] for c in self.col_labels]
+
+    def col(self, col: str) -> list[float]:
+        return [self.cells[(r, col)] for r in self.row_labels]
+
+    def add_geomean_row(self, label: str = "geomean") -> None:
+        for c in self.col_labels:
+            vals = [
+                self.cells[(r, c)]
+                for r in self.row_labels
+                if r != label and (r, c) in self.cells
+            ]
+            self.set(label, c, geomean(vals))
+
+    def to_text(self, fmt: str = "{:>10.3f}") -> str:
+        width = max((len(r) for r in self.row_labels), default=8) + 2
+        colw = max(10, max((len(c) for c in self.col_labels), default=8) + 1)
+        lines = [self.title]
+        header = " " * width + "".join(f"{c:>{colw}}" for c in self.col_labels)
+        lines.append(header)
+        for r in self.row_labels:
+            cells = []
+            for c in self.col_labels:
+                v = self.cells.get((r, c))
+                cells.append(
+                    " " * colw if v is None else f"{v:>{colw}.3f}"
+                )
+            lines.append(f"{r:<{width}}" + "".join(cells))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_text()

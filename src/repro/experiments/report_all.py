@@ -1,0 +1,100 @@
+"""One-shot reproduction report generator.
+
+Runs every experiment at a chosen scale and emits a single markdown
+report (the machinery behind ``EXPERIMENTS.md``), so a reproduction run
+is one command::
+
+    python -m repro.experiments.report_all --scale tiny --out report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    fig1,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig234,
+    run_comparison,
+    scaling,
+    table1,
+    table2,
+)
+from repro.experiments.config import get_scale
+
+__all__ = ["generate_report", "main"]
+
+_SECTIONS = ("fig1", "fig234", "table2", "fig7", "table1", "comparison",
+             "scaling")
+
+
+def _code_block(table) -> str:
+    return "```\n" + table.to_text() + "\n```\n"
+
+
+def generate_report(scale="tiny", include=_SECTIONS) -> str:
+    """Run the selected experiments and return a markdown report."""
+    scale = get_scale(scale)
+    parts = [
+        "# RAHTM reproduction report",
+        f"scale: `{scale.name}` — {scale.num_tasks} tasks on "
+        f"{'x'.join(map(str, scale.shape))} (concentration "
+        f"{scale.concentration}, class {scale.problem_class})",
+        "",
+    ]
+    t0 = time.perf_counter()
+    if "fig1" in include:
+        parts += ["## Figure 1 — routing awareness", _code_block(fig1.run())]
+    if "fig234" in include:
+        parts += ["## Figures 2-4 — clustering", _code_block(fig234.run())]
+    if "table2" in include:
+        parts += ["## Table II — fission MILP", _code_block(table2.run())]
+    if "fig7" in include:
+        parts += ["## Figure 7 — beam merge", _code_block(fig7.run())]
+    if "table1" in include:
+        parts += ["## Table I — benchmarks", _code_block(table1.run(scale))]
+    if "comparison" in include:
+        result = run_comparison(scale)
+        parts += [
+            "## Figure 8 — overall execution time",
+            _code_block(fig8.from_comparison(result)),
+            "## Figure 9 — communication fraction",
+            _code_block(fig9.from_comparison(result)),
+            "## Figure 10 — communication time",
+            _code_block(fig10.from_comparison(result)),
+            "## Section V-B — offline mapping time",
+            _code_block(result.mapping_seconds),
+        ]
+    if "scaling" in include:
+        parts += ["## Scaling", _code_block(scaling.run(scales=("tiny",)))]
+    parts.append(
+        f"\n_report generated in {time.perf_counter() - t0:.1f}s_\n"
+    )
+    return "\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--out", help="write markdown here (default: stdout)")
+    parser.add_argument(
+        "--sections", default=",".join(_SECTIONS),
+        help=f"comma list from {_SECTIONS}",
+    )
+    args = parser.parse_args(argv)
+    report = generate_report(args.scale, tuple(args.sections.split(",")))
+    if args.out:
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

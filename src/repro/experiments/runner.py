@@ -1,0 +1,159 @@
+"""Shared experiment runner: benchmarks x mappers -> timed comparison."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.baselines.dimorder import DimOrderMapper
+from repro.baselines.hilbert import HilbertMapper
+from repro.baselines.rubik import RubikTilingMapper
+from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.report import Table
+from repro.metrics.core import evaluate_mapping
+from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+from repro.simulator.app import ApplicationModel, calibrate_compute
+from repro.simulator.apps import (
+    PAPER_COMM_FRACTIONS,
+    bt_application,
+    cg_application,
+    sp_application,
+)
+from repro.simulator.network import NetworkModel, NetworkParams
+from repro.utils.logconf import get_logger
+
+__all__ = ["MapperSpec", "ComparisonResult", "default_mappers",
+           "benchmark_apps", "run_comparison"]
+
+log = get_logger("experiments.runner")
+
+
+@dataclass(frozen=True)
+class MapperSpec:
+    """A labelled mapper factory (topology -> mapper)."""
+
+    label: str
+    factory: Callable
+
+    def build(self, topology):
+        return self.factory(topology)
+
+
+def default_mappers(scale: ExperimentScale) -> list[MapperSpec]:
+    """The paper's Figure 8/10 line-up at this scale.
+
+    Order: platform default first (everything is normalized to it), the
+    two alternate dimension permutations, Hilbert, RHT, then RAHTM.
+    """
+    specs = [
+        MapperSpec(order, lambda t, o=order: DimOrderMapper(t, o))
+        for order in scale.dim_orders
+    ]
+    specs.append(MapperSpec("Hilbert", lambda t: HilbertMapper(t)))
+    specs.append(MapperSpec("RHT", lambda t: RubikTilingMapper(t)))
+    specs.append(
+        MapperSpec("RAHTM", lambda t: RAHTMMapper(t, scale.rahtm))
+    )
+    return specs
+
+
+def benchmark_apps(scale: ExperimentScale) -> dict[str, ApplicationModel]:
+    """The paper's three communication-heavy benchmarks (Table I)."""
+    n = scale.num_tasks
+    cls = scale.problem_class
+    return {
+        "BT": bt_application(n, cls),
+        "SP": sp_application(n, cls),
+        "CG": cg_application(n, cls),
+    }
+
+
+@dataclass
+class ComparisonResult:
+    """All raw numbers behind Figures 8, 9, 10 and the V-B discussion."""
+
+    scale: ExperimentScale
+    exec_seconds: Table
+    comm_seconds: Table
+    mcl: Table
+    hop_bytes: Table
+    mapping_seconds: Table
+    comm_fraction: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def default_label(self) -> str:
+        return self.exec_seconds.col_labels[0]
+
+    def normalized(self, table: Table, title: str) -> Table:
+        """Each cell divided by the default mapper's cell (paper's Y axis)."""
+        out = Table(title)
+        base_col = table.col_labels[0]
+        for r in table.row_labels:
+            base = table.get(r, base_col)
+            for c in table.col_labels:
+                out.set(r, c, table.get(r, c) / base if base else float("nan"))
+        out.add_geomean_row()
+        return out
+
+
+def run_comparison(
+    scale="small",
+    mappers: list[MapperSpec] | None = None,
+    apps: dict[str, ApplicationModel] | None = None,
+    network_params: NetworkParams | None = None,
+) -> ComparisonResult:
+    """Run every benchmark under every mapper and collect all metrics.
+
+    The first mapper is the platform default: applications are calibrated
+    so its communication fraction matches the paper's Figure 9 values.
+    """
+    scale = get_scale(scale)
+    topo = scale.topology()
+    router = MinimalAdaptiveRouter(topo)
+    network = NetworkModel(router, network_params)
+    mappers = mappers or default_mappers(scale)
+    apps = apps or benchmark_apps(scale)
+
+    result = ComparisonResult(
+        scale=scale,
+        exec_seconds=Table("execution time (s)"),
+        comm_seconds=Table("communication time (s)"),
+        mcl=Table("max channel load (bytes)"),
+        hop_bytes=Table("hop-bytes"),
+        mapping_seconds=Table("offline mapping time (s)"),
+    )
+    for bench_name, app in apps.items():
+        graph = app.comm_graph()
+        default_mapper = mappers[0].build(topo)
+        t0 = time.perf_counter()
+        default_mapping = default_mapper.map(graph)
+        default_map_secs = time.perf_counter() - t0
+        target = PAPER_COMM_FRACTIONS.get(app.name, 0.5)
+        app = calibrate_compute(app, default_mapping, network, target)
+        log.info("%s calibrated: comm fraction %.0f%% under %s",
+                 bench_name, 100 * target, mappers[0].label)
+        for i, spec in enumerate(mappers):
+            if i == 0:
+                mapping, map_secs = default_mapping, default_map_secs
+            else:
+                mapper = spec.build(topo)
+                t0 = time.perf_counter()
+                mapping = mapper.map(graph)
+                map_secs = time.perf_counter() - t0
+            sim = app.simulate(mapping, network)
+            rep = evaluate_mapping(router, mapping, graph)
+            result.exec_seconds.set(bench_name, spec.label, sim.total_seconds)
+            result.comm_seconds.set(bench_name, spec.label, sim.comm_seconds)
+            result.mcl.set(bench_name, spec.label, rep.mcl)
+            result.hop_bytes.set(bench_name, spec.label, rep.hop_bytes)
+            result.mapping_seconds.set(bench_name, spec.label, map_secs)
+            if i == 0:
+                result.comm_fraction[bench_name] = sim.comm_fraction
+            log.info(
+                "%s/%s: exec %.3fs comm %.3fs mcl %.3g (mapped in %.1fs)",
+                bench_name, spec.label, sim.total_seconds, sim.comm_seconds,
+                rep.mcl, map_secs,
+            )
+    return result

@@ -1,0 +1,57 @@
+"""Scaling study — mapping cost and quality vs problem size.
+
+Section VI acknowledges mapping time "must be further reduced" and that
+"further scaling beyond 16K processes is desirable". This experiment
+quantifies the cost curve: RAHTM's offline time and achieved MCL
+(relative to the default mapping) across the implemented scales.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.dimorder import DimOrderMapper
+from repro.core.rahtm import RAHTMMapper
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.report import Table
+from repro.metrics.core import evaluate_mapping
+from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+from repro.workloads.nas import nas_cg
+
+__all__ = ["run", "main"]
+
+
+def run(scales=("tiny", "small")) -> Table:
+    """RAHTM cost/quality on CG at each scale.
+
+    CG is the paper's hardest case (35 hours of CPLEX at 16K tasks);
+    passing ``scales=("tiny", "small", "medium")`` extends the curve.
+    """
+    table = Table("Scaling: RAHTM cost and MCL ratio vs problem size (CG)")
+    for name in scales:
+        scale = get_scale(name)
+        topo = scale.topology()
+        graph = nas_cg(scale.num_tasks, scale.problem_class)
+        router = MinimalAdaptiveRouter(topo)
+        default = DimOrderMapper(topo).map(graph)
+        default_mcl = evaluate_mapping(router, default, graph).mcl
+        mapper = RAHTMMapper(topo, scale.rahtm)
+        t0 = time.perf_counter()
+        mapping = mapper.map(graph)
+        seconds = time.perf_counter() - t0
+        mcl = evaluate_mapping(router, mapping, graph).mcl
+        table.set(name, "tasks", scale.num_tasks)
+        table.set(name, "nodes", scale.num_nodes)
+        table.set(name, "mapping_s", seconds)
+        table.set(name, "mcl_ratio", mcl / default_mcl if default_mcl else 1.0)
+        table.set(name, "milp_s", mapper.timer.totals.get("phase2-milp", 0.0))
+        table.set(name, "merge_s", mapper.timer.totals.get("phase3-merge", 0.0))
+    return table
+
+
+def main() -> None:
+    print(run().to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Section VI extensions: RAHTM's ideas beyond the torus.
+
+The paper argues (Section VI, "Applicability to other topologies") that
+RAHTM's ingredients — optimal leaf sub-problems, MCL-driven incremental
+merging, candidate pruning — carry to any partitionable topology, with
+only the leaf structure and the minimal-routing definition changing. This
+package demonstrates that claim end to end on two non-torus networks:
+
+- :mod:`repro.extensions.fattree` — k-ary (full or slimmed) fat-trees.
+  Subtrees at every level are interchangeable (tree automorphisms), so the
+  orientation search degenerates and mapping reduces to *hierarchical
+  clustering* that minimizes the volume crossing each level — which the
+  :class:`FatTreeMapper` performs exactly in that spirit.
+- :mod:`repro.extensions.dragonfly` — canonical dragonfly (all-to-all
+  local groups, one global link per group pair). Minimal routing is the
+  3-hop local-global-local path; the :class:`DragonflyMapper` clusters
+  hierarchically (hosts -> routers -> groups).
+
+Both provide the same ``link_loads``-style evaluation interface as the
+torus routers, so :func:`repro.metrics.evaluate_mapping` and the
+:class:`repro.mapping.Mapping` container work unchanged.
+"""
+
+from repro.extensions.fattree import FatTree, FatTreeRouter, FatTreeMapper
+from repro.extensions.dragonfly import (
+    Dragonfly,
+    DragonflyRouter,
+    DragonflyMapper,
+)
+
+__all__ = [
+    "FatTree",
+    "FatTreeRouter",
+    "FatTreeMapper",
+    "Dragonfly",
+    "DragonflyRouter",
+    "DragonflyMapper",
+]

@@ -1,0 +1,254 @@
+"""Dragonfly topology, minimal routing, and hierarchical mapper.
+
+The canonical dragonfly (Kim et al., ISCA 2008): ``g`` groups of ``r``
+routers; routers within a group are fully connected by *local* links; each
+router owns ``p`` compute hosts and ``h`` *global* links; the groups form
+a complete graph over global links, router ``peer_index // h`` of a group
+handling its ``peer_index``-th peer group.
+
+Minimal routing host a -> host b takes at most local-global-local:
+source router, local hop to the router holding the global link toward the
+destination group, global hop, local hop to the destination router.
+
+Mapping on a dragonfly is dominated by two cuts: host->router->group
+clustering controls local-link and (critically) global-link pressure —
+groups pairs share a *single* global link, the network's scarcest
+resource. :class:`DragonflyMapper` clusters hierarchically along exactly
+those boundaries (the fat-tree argument of Section VI, applied twice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.core.clustering import cluster_fixed_size
+from repro.errors import ConfigError, TopologyError
+from repro.mapping.mapping import Mapping
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Dragonfly", "DragonflyRouter", "DragonflyMapper"]
+
+
+class Dragonfly:
+    """A canonical dragonfly network.
+
+    Parameters
+    ----------
+    groups:
+        Number of groups ``g`` (must satisfy ``g <= r * h + 1``).
+    routers_per_group:
+        Routers per group ``r`` (all-to-all local links).
+    hosts_per_router:
+        Compute hosts per router ``p``.
+    global_per_router:
+        Global links per router ``h``.
+    """
+
+    def __init__(
+        self,
+        groups: int,
+        routers_per_group: int,
+        hosts_per_router: int,
+        global_per_router: int = 1,
+    ):
+        self.groups = check_positive_int(groups, "groups")
+        self.routers_per_group = check_positive_int(
+            routers_per_group, "routers_per_group"
+        )
+        self.hosts_per_router = check_positive_int(
+            hosts_per_router, "hosts_per_router"
+        )
+        self.global_per_router = check_positive_int(
+            global_per_router, "global_per_router"
+        )
+        if self.groups > self.routers_per_group * self.global_per_router + 1:
+            raise TopologyError(
+                f"{groups} groups need r*h >= g-1 global links per group "
+                f"(r={routers_per_group}, h={global_per_router})"
+            )
+        if self.groups < 2:
+            raise TopologyError("dragonfly needs >= 2 groups")
+        self.num_routers = self.groups * self.routers_per_group
+        self.num_nodes = self.num_routers * self.hosts_per_router  # hosts
+        # Channel slot layout:
+        #   terminal:  2 per host (host->router, router->host)
+        #   local:     r*(r-1) directed pairs per group
+        #   global:    g*(g-1) directed group pairs
+        self._n_terminal = 2 * self.num_nodes
+        self._n_local = self.groups * self.routers_per_group * (
+            self.routers_per_group - 1
+        )
+        self._n_global = self.groups * (self.groups - 1)
+        self.num_channel_slots = self._n_terminal + self._n_local + self._n_global
+        self.channel_valid = np.ones(self.num_channel_slots, dtype=bool)
+        # local pair indexing within a group: (a, b), a != b ->
+        # a * (r-1) + (b if b < a else b - 1)
+        self._r = self.routers_per_group
+
+    # -- host/router/group decomposition -----------------------------------------
+    def router_of(self, hosts) -> np.ndarray:
+        return np.asarray(hosts, dtype=np.int64) // self.hosts_per_router
+
+    def group_of_router(self, routers) -> np.ndarray:
+        return np.asarray(routers, dtype=np.int64) // self.routers_per_group
+
+    def group_of(self, hosts) -> np.ndarray:
+        return self.group_of_router(self.router_of(hosts))
+
+    def global_router(self, src_group, dst_group) -> np.ndarray:
+        """Router (global id) in ``src_group`` holding the global link to
+        ``dst_group``."""
+        src_group = np.asarray(src_group, dtype=np.int64)
+        dst_group = np.asarray(dst_group, dtype=np.int64)
+        peer_index = np.where(dst_group > src_group, dst_group - 1, dst_group)
+        local_router = peer_index // self.global_per_router
+        if np.any(local_router >= self.routers_per_group):
+            raise TopologyError("global link assignment out of range")
+        return src_group * self.routers_per_group + local_router
+
+    # -- channel slots ------------------------------------------------------------
+    def terminal_slot(self, hosts, direction) -> np.ndarray:
+        """direction 0 = injection (host->router), 1 = ejection."""
+        return np.asarray(hosts, dtype=np.int64) * 2 + direction
+
+    def local_slot(self, src_routers, dst_routers) -> np.ndarray:
+        src = np.asarray(src_routers, dtype=np.int64)
+        dst = np.asarray(dst_routers, dtype=np.int64)
+        g = self.group_of_router(src)
+        if np.any(g != self.group_of_router(dst)) or np.any(src == dst):
+            raise TopologyError("local links connect distinct same-group routers")
+        a = src % self._r
+        b = dst % self._r
+        pair = a * (self._r - 1) + np.where(b < a, b, b - 1)
+        return self._n_terminal + g * self._r * (self._r - 1) + pair
+
+    def global_slot(self, src_group, dst_group) -> np.ndarray:
+        sg = np.asarray(src_group, dtype=np.int64)
+        dg = np.asarray(dst_group, dtype=np.int64)
+        if np.any(sg == dg):
+            raise TopologyError("global links connect distinct groups")
+        pair = sg * (self.groups - 1) + np.where(dg < sg, dg, dg - 1)
+        return self._n_terminal + self._n_local + pair
+
+    # -- distances ------------------------------------------------------------------
+    def hop_distance(self, a, b) -> np.ndarray:
+        """Router hops of the minimal route (terminal hops excluded)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        ra, rb = self.router_of(a), self.router_of(b)
+        ga, gb = self.group_of_router(ra), self.group_of_router(rb)
+        same_router = ra == rb
+        same_group = ga == gb
+        gsrc = self.global_router(ga, np.where(same_group, (ga + 1) % self.groups, gb))
+        gdst = self.global_router(gb, np.where(same_group, (gb + 1) % self.groups, ga))
+        inter = 1 + (ra != gsrc).astype(np.int64) + (rb != gdst).astype(np.int64)
+        return np.where(
+            a == b, 0, np.where(same_router, 0, np.where(same_group, 1, inter))
+        )
+
+    def describe(self) -> str:
+        return (
+            f"dragonfly g={self.groups} r={self.routers_per_group} "
+            f"p={self.hosts_per_router} h={self.global_per_router} "
+            f"({self.num_nodes} hosts)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dragonfly(groups={self.groups}, "
+            f"routers_per_group={self.routers_per_group}, "
+            f"hosts_per_router={self.hosts_per_router}, "
+            f"global_per_router={self.global_per_router})"
+        )
+
+
+class DragonflyRouter:
+    """Minimal (local-global-local) routing with per-link load reporting."""
+
+    name = "dragonfly-minimal"
+
+    def __init__(self, topology: Dragonfly):
+        self.topology = topology
+
+    def link_loads(self, srcs, dsts, vols, out: np.ndarray | None = None):
+        df = self.topology
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        vols = np.asarray(vols, dtype=np.float64)
+        if out is None:
+            out = np.zeros(df.num_channel_slots)
+        offhost = srcs != dsts
+        if not offhost.any():
+            return out
+        srcs, dsts, vols = srcs[offhost], dsts[offhost], vols[offhost]
+        # Terminal links: every off-host flow injects and ejects once.
+        np.add.at(out, df.terminal_slot(srcs, 0), vols)
+        np.add.at(out, df.terminal_slot(dsts, 1), vols)
+
+        ra, rb = df.router_of(srcs), df.router_of(dsts)
+        ga, gb = df.group_of_router(ra), df.group_of_router(rb)
+        offrouter = ra != rb
+        same_group = (ga == gb) & offrouter
+        if same_group.any():
+            np.add.at(out, df.local_slot(ra[same_group], rb[same_group]),
+                      vols[same_group])
+        inter = ga != gb
+        if inter.any():
+            s_r, d_r = ra[inter], rb[inter]
+            s_g, d_g = ga[inter], gb[inter]
+            v = vols[inter]
+            gsrc = df.global_router(s_g, d_g)
+            gdst = df.global_router(d_g, s_g)
+            np.add.at(out, df.global_slot(s_g, d_g), v)
+            first = s_r != gsrc
+            if first.any():
+                np.add.at(out, df.local_slot(s_r[first], gsrc[first]), v[first])
+            last = d_r != gdst
+            if last.any():
+                np.add.at(out, df.local_slot(gdst[last], d_r[last]), v[last])
+        return out
+
+    def max_channel_load(self, srcs, dsts, vols) -> float:
+        loads = self.link_loads(srcs, dsts, vols)
+        return float(loads.max()) if loads.size else 0.0
+
+
+class DragonflyMapper:
+    """Hierarchical clustering mapper: tasks -> groups -> routers -> hosts."""
+
+    name = "dragonfly-hierarchical"
+
+    def __init__(self, topology: Dragonfly):
+        if not isinstance(topology, Dragonfly):
+            raise ConfigError("DragonflyMapper requires a Dragonfly topology")
+        self.topology = topology
+
+    def map(self, graph: CommGraph) -> Mapping:
+        df = self.topology
+        if graph.num_tasks % df.num_nodes:
+            raise ConfigError(
+                f"{graph.num_tasks} tasks do not divide over "
+                f"{df.num_nodes} hosts"
+            )
+        concentration = graph.num_tasks // df.num_nodes
+        level = cluster_fixed_size(graph, concentration)
+        current = level.graph  # one cluster per host
+        host_of_cluster = np.zeros(current.num_tasks, dtype=np.int64)
+
+        # tasks -> groups.
+        per_group = current.num_tasks // df.groups
+        group_level = cluster_fixed_size(current, per_group)
+        for g in range(df.groups):
+            members = np.flatnonzero(group_level.labels == g)
+            sub = current.subgraph(members)
+            # group -> routers.
+            per_router = len(members) // df.routers_per_group
+            router_level = cluster_fixed_size(sub, per_router)
+            for r in range(df.routers_per_group):
+                sel = members[np.flatnonzero(router_level.labels == r)]
+                router = g * df.routers_per_group + r
+                base = router * df.hosts_per_router
+                host_of_cluster[sel] = base + np.arange(len(sel))
+        return Mapping(df, host_of_cluster[level.labels],
+                       tasks_per_node=concentration)

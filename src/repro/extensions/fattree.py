@@ -1,0 +1,213 @@
+"""Fat-tree topology, routing model, and hierarchical mapper.
+
+A ``k``-ary fat-tree with ``L`` switch levels connects ``k^L`` compute
+nodes (leaves). The *bundle* between a depth-``d`` subtree and its parent
+carries ``multiplicity(d)`` parallel physical links: ``k^(L-d)`` for the
+full (constant-bisection) fat-tree, 1 for a plain tree, or anything in
+between via a slimming factor.
+
+Routing is up-down through the least common ancestor, with each flow
+spread uniformly over a bundle's parallel links (the ECMP/D-mod-K
+behaviour of real fat-trees); reported channel loads are per *physical
+link* (bundle load / multiplicity), making MCL directly comparable to the
+torus models.
+
+Mapping insight (paper Section VI): every permutation of a node's subtrees
+is an automorphism of the fat-tree, so phase-3's orientation search is
+vacuous here and optimal mapping reduces to *hierarchical clustering* —
+minimize the volume crossing each level, most aggressively at the top
+where bundles are the scarcest per-flow resource (or cheapest, for the
+full fat-tree). :class:`FatTreeMapper` implements exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.core.clustering import cluster_fixed_size
+from repro.errors import ConfigError, TopologyError
+from repro.mapping.mapping import Mapping
+from repro.utils.validation import check_positive_int
+
+__all__ = ["FatTree", "FatTreeRouter", "FatTreeMapper"]
+
+DIR_UP = 0
+DIR_DOWN = 1
+
+
+class FatTree:
+    """A k-ary fat-tree.
+
+    Parameters
+    ----------
+    arity:
+        Children per switch (k).
+    levels:
+        Switch levels (L); ``k^L`` leaves.
+    slimming:
+        Bundle multiplicity shrink per level going *up*: multiplicity of
+        the bundle above a depth-``d`` subtree is
+        ``max(1, round((arity / slimming) ** (levels - d)))``. ``slimming=1``
+        is the full fat-tree (multiplicity = leaves below), ``slimming=arity``
+        a plain tree (multiplicity 1).
+    """
+
+    def __init__(self, arity: int, levels: int, slimming: float = 1.0):
+        self.arity = check_positive_int(arity, "arity")
+        self.levels = check_positive_int(levels, "levels")
+        if arity < 2:
+            raise TopologyError("fat-tree arity must be >= 2")
+        if slimming < 1.0 or slimming > arity:
+            raise TopologyError(
+                f"slimming must be in [1, arity], got {slimming}"
+            )
+        self.slimming = float(slimming)
+        self.num_leaves = arity**levels
+        self.num_nodes = self.num_leaves  # compute nodes (Mapping protocol)
+        # Tree-node numbering: depth d has arity^d nodes starting at
+        # offset[d]; node (d, i) has id offset[d] + i.
+        self._offsets = np.zeros(self.levels + 2, dtype=np.int64)
+        for d in range(1, self.levels + 2):
+            self._offsets[d] = self._offsets[d - 1] + arity ** (d - 1)
+        self.num_tree_nodes = int(self._offsets[self.levels + 1])
+        # One up/down bundle pair per non-root tree node.
+        self.num_channel_slots = self.num_tree_nodes * 2
+        self.channel_valid = np.ones(self.num_channel_slots, dtype=bool)
+        self.channel_valid[self._slot(0, 0, DIR_UP)] = False
+        self.channel_valid[self._slot(0, 0, DIR_DOWN)] = False
+        # Bundle multiplicity per depth (bundle above a depth-d node).
+        self.multiplicity = np.ones(self.levels + 1)
+        for d in range(1, self.levels + 1):
+            self.multiplicity[d] = max(
+                1.0, round((arity / self.slimming) ** (self.levels - d))
+            )
+
+    # -- tree indexing ---------------------------------------------------------
+    def _slot(self, depth: int, index: int, direction: int) -> int:
+        return int(self._offsets[depth] + index) * 2 + direction
+
+    def ancestor(self, leaves, depth: int) -> np.ndarray:
+        """Index (within its depth) of the depth-``depth`` ancestor."""
+        leaves = np.asarray(leaves, dtype=np.int64)
+        return leaves // (self.arity ** (self.levels - depth))
+
+    def lca_depth(self, a, b) -> np.ndarray:
+        """Depth of the least common ancestor of leaf pairs."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        result = np.zeros(np.broadcast(a, b).shape, dtype=np.int64)
+        # Deepest depth at which the ancestors coincide (ancestors only
+        # re-converge going up, so the running maximum is correct).
+        for d in range(self.levels + 1):
+            same = self.ancestor(a, d) == self.ancestor(b, d)
+            result = np.where(same, d, result)
+        return result
+
+    def hop_distance(self, a, b) -> np.ndarray:
+        """Switch hops of the up-down route (0 when same leaf)."""
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        lca = self.lca_depth(a, b)
+        return np.where(a == b, 0, 2 * (self.levels - lca))
+
+    def describe(self) -> str:
+        kind = (
+            "full fat-tree" if self.slimming == 1.0
+            else f"slimmed fat-tree (factor {self.slimming:g})"
+        )
+        return (
+            f"{self.arity}-ary {self.levels}-level {kind} "
+            f"({self.num_leaves} leaves)"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FatTree(arity={self.arity}, levels={self.levels}, "
+            f"slimming={self.slimming:g})"
+        )
+
+
+class FatTreeRouter:
+    """Up-down (ECMP-spread) routing with per-physical-link load reporting."""
+
+    name = "fat-tree-updown"
+
+    def __init__(self, topology: FatTree):
+        self.topology = topology
+
+    def link_loads(self, srcs, dsts, vols, out: np.ndarray | None = None):
+        """Per-physical-link loads over the dense bundle-slot space."""
+        ft = self.topology
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        vols = np.asarray(vols, dtype=np.float64)
+        if out is None:
+            out = np.zeros(ft.num_channel_slots)
+        offnode = srcs != dsts
+        if not offnode.any():
+            return out
+        srcs, dsts, vols = srcs[offnode], dsts[offnode], vols[offnode]
+        lca = ft.lca_depth(srcs, dsts)
+        for d in range(1, ft.levels + 1):
+            crosses = lca < d
+            if not crosses.any():
+                continue
+            share = vols[crosses] / ft.multiplicity[d]
+            up_nodes = ft._offsets[d] + ft.ancestor(srcs[crosses], d)
+            dn_nodes = ft._offsets[d] + ft.ancestor(dsts[crosses], d)
+            np.add.at(out, up_nodes * 2 + DIR_UP, share)
+            np.add.at(out, dn_nodes * 2 + DIR_DOWN, share)
+        return out
+
+    def max_channel_load(self, srcs, dsts, vols) -> float:
+        loads = self.link_loads(srcs, dsts, vols)
+        return float(loads.max()) if loads.size else 0.0
+
+
+class FatTreeMapper:
+    """Hierarchical-clustering mapper for fat-trees.
+
+    Top-down, each cluster splits into ``arity`` equal sub-clusters with
+    minimal cross volume; sub-cluster -> subtree assignment is arbitrary
+    because subtrees are interchangeable under tree automorphisms (the
+    degenerate form of RAHTM's phase 3 on this topology).
+    """
+
+    name = "fattree-hierarchical"
+
+    def __init__(self, topology: FatTree):
+        if not isinstance(topology, FatTree):
+            raise ConfigError("FatTreeMapper requires a FatTree topology")
+        self.topology = topology
+
+    def map(self, graph: CommGraph) -> Mapping:
+        ft = self.topology
+        if graph.num_tasks % ft.num_leaves:
+            raise ConfigError(
+                f"{graph.num_tasks} tasks do not divide over "
+                f"{ft.num_leaves} leaves"
+            )
+        concentration = graph.num_tasks // ft.num_leaves
+        # Leaf-level concentration clustering first.
+        level = cluster_fixed_size(graph, concentration)
+        task_to_cluster = level.labels
+        current = level.graph  # one cluster per leaf
+
+        # Recursive top-down splitting, tracked as a per-cluster path of
+        # child indices that becomes the leaf id.
+        leaf_of_cluster = np.zeros(current.num_tasks, dtype=np.int64)
+        groups: list[np.ndarray] = [np.arange(current.num_tasks)]
+        for depth in range(ft.levels):
+            next_groups: list[np.ndarray] = []
+            for members in groups:
+                sub = current.subgraph(members)
+                child_size = len(members) // ft.arity
+                sub_level = cluster_fixed_size(sub, child_size)
+                for child in range(ft.arity):
+                    sel = members[np.flatnonzero(sub_level.labels == child)]
+                    leaf_of_cluster[sel] = leaf_of_cluster[sel] * ft.arity + child
+                    next_groups.append(sel)
+            groups = next_groups
+        return Mapping(ft, leaf_of_cluster[task_to_cluster],
+                       tasks_per_node=concentration)

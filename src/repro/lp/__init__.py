@@ -1,0 +1,35 @@
+"""A small LP/MILP modeling layer lowered onto SciPy's HiGHS solvers.
+
+The paper solves its Table II formulation with CPLEX; this package provides
+the modeling convenience (named variables, operator-overloaded linear
+expressions, ``<=``/``>=``/``==`` constraints) that a commercial modeling
+API would, and lowers the model to :func:`scipy.optimize.milp` (or
+:func:`scipy.optimize.linprog` for continuous models).
+
+Example
+-------
+>>> from repro.lp import Model
+>>> m = Model("toy")
+>>> x = m.add_var("x", lb=0, ub=10)
+>>> y = m.add_var("y", lb=0, ub=10, integer=True)
+>>> _ = m.add_constraint(x + 2 * y <= 14)
+>>> _ = m.add_constraint(3 * x - y >= 0)
+>>> m.set_objective(x + y, sense="max")
+>>> sol = m.solve()
+>>> sol.is_optimal
+True
+"""
+
+from repro.lp.expr import Variable, LinExpr, Constraint, lpsum
+from repro.lp.model import Model
+from repro.lp.result import Solution, SolveStatus
+
+__all__ = [
+    "Variable",
+    "LinExpr",
+    "Constraint",
+    "lpsum",
+    "Model",
+    "Solution",
+    "SolveStatus",
+]

@@ -1,0 +1,204 @@
+"""Linear expressions over model variables.
+
+A :class:`LinExpr` is a sparse mapping ``{variable index: coefficient}``
+plus a constant. :class:`Variable` is a thin handle that builds expressions
+through operator overloading; comparison operators build
+:class:`Constraint` objects that :meth:`repro.lp.Model.add_constraint`
+accepts.
+
+These classes are plain Python (not numpy) because models in this library
+are built once and solved many times; readability at the call site matters
+more than construction speed, and lowering to sparse matrices happens in
+:mod:`repro.lp.model`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+__all__ = ["Variable", "LinExpr", "Constraint", "lpsum"]
+
+_NUMERIC = (int, float)
+
+
+class LinExpr:
+    """A linear expression ``sum(coeff * var) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: dict[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------------
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    def _iadd_term(self, index: int, coeff: float) -> None:
+        new = self.coeffs.get(index, 0.0) + coeff
+        if new == 0.0:
+            self.coeffs.pop(index, None)
+        else:
+            self.coeffs[index] = new
+
+    def _combine(self, other, sign: float) -> "LinExpr":
+        out = self.copy()
+        if isinstance(other, _NUMERIC):
+            out.constant += sign * other
+        elif isinstance(other, Variable):
+            out._iadd_term(other.index, sign)
+        elif isinstance(other, LinExpr):
+            out.constant += sign * other.constant
+            for idx, c in other.coeffs.items():
+                out._iadd_term(idx, sign * c)
+        else:
+            return NotImplemented
+        return out
+
+    # -- arithmetic ----------------------------------------------------------
+    def __add__(self, other):
+        return self._combine(other, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._combine(other, -1.0)
+
+    def __rsub__(self, other):
+        return (-self) + other
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({i: -c for i, c in self.coeffs.items()}, -self.constant)
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, _NUMERIC):
+            return NotImplemented
+        s = float(scalar)
+        return LinExpr({i: c * s for i, c in self.coeffs.items()}, self.constant * s)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        if not isinstance(scalar, _NUMERIC):
+            return NotImplemented
+        return self * (1.0 / float(scalar))
+
+    # -- comparisons build constraints ----------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - other, "<=")
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - other, ">=")
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - other, "==")
+
+    __hash__ = None  # type: ignore[assignment]  # mutable; == builds constraints
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        const = f" + {self.constant:g}" if self.constant else ""
+        return f"LinExpr({terms or '0'}{const})"
+
+
+class Variable:
+    """Handle to a model variable. Created via :meth:`repro.lp.Model.add_var`."""
+
+    __slots__ = ("index", "name", "lb", "ub", "integer")
+
+    def __init__(self, index: int, name: str, lb: float, ub: float, integer: bool):
+        self.index = index
+        self.name = name
+        self.lb = lb
+        self.ub = ub
+        self.integer = integer
+
+    def to_expr(self) -> LinExpr:
+        return LinExpr({self.index: 1.0})
+
+    # Arithmetic delegates to LinExpr.
+    def __add__(self, other):
+        return self.to_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.to_expr() - other
+
+    def __rsub__(self, other):
+        return (-1.0) * self.to_expr() + other
+
+    def __neg__(self):
+        return (-1.0) * self.to_expr()
+
+    def __mul__(self, scalar):
+        return self.to_expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        return self.to_expr() / scalar
+
+    def __le__(self, other) -> "Constraint":
+        return self.to_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self.to_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self.to_expr() == other
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        kind = "int" if self.integer else "cont"
+        return f"Variable({self.name!r}, {kind}, [{self.lb:g}, {self.ub:g}])"
+
+
+class Constraint:
+    """A linear constraint ``expr <sense> 0`` with the rhs folded into expr.
+
+    Stored in normalized form: ``expr.coeffs · x`` compared against
+    ``-expr.constant``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = ""):
+        if sense not in ("<=", ">=", "=="):
+            raise ValueError(f"invalid constraint sense {sense!r}")
+        if not isinstance(expr, LinExpr):
+            raise TypeError("Constraint expects a LinExpr")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side after moving the constant across the relation."""
+        return -self.expr.constant
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense} 0)"
+
+
+def lpsum(terms: Iterable) -> LinExpr:
+    """Sum variables/expressions/numbers into one :class:`LinExpr`.
+
+    Quadratic behaviour of repeated ``+`` is avoided by accumulating in
+    place, which matters for the MILP's O(|flows|·|edges|) conservation
+    constraints.
+    """
+    out = LinExpr()
+    for term in terms:
+        if isinstance(term, _NUMERIC):
+            out.constant += term
+        elif isinstance(term, Variable):
+            out._iadd_term(term.index, 1.0)
+        elif isinstance(term, LinExpr):
+            out.constant += term.constant
+            for idx, c in term.coeffs.items():
+                out._iadd_term(idx, c)
+        else:
+            raise TypeError(f"cannot sum term of type {type(term).__name__}")
+    return out

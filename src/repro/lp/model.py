@@ -1,0 +1,271 @@
+"""Model container and lowering to SciPy HiGHS.
+
+A :class:`Model` collects variables, linear constraints, and one linear
+objective, then lowers everything to a single call of
+:func:`scipy.optimize.milp` (mixed-integer) or
+:func:`scipy.optimize.linprog` (continuous). Minimization is canonical;
+``sense="max"`` negates the objective on the way in and the objective value
+on the way out.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.optimize as spo
+import scipy.sparse as sp
+
+from repro.errors import InfeasibleError, SolverError
+from repro.lp.expr import Constraint, LinExpr, Variable
+from repro.lp.result import Solution, SolveStatus
+from repro.utils.logconf import get_logger
+
+__all__ = ["Model"]
+
+log = get_logger("lp.model")
+
+_INF = float("inf")
+
+
+class Model:
+    """An LP/MILP model.
+
+    Parameters
+    ----------
+    name:
+        Label used in log messages only.
+    """
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self._vars: list[Variable] = []
+        self._constraints: list[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._sense: str = "min"
+
+    # -- construction ---------------------------------------------------------
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = _INF,
+        integer: bool = False,
+        binary: bool = False,
+    ) -> Variable:
+        """Create a variable.
+
+        ``binary=True`` is shorthand for an integer variable in [0, 1].
+        """
+        if binary:
+            integer, lb, ub = True, 0.0, 1.0
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(len(self._vars), name or f"x{len(self._vars)}", lb, ub, integer)
+        self._vars.append(var)
+        return var
+
+    def add_vars(self, count: int, prefix: str = "x", **kwargs) -> list[Variable]:
+        """Create ``count`` homogeneous variables named ``prefix[i]``."""
+        return [self.add_var(f"{prefix}[{i}]", **kwargs) for i in range(count)]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint built from expression comparisons."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (use <=, >=, == on expressions); "
+                f"got {type(constraint).__name__}"
+            )
+        if name:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr, sense: str = "min") -> None:
+        """Set the objective; ``expr`` may be a Variable or LinExpr."""
+        if sense not in ("min", "max"):
+            raise ValueError(f"sense must be 'min' or 'max', got {sense!r}")
+        if isinstance(expr, Variable):
+            expr = expr.to_expr()
+        if not isinstance(expr, LinExpr):
+            raise TypeError("objective must be a Variable or LinExpr")
+        self._objective = expr.copy()
+        self._sense = sense
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_vars(self) -> int:
+        return len(self._vars)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    @property
+    def num_integer_vars(self) -> int:
+        return sum(v.integer for v in self._vars)
+
+    @property
+    def is_mip(self) -> bool:
+        return self.num_integer_vars > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, vars={self.num_vars} "
+            f"(int={self.num_integer_vars}), cons={self.num_constraints})"
+        )
+
+    # -- lowering ---------------------------------------------------------------
+    def _build_matrices(self):
+        """Lower constraints to (A, lb, ub) with A sparse CSR."""
+        n = self.num_vars
+        rows, cols, data = [], [], []
+        con_lb = np.empty(len(self._constraints))
+        con_ub = np.empty(len(self._constraints))
+        for r, con in enumerate(self._constraints):
+            for idx, coeff in con.expr.coeffs.items():
+                rows.append(r)
+                cols.append(idx)
+                data.append(coeff)
+            rhs = con.rhs
+            if con.sense == "<=":
+                con_lb[r], con_ub[r] = -_INF, rhs
+            elif con.sense == ">=":
+                con_lb[r], con_ub[r] = rhs, _INF
+            else:
+                con_lb[r], con_ub[r] = rhs, rhs
+        A = sp.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._constraints), n)
+        )
+        return A, con_lb, con_ub
+
+    def _objective_vector(self) -> np.ndarray:
+        c = np.zeros(self.num_vars)
+        for idx, coeff in self._objective.coeffs.items():
+            c[idx] = coeff
+        if self._sense == "max":
+            c = -c
+        return c
+
+    # -- solving ----------------------------------------------------------------
+    def solve(
+        self,
+        time_limit: float | None = None,
+        mip_rel_gap: float | None = None,
+        raise_on_infeasible: bool = False,
+    ) -> Solution:
+        """Solve the model with HiGHS.
+
+        Parameters
+        ----------
+        time_limit:
+            Wall-clock budget in seconds. MILPs interrupted at the limit
+            return the incumbent with status :attr:`SolveStatus.FEASIBLE`.
+        mip_rel_gap:
+            Relative optimality gap at which the MILP may stop early
+            (reported status is still OPTIMAL per solver convention).
+        raise_on_infeasible:
+            If true, raise :class:`repro.errors.InfeasibleError` instead of
+            returning an INFEASIBLE solution object.
+        """
+        start = time.perf_counter()
+        c = self._objective_vector()
+        A, con_lb, con_ub = self._build_matrices()
+        var_lb = np.array([v.lb for v in self._vars])
+        var_ub = np.array([v.ub for v in self._vars])
+
+        if self.is_mip:
+            sol = self._solve_milp(c, A, con_lb, con_ub, var_lb, var_ub,
+                                   time_limit, mip_rel_gap)
+        else:
+            sol = self._solve_lp(c, A, con_lb, con_ub, var_lb, var_ub, time_limit)
+        sol.solve_seconds = time.perf_counter() - start
+
+        if sol.status is SolveStatus.INFEASIBLE and raise_on_infeasible:
+            raise InfeasibleError(f"model {self.name!r} is infeasible")
+        if sol.status is SolveStatus.ERROR:
+            raise SolverError(f"model {self.name!r} solve failed: {sol.message}")
+        log.debug(
+            "%s: status=%s obj=%.6g in %.3fs",
+            self.name, sol.status.value, sol.objective, sol.solve_seconds,
+        )
+        return sol
+
+    def _finish(self, status: SolveStatus, x, message: str, gap: float) -> Solution:
+        if x is None:
+            return Solution(status=status, message=message, gap=gap)
+        x = np.asarray(x, dtype=float)
+        obj = float(
+            sum(c * x[i] for i, c in self._objective.coeffs.items())
+            + self._objective.constant
+        )
+        return Solution(status=status, objective=obj, x=x, message=message, gap=gap)
+
+    def _solve_milp(self, c, A, con_lb, con_ub, var_lb, var_ub,
+                    time_limit, mip_rel_gap) -> Solution:
+        integrality = np.array([1 if v.integer else 0 for v in self._vars])
+        options: dict = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        if mip_rel_gap is not None:
+            options["mip_rel_gap"] = float(mip_rel_gap)
+        constraints = (
+            spo.LinearConstraint(A, con_lb, con_ub) if A.shape[0] else ()
+        )
+        res = spo.milp(
+            c,
+            constraints=constraints,
+            integrality=integrality,
+            bounds=spo.Bounds(var_lb, var_ub),
+            options=options,
+        )
+        gap = float(getattr(res, "mip_gap", float("nan")) or float("nan"))
+        if res.status == 0:
+            return self._finish(SolveStatus.OPTIMAL, res.x, res.message, gap)
+        if res.status == 2:
+            return self._finish(SolveStatus.INFEASIBLE, None, res.message, gap)
+        if res.status == 3:
+            return self._finish(SolveStatus.UNBOUNDED, None, res.message, gap)
+        if res.x is not None:  # stopped at a limit with an incumbent
+            return self._finish(SolveStatus.FEASIBLE, res.x, res.message, gap)
+        if res.status == 1:  # limit reached before any incumbent was found
+            return self._finish(SolveStatus.LIMIT, None, res.message, gap)
+        return self._finish(SolveStatus.ERROR, None, res.message, gap)
+
+    def _solve_lp(self, c, A, con_lb, con_ub, var_lb, var_ub,
+                  time_limit) -> Solution:
+        # linprog wants A_ub x <= b_ub and A_eq x == b_eq; split ranged rows.
+        eq_mask = con_lb == con_ub
+        ub_mask = np.isfinite(con_ub) & ~eq_mask
+        lb_mask = np.isfinite(con_lb) & ~eq_mask
+        A_ub_parts, b_ub_parts = [], []
+        if ub_mask.any():
+            A_ub_parts.append(A[ub_mask])
+            b_ub_parts.append(con_ub[ub_mask])
+        if lb_mask.any():
+            A_ub_parts.append(-A[lb_mask])
+            b_ub_parts.append(-con_lb[lb_mask])
+        A_ub = sp.vstack(A_ub_parts) if A_ub_parts else None
+        b_ub = np.concatenate(b_ub_parts) if b_ub_parts else None
+        A_eq = A[eq_mask] if eq_mask.any() else None
+        b_eq = con_ub[eq_mask] if eq_mask.any() else None
+        options: dict = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        res = spo.linprog(
+            c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=np.column_stack([var_lb, var_ub]),
+            method="highs",
+            options=options,
+        )
+        if res.status == 0:
+            return self._finish(SolveStatus.OPTIMAL, res.x, res.message, float("nan"))
+        if res.status == 2:
+            return self._finish(SolveStatus.INFEASIBLE, None, res.message, float("nan"))
+        if res.status == 3:
+            return self._finish(SolveStatus.UNBOUNDED, None, res.message, float("nan"))
+        return self._finish(SolveStatus.ERROR, None, res.message, float("nan"))

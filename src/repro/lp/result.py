@@ -1,0 +1,70 @@
+"""Solve results for :class:`repro.lp.Model`."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lp.expr import LinExpr, Variable
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus(enum.Enum):
+    """Normalized solver status across HiGHS LP and MILP backends."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped at a limit with an incumbent
+    LIMIT = "limit"  # stopped at a limit before finding any incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """A solved (or failed) model.
+
+    Attributes
+    ----------
+    status:
+        Normalized :class:`SolveStatus`.
+    objective:
+        Objective value at the returned point (``nan`` if no point).
+    x:
+        Variable values indexed by variable index (empty if no point).
+    gap:
+        MIP gap reported by the solver when available, else ``nan``.
+    message:
+        Raw solver message for diagnostics.
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    gap: float = float("nan")
+    message: str = ""
+    solve_seconds: float = 0.0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        """True when a feasible point is available (optimal or incumbent)."""
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, item) -> float:
+        """Evaluate a :class:`Variable` or :class:`LinExpr` at the solution."""
+        if not self.has_solution:
+            raise ValueError(f"no solution available (status={self.status.value})")
+        if isinstance(item, Variable):
+            return float(self.x[item.index])
+        if isinstance(item, LinExpr):
+            return float(
+                sum(c * self.x[i] for i, c in item.coeffs.items()) + item.constant
+            )
+        raise TypeError(f"cannot evaluate {type(item).__name__}")

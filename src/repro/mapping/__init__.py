@@ -1,0 +1,8 @@
+"""Task-to-node mappings and BG/Q mapfile I/O."""
+
+from repro.mapping.mapping import Mapping
+from repro.mapping.mapfile import write_mapfile, read_mapfile
+from repro.mapping.serialize import save_mapping, load_mapping
+
+__all__ = ["Mapping", "write_mapfile", "read_mapfile",
+           "save_mapping", "load_mapping"]

@@ -1,0 +1,80 @@
+"""BG/Q mapfile emission and parsing.
+
+The BG/Q MPI runtime accepts arbitrary task placements from a *mapfile*:
+one line per rank with the A B C D E T coordinates of that rank's slot
+(Section II-B of the paper: "The MPI runtime allows for arbitrary
+task-to-node mappings that can be read from a file"). RAHTM's output is
+delivered to the machine in exactly this form, so the library can write
+and read it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.mapping.mapping import Mapping
+from repro.topology.bgq import BGQTopology
+
+__all__ = ["write_mapfile", "read_mapfile"]
+
+
+def write_mapfile(path, mapping: Mapping, bgq: BGQTopology) -> None:
+    """Write ``mapping`` as a BG/Q mapfile.
+
+    Each line holds ``A B C D E T`` for one rank, rank order = task order.
+    The T coordinate enumerates a task's slot index within its node in
+    task-id order.
+    """
+    if mapping.topology is not bgq.network and mapping.topology != bgq.network:
+        raise MappingError("mapping topology does not match the BG/Q network")
+    if mapping.tasks_per_node > bgq.tasks_per_node:
+        raise MappingError(
+            f"mapping concentration {mapping.tasks_per_node} exceeds the "
+            f"platform's {bgq.tasks_per_node}"
+        )
+    coords = bgq.network.coords(mapping.task_to_node)
+    # T coordinate: occurrence index of each task on its node.
+    order = np.argsort(mapping.task_to_node, kind="stable")
+    t_coord = np.empty(mapping.num_tasks, dtype=np.int64)
+    sorted_nodes = mapping.task_to_node[order]
+    new_node = np.r_[True, sorted_nodes[1:] != sorted_nodes[:-1]]
+    run_start = np.maximum.accumulate(np.where(new_node, np.arange(len(order)), 0))
+    t_coord[order] = np.arange(len(order)) - run_start
+    lines = [
+        " ".join(map(str, list(c) + [int(t)]))
+        for c, t in zip(coords, t_coord)
+    ]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_mapfile(path, bgq: BGQTopology) -> Mapping:
+    """Parse a BG/Q mapfile back into a :class:`Mapping`.
+
+    The T coordinate is validated against the platform concentration but
+    only node placement is retained (the network model has no intra-node
+    structure).
+    """
+    rows = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 6:
+            raise MappingError(
+                f"mapfile line {lineno}: expected 6 coordinates, got {len(parts)}"
+            )
+        rows.append([int(p) for p in parts])
+    if not rows:
+        raise MappingError("mapfile is empty")
+    arr = np.asarray(rows, dtype=np.int64)
+    t = arr[:, 5]
+    if t.min() < 0 or t.max() >= bgq.tasks_per_node:
+        raise MappingError(
+            f"T coordinate out of range [0, {bgq.tasks_per_node})"
+        )
+    nodes = bgq.network.index(arr[:, :5])
+    return Mapping(bgq.network, nodes, tasks_per_node=bgq.tasks_per_node)

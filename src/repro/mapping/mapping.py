@@ -1,0 +1,164 @@
+"""The :class:`Mapping` of application tasks onto topology nodes.
+
+A mapping assigns every task (MPI rank) a node id; multiple tasks may share
+a node up to the concentration factor (``tasks_per_node``). The mapping is
+the *output* of every mapper in this library and the *input* to every
+metric and to the simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import MappingError
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["Mapping"]
+
+
+class Mapping:
+    """An assignment of tasks to topology nodes.
+
+    Parameters
+    ----------
+    topology:
+        Target network.
+    task_to_node:
+        Array ``node_id[task]``.
+    tasks_per_node:
+        Node capacity (concentration factor). Defaults to the smallest
+        uniform capacity that fits, ``ceil(num_tasks / num_nodes)``.
+    """
+
+    def __init__(
+        self,
+        topology: CartesianTopology,
+        task_to_node,
+        tasks_per_node: int | None = None,
+    ):
+        self.topology = topology
+        t2n = np.asarray(task_to_node, dtype=np.int64).ravel().copy()
+        if t2n.size == 0:
+            raise MappingError("mapping must place at least one task")
+        if t2n.min() < 0 or t2n.max() >= topology.num_nodes:
+            raise MappingError(
+                f"node id out of range [0, {topology.num_nodes}) in mapping"
+            )
+        self.task_to_node = t2n
+        self.num_tasks = len(t2n)
+        if tasks_per_node is None:
+            tasks_per_node = -(-self.num_tasks // topology.num_nodes)
+        self.tasks_per_node = int(tasks_per_node)
+        counts = np.bincount(t2n, minlength=topology.num_nodes)
+        if counts.max() > self.tasks_per_node:
+            raise MappingError(
+                f"node {int(counts.argmax())} holds {int(counts.max())} tasks, "
+                f"capacity is {self.tasks_per_node}"
+            )
+        self._node_counts = counts
+
+    # -- constructors -------------------------------------------------------------
+    @classmethod
+    def identity(cls, topology: CartesianTopology,
+                 tasks_per_node: int = 1) -> "Mapping":
+        """Rank r on node ``r // tasks_per_node`` (node order = C order)."""
+        n = topology.num_nodes * tasks_per_node
+        return cls(topology, np.arange(n) // tasks_per_node, tasks_per_node)
+
+    # -- queries ---------------------------------------------------------------------
+    def node_of(self, tasks) -> np.ndarray:
+        return self.task_to_node[np.asarray(tasks, dtype=np.int64)]
+
+    def tasks_on(self, node: int) -> np.ndarray:
+        return np.flatnonzero(self.task_to_node == int(node))
+
+    @property
+    def node_counts(self) -> np.ndarray:
+        view = self._node_counts.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def used_nodes(self) -> int:
+        return int((self._node_counts > 0).sum())
+
+    def is_permutation(self) -> bool:
+        """True when tasks<->nodes is one-to-one and onto."""
+        return (
+            self.num_tasks == self.topology.num_nodes
+            and bool((self._node_counts == 1).all())
+        )
+
+    # -- transforms ---------------------------------------------------------------------
+    def permute_nodes(self, node_perm) -> "Mapping":
+        """New mapping with node ``v`` renamed to ``node_perm[v]``."""
+        node_perm = np.asarray(node_perm, dtype=np.int64)
+        V = self.topology.num_nodes
+        if node_perm.shape != (V,) or (np.sort(node_perm) != np.arange(V)).any():
+            raise MappingError("node_perm must be a permutation of all nodes")
+        return Mapping(
+            self.topology, node_perm[self.task_to_node], self.tasks_per_node
+        )
+
+    def permute_tasks(self, task_perm) -> "Mapping":
+        """New mapping where task ``t`` takes the slot of ``task_perm[t]``."""
+        task_perm = np.asarray(task_perm, dtype=np.int64)
+        T = self.num_tasks
+        if task_perm.shape != (T,) or (np.sort(task_perm) != np.arange(T)).any():
+            raise MappingError("task_perm must be a permutation of all tasks")
+        return Mapping(
+            self.topology, self.task_to_node[task_perm], self.tasks_per_node
+        )
+
+    # -- flow extraction -------------------------------------------------------------------
+    def network_flows(self, graph: CommGraph):
+        """Aggregate a task-level graph into node-level network flows.
+
+        Returns ``(srcs, dsts, vols)`` over *distinct* node pairs; task
+        pairs sharing a node communicate through memory and are dropped.
+        """
+        if graph.num_tasks != self.num_tasks:
+            raise MappingError(
+                f"graph has {graph.num_tasks} tasks, mapping has {self.num_tasks}"
+            )
+        ns = self.task_to_node[graph.srcs]
+        nd = self.task_to_node[graph.dsts]
+        mask = ns != nd
+        ns, nd, v = ns[mask], nd[mask], graph.vols[mask]
+        if len(ns) == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy(), np.empty(0)
+        keys = ns * self.topology.num_nodes + nd
+        order = np.argsort(keys, kind="stable")
+        keys, v = keys[order], v[order]
+        uniq = np.r_[True, keys[1:] != keys[:-1]]
+        seg = np.cumsum(uniq) - 1
+        agg = np.zeros(int(seg[-1]) + 1)
+        np.add.at(agg, seg, v)
+        uk = keys[uniq]
+        return (
+            (uk // self.topology.num_nodes).astype(np.int64),
+            (uk % self.topology.num_nodes).astype(np.int64),
+            agg,
+        )
+
+    def offnode_volume(self, graph: CommGraph) -> float:
+        """Total volume that must traverse the network under this mapping."""
+        _, _, vols = self.network_flows(graph)
+        return float(vols.sum())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Mapping)
+            and self.topology == other.topology
+            and np.array_equal(self.task_to_node, other.task_to_node)
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"Mapping(tasks={self.num_tasks}, nodes={self.topology.num_nodes}, "
+            f"conc={self.tasks_per_node})"
+        )

@@ -1,0 +1,57 @@
+"""Generic mapping persistence (.npz).
+
+BG/Q mapfiles (:mod:`repro.mapping.mapfile`) are the machine-facing
+format; this module is the library-facing one — it round-trips the
+topology shape and concentration so a mapping can be validated against
+the topology it is later applied to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.mapping.mapping import Mapping
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["save_mapping", "load_mapping"]
+
+
+def save_mapping(path, mapping: Mapping) -> None:
+    """Write a mapping to ``path`` (.npz)."""
+    topo = mapping.topology
+    shape = getattr(topo, "shape", None)
+    if shape is None:
+        raise MappingError(
+            "save_mapping requires a topology with a shape (Cartesian); "
+            "for other topologies persist task_to_node yourself"
+        )
+    np.savez_compressed(
+        Path(path),
+        task_to_node=mapping.task_to_node,
+        shape=np.asarray(shape, dtype=np.int64),
+        wrap=np.asarray(getattr(topo, "wrap", ()), dtype=bool),
+        tasks_per_node=np.int64(mapping.tasks_per_node),
+    )
+
+
+def load_mapping(path, topology: CartesianTopology | None = None) -> Mapping:
+    """Read a mapping; rebuilds the topology unless one is supplied.
+
+    A supplied topology is validated against the stored shape.
+    """
+    with np.load(Path(path)) as data:
+        shape = tuple(int(s) for s in data["shape"])
+        wrap = tuple(bool(w) for w in data["wrap"])
+        if topology is None:
+            topology = CartesianTopology(shape, wrap=wrap or True)
+        elif tuple(topology.shape) != shape:
+            raise MappingError(
+                f"mapping was computed for shape {shape}, "
+                f"given topology is {tuple(topology.shape)}"
+            )
+        return Mapping(
+            topology, data["task_to_node"], int(data["tasks_per_node"])
+        )

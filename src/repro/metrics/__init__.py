@@ -1,0 +1,29 @@
+"""Mapping quality metrics.
+
+- :func:`max_channel_load` — the paper's objective (MCL): the heaviest
+  channel's load under a routing model; lower is better throughput.
+- :func:`hop_bytes` — the classic routing-unaware metric (volume times
+  minimal hop distance) that Figure 1 shows is the *wrong* objective on an
+  adaptively routed machine.
+- :func:`evaluate_mapping` — a full :class:`MappingReport` in one call.
+"""
+
+from repro.metrics.core import (
+    MappingReport,
+    average_channel_load,
+    dilation,
+    evaluate_mapping,
+    hop_bytes,
+    load_histogram,
+    max_channel_load,
+)
+
+__all__ = [
+    "MappingReport",
+    "max_channel_load",
+    "hop_bytes",
+    "dilation",
+    "average_channel_load",
+    "load_histogram",
+    "evaluate_mapping",
+]

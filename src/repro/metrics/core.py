@@ -1,0 +1,131 @@
+"""Metric implementations over (mapping, communication graph, router)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.mapping.mapping import Mapping
+from repro.routing.base import Router
+
+__all__ = [
+    "max_channel_load",
+    "hop_bytes",
+    "dilation",
+    "average_channel_load",
+    "load_histogram",
+    "MappingReport",
+    "evaluate_mapping",
+]
+
+
+def channel_loads(router: Router, mapping: Mapping, graph: CommGraph) -> np.ndarray:
+    """Dense per-channel-slot load vector for ``graph`` under ``mapping``."""
+    srcs, dsts, vols = mapping.network_flows(graph)
+    return router.link_loads(srcs, dsts, vols)
+
+
+def max_channel_load(router: Router, mapping: Mapping, graph: CommGraph) -> float:
+    """Maximum channel load — the paper's optimization objective."""
+    loads = channel_loads(router, mapping, graph)
+    return float(loads.max()) if loads.size else 0.0
+
+
+def average_channel_load(router: Router, mapping: Mapping, graph: CommGraph) -> float:
+    """Mean load over *valid* channels (a lower bound on achievable MCL)."""
+    loads = channel_loads(router, mapping, graph)
+    valid = router.topology.channel_valid
+    return float(loads[valid].mean()) if valid.any() else 0.0
+
+
+def hop_bytes(mapping: Mapping, graph: CommGraph) -> float:
+    """Sum of volume x minimal-hop-distance over network flows.
+
+    Routing independent by construction; equals total channel load under
+    any minimal routing.
+    """
+    srcs, dsts, vols = mapping.network_flows(graph)
+    if len(srcs) == 0:
+        return 0.0
+    hops = mapping.topology.hop_distance(srcs, dsts)
+    return float((hops * vols).sum())
+
+
+def dilation(mapping: Mapping, graph: CommGraph) -> tuple[float, int]:
+    """(volume-weighted mean hops, max hops) over network flows."""
+    srcs, dsts, vols = mapping.network_flows(graph)
+    if len(srcs) == 0:
+        return 0.0, 0
+    hops = mapping.topology.hop_distance(srcs, dsts)
+    total = vols.sum()
+    mean = float((hops * vols).sum() / total) if total else 0.0
+    return mean, int(hops.max())
+
+
+def load_histogram(
+    router: Router, mapping: Mapping, graph: CommGraph, bins: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of valid-channel loads; returns (counts, bin_edges)."""
+    loads = channel_loads(router, mapping, graph)
+    valid = router.topology.channel_valid
+    return np.histogram(loads[valid], bins=bins)
+
+
+@dataclass(frozen=True)
+class MappingReport:
+    """A one-stop summary of mapping quality."""
+
+    mcl: float
+    hop_bytes: float
+    avg_load: float
+    mean_dilation: float
+    max_dilation: int
+    offnode_volume: float
+    total_volume: float
+    num_network_flows: int
+
+    @property
+    def offnode_fraction(self) -> float:
+        return self.offnode_volume / self.total_volume if self.total_volume else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """MCL / average load: 1.0 means a perfectly balanced network."""
+        return self.mcl / self.avg_load if self.avg_load else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"MCL={self.mcl:.4g} hop-bytes={self.hop_bytes:.4g} "
+            f"avg-load={self.avg_load:.4g} imbalance={self.load_imbalance:.2f} "
+            f"dilation(mean/max)={self.mean_dilation:.2f}/{self.max_dilation} "
+            f"off-node={self.offnode_fraction:.0%}"
+        )
+
+
+def evaluate_mapping(
+    router: Router, mapping: Mapping, graph: CommGraph
+) -> MappingReport:
+    """Compute all quality metrics for one mapping."""
+    srcs, dsts, vols = mapping.network_flows(graph)
+    loads = router.link_loads(srcs, dsts, vols)
+    valid = router.topology.channel_valid
+    if len(srcs):
+        hops = mapping.topology.hop_distance(srcs, dsts)
+        hb = float((hops * vols).sum())
+        total = vols.sum()
+        mean_dil = float((hops * vols).sum() / total) if total else 0.0
+        max_dil = int(hops.max())
+    else:
+        hb, mean_dil, max_dil = 0.0, 0.0, 0
+    return MappingReport(
+        mcl=float(loads.max()) if loads.size else 0.0,
+        hop_bytes=hb,
+        avg_load=float(loads[valid].mean()) if valid.any() else 0.0,
+        mean_dilation=mean_dil,
+        max_dilation=max_dil,
+        offnode_volume=float(vols.sum()),
+        total_volume=graph.total_volume,
+        num_network_flows=len(srcs),
+    )

@@ -1,0 +1,13 @@
+"""Profiling substrate: a virtual-MPI trace recorder and IPM-style reports.
+
+The paper obtains its communication graphs by profiling real runs with the
+IPM tool. Offline, we emulate the pipeline: workload drivers issue
+`send`/`sendrecv` calls against a :class:`VirtualMPI` communicator, and
+:class:`IPMReport` aggregates the trace into the per-rank / per-call
+summaries IPM would print, plus the communication matrix the mappers eat.
+"""
+
+from repro.profile.vmpi import VirtualMPI, CommEvent
+from repro.profile.ipm import IPMReport, profile_commgraph
+
+__all__ = ["VirtualMPI", "CommEvent", "IPMReport", "profile_commgraph"]

@@ -1,0 +1,77 @@
+"""IPM-style aggregation of virtual-MPI traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.profile.vmpi import VirtualMPI
+
+__all__ = ["IPMReport", "profile_commgraph"]
+
+
+@dataclass
+class IPMReport:
+    """Aggregate communication statistics in the spirit of an IPM banner.
+
+    Attributes
+    ----------
+    num_ranks:
+        Communicator size.
+    total_bytes:
+        Total point-to-point traffic recorded.
+    by_call:
+        Bytes per MPI call name.
+    per_rank_sent:
+        Bytes sent per rank.
+    point_to_point_fraction:
+        Share of volume from point-to-point calls (vs expanded
+        collectives) — the paper notes its benchmarks are dominated by
+        point-to-point traffic.
+    """
+
+    num_ranks: int
+    total_bytes: float
+    by_call: dict[str, float] = field(default_factory=dict)
+    per_rank_sent: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    _P2P_CALLS = ("MPI_Send", "MPI_Isend", "MPI_Sendrecv", "MPI_Recv", "MPI_Irecv")
+
+    @property
+    def point_to_point_fraction(self) -> float:
+        if self.total_bytes == 0:
+            return 0.0
+        p2p = sum(v for k, v in self.by_call.items() if k in self._P2P_CALLS)
+        return p2p / self.total_bytes
+
+    @classmethod
+    def from_vmpi(cls, vm: VirtualMPI) -> "IPMReport":
+        sent = np.zeros(vm.num_ranks)
+        for e in vm.events:
+            sent[e.src] += e.nbytes
+        return cls(
+            num_ranks=vm.num_ranks,
+            total_bytes=float(sent.sum()),
+            by_call=vm.volume_by_call(),
+            per_rank_sent=sent,
+        )
+
+    def banner(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            "# IPM-style communication profile",
+            f"# ranks: {self.num_ranks}   total: {self.total_bytes:.3e} bytes "
+            f"(p2p {self.point_to_point_fraction:.0%})",
+            f"{'call':<20} {'bytes':>14} {'share':>7}",
+        ]
+        for call, vol in sorted(self.by_call.items(), key=lambda kv: -kv[1]):
+            share = vol / self.total_bytes if self.total_bytes else 0.0
+            lines.append(f"{call:<20} {vol:14.4e} {share:6.1%}")
+        return "\n".join(lines)
+
+
+def profile_commgraph(vm: VirtualMPI) -> tuple[CommGraph, IPMReport]:
+    """One-shot profiling: the mapper input plus the IPM summary."""
+    return vm.comm_graph(), IPMReport.from_vmpi(vm)

@@ -1,0 +1,104 @@
+"""A minimal virtual MPI communicator that records traffic.
+
+Only the bookkeeping MPI semantics the profiler needs are implemented:
+point-to-point calls record (src, dst, bytes, call) events; collectives
+are expanded through :mod:`repro.workloads.collectives` with the chosen
+implementation algorithm — exactly the extension Section VI of the paper
+sketches for handling collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+from repro.workloads.collectives import collective_pattern
+
+__all__ = ["CommEvent", "VirtualMPI"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One recorded point-to-point transfer."""
+
+    src: int
+    dst: int
+    nbytes: float
+    call: str
+
+
+class VirtualMPI:
+    """Trace-recording stand-in for an MPI communicator.
+
+    Parameters
+    ----------
+    num_ranks:
+        Communicator size.
+    """
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1:
+            raise WorkloadError("communicator needs >= 1 rank")
+        self.num_ranks = int(num_ranks)
+        self.events: list[CommEvent] = []
+        self.compute_seconds = np.zeros(self.num_ranks)
+
+    def _check_rank(self, rank: int) -> int:
+        rank = int(rank)
+        if not (0 <= rank < self.num_ranks):
+            raise WorkloadError(
+                f"rank {rank} out of range [0, {self.num_ranks})"
+            )
+        return rank
+
+    # -- point-to-point ----------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: float,
+             call: str = "MPI_Send") -> None:
+        """Record a one-way transfer."""
+        src, dst = self._check_rank(src), self._check_rank(dst)
+        if nbytes < 0:
+            raise WorkloadError(f"negative message size {nbytes}")
+        self.events.append(CommEvent(src, dst, float(nbytes), call))
+
+    def sendrecv(self, a: int, b: int, nbytes: float,
+                 call: str = "MPI_Sendrecv") -> None:
+        """Record a symmetric exchange (both directions)."""
+        self.send(a, b, nbytes, call)
+        self.send(b, a, nbytes, call)
+
+    # -- collectives --------------------------------------------------------------
+    def collective(self, name: str, nbytes: float, root: int = 0) -> None:
+        """Record a collective over all ranks, expanded per algorithm.
+
+        ``name`` follows :data:`repro.workloads.collectives.SUPPORTED_COLLECTIVES`.
+        """
+        graph = collective_pattern(name, self.num_ranks, volume=float(nbytes),
+                                   root=self._check_rank(root))
+        call = f"MPI_{name.split('-')[0].capitalize()}"
+        for s, d, v in zip(graph.srcs, graph.dsts, graph.vols):
+            self.events.append(CommEvent(int(s), int(d), float(v), call))
+
+    # -- compute accounting ----------------------------------------------------------
+    def compute(self, rank: int, seconds: float) -> None:
+        """Attribute computation time to a rank (for comm-fraction reports)."""
+        self.compute_seconds[self._check_rank(rank)] += float(seconds)
+
+    # -- extraction ---------------------------------------------------------------------
+    def comm_graph(self) -> CommGraph:
+        """Aggregate all recorded events into a communication graph."""
+        if not self.events:
+            return CommGraph(self.num_ranks, [], [], [])
+        srcs = np.array([e.src for e in self.events], dtype=np.int64)
+        dsts = np.array([e.dst for e in self.events], dtype=np.int64)
+        vols = np.array([e.nbytes for e in self.events])
+        return CommGraph(self.num_ranks, srcs, dsts, vols)
+
+    def volume_by_call(self) -> dict[str, float]:
+        """Total bytes per MPI call name (the IPM per-call breakdown)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.call] = out.get(e.call, 0.0) + e.nbytes
+        return out

@@ -1,0 +1,178 @@
+"""Router interface and the stencil-based load computation engine.
+
+A :class:`Stencil` describes, for one source-destination offset ``delta``,
+which channels a unit flow touches and with what fraction, *relative to the
+flow's source node*. Translation invariance of tori/meshes makes stencils
+reusable across all flows sharing a ``delta``, so
+:meth:`Router.link_loads` groups flows by offset and performs one
+vectorized scatter-add per distinct offset.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["Stencil", "Router"]
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """Per-channel unit-flow fractions for one source-relative offset.
+
+    Attributes
+    ----------
+    offsets:
+        (E, ndim) signed coordinate offsets of each channel's *source node*
+        relative to the flow source.
+    dims:
+        (E,) dimension index of each channel.
+    dirs:
+        (E,) direction of each channel (0 = +, 1 = -).
+    fracs:
+        (E,) fraction of the flow volume carried (sums to hops-per-path
+        averaged over paths, i.e. ``sum(fracs) == mean path length``).
+    """
+
+    offsets: np.ndarray
+    dims: np.ndarray
+    dirs: np.ndarray
+    fracs: np.ndarray
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.fracs)
+
+    @property
+    def mean_path_length(self) -> float:
+        """Expected hop count of the flow (== total fraction mass)."""
+        return float(self.fracs.sum())
+
+
+class Router(abc.ABC):
+    """Routing model bound to one topology.
+
+    Subclasses implement :meth:`_build_stencil`; everything else (caching,
+    grouping, scatter-adds, MCL) is shared.
+    """
+
+    name: str = "router"
+
+    def __init__(self, topology: CartesianTopology):
+        self.topology = topology
+        self._stencils: dict[tuple[int, ...], Stencil] = {}
+
+    # -- stencils -----------------------------------------------------------------
+    def stencil(self, delta) -> Stencil:
+        """Stencil for a signed per-dimension offset (cached)."""
+        key = tuple(int(x) for x in np.asarray(delta).ravel())
+        if len(key) != self.topology.ndim:
+            raise RoutingError(
+                f"delta has {len(key)} entries for a {self.topology.ndim}-D topology"
+            )
+        st = self._stencils.get(key)
+        if st is None:
+            st = self._build_stencil(key)
+            self._stencils[key] = st
+        return st
+
+    @abc.abstractmethod
+    def _build_stencil(self, delta: tuple[int, ...]) -> Stencil:
+        """Compute the stencil for one offset; called once per distinct offset."""
+
+    # -- load computation -----------------------------------------------------------
+    def link_loads(self, srcs, dsts, vols, out: np.ndarray | None = None) -> np.ndarray:
+        """Dense per-channel-slot load vector for a set of flows.
+
+        Parameters
+        ----------
+        srcs, dsts:
+            Node ids (arrays of equal length). Flows with ``src == dst``
+            stay on-node and contribute no network load.
+        vols:
+            Flow volumes (bytes or relative units).
+        out:
+            Optional preallocated/accumulating load vector of length
+            ``topology.num_channel_slots``; loads are *added* into it.
+        """
+        topo = self.topology
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        vols = np.asarray(vols, dtype=np.float64)
+        if not (srcs.shape == dsts.shape == vols.shape) or srcs.ndim != 1:
+            raise RoutingError("srcs, dsts, vols must be equal-length 1-D arrays")
+        if out is None:
+            out = np.zeros(topo.num_channel_slots)
+        elif out.shape != (topo.num_channel_slots,):
+            raise RoutingError(
+                f"out has shape {out.shape}, expected ({topo.num_channel_slots},)"
+            )
+        if len(srcs) == 0:
+            return out
+
+        offnode = srcs != dsts
+        if not offnode.all():
+            srcs, dsts, vols = srcs[offnode], dsts[offnode], vols[offnode]
+            if len(srcs) == 0:
+                return out
+
+        deltas = topo.delta(srcs, dsts)  # (m, ndim)
+        # Group flows by offset via a mixed-radix key (offsets are bounded
+        # by the shape, so shifting into [0, 2k) per dim is collision-free).
+        shape_arr = np.asarray(topo.shape, dtype=np.int64)
+        keys = np.zeros(len(srcs), dtype=np.int64)
+        for d in range(topo.ndim):
+            keys = keys * (2 * shape_arr[d] + 1) + (deltas[:, d] + shape_arr[d])
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        group_starts = np.flatnonzero(
+            np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]
+        )
+        group_ends = np.r_[group_starts[1:], len(keys_sorted)]
+
+        src_coords = topo.coords_array[srcs]
+        strides = topo.strides
+        ndim = topo.ndim
+        for gs, ge in zip(group_starts, group_ends):
+            rows = order[gs:ge]
+            st = self.stencil(deltas[rows[0]])
+            if st.num_entries == 0:
+                continue
+            # (g, E, ndim) channel-source coordinates
+            c = src_coords[rows][:, None, :] + st.offsets[None, :, :]
+            for d in range(ndim):
+                if topo.wrap[d]:
+                    c[..., d] %= topo.shape[d]
+            nodes = c @ strides
+            slots = (nodes * ndim + st.dims[None, :]) * 2 + st.dirs[None, :]
+            contrib = vols[rows][:, None] * st.fracs[None, :]
+            np.add.at(out, slots.ravel(), contrib.ravel())
+        return out
+
+    # -- metrics ---------------------------------------------------------------------
+    def max_channel_load(self, srcs, dsts, vols) -> float:
+        """MCL: the load on the most-loaded channel."""
+        loads = self.link_loads(srcs, dsts, vols)
+        return float(loads.max()) if loads.size else 0.0
+
+    def average_hops(self, srcs, dsts, vols) -> float:
+        """Volume-weighted mean hop count under this router."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        vols = np.asarray(vols, dtype=np.float64)
+        total_v = vols.sum()
+        if total_v == 0:
+            return 0.0
+        deltas = self.topology.delta(srcs, dsts)
+        hops = np.array(
+            [self.stencil(d).mean_path_length for d in deltas]
+        )
+        return float((hops * vols).sum() / total_v)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.topology!r})"

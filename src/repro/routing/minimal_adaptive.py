@@ -1,0 +1,131 @@
+"""Oblivious all-minimal-paths approximation of minimal adaptive routing.
+
+BG/Q's minimal adaptive routing (MAR) dynamically picks among minimal
+paths to balance load. Following the paper (Section III-D), we approximate
+it with an *oblivious* router that splits every flow **uniformly over all
+minimal Manhattan paths** between source and destination — the
+approximation under which both the Table II MILP and the merge-phase MCL
+evaluation operate.
+
+Direction resolution per dimension on a torus: the shorter way around is
+minimal; at a tie (offset of exactly ``k/2`` on an even-arity dimension)
+*both* directions are minimal and each direction combination carries an
+equal share (the interleaving counts coincide because the step counts do).
+The arity-2 case degenerates to a 50/50 split over the two parallel
+channels — the paper's double-wide-link equivalence.
+
+The fraction of minimal paths crossing the channel leaving lattice offset
+``x`` along dimension ``d`` is ``N(0→x) · N(x+e_d→S) / N(0→S)`` with ``N``
+the multinomial path count; see :mod:`repro.routing.paths`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.routing.base import Router, Stencil
+from repro.routing.paths import lattice_path_counts
+
+__all__ = ["MinimalAdaptiveRouter"]
+
+
+class MinimalAdaptiveRouter(Router):
+    """Uniform-over-all-minimal-paths oblivious router."""
+
+    name = "minimal-adaptive"
+
+    def _direction_options(self, delta):
+        """Per-dimension list of (dir, steps, sign) minimal options."""
+        topo = self.topology
+        options = []
+        for d in range(topo.ndim):
+            off = int(delta[d])
+            k = topo.shape[d]
+            if off == 0:
+                options.append([(0, 0, 0)])
+                continue
+            if not topo.wrap[d]:
+                if abs(off) >= k:
+                    raise RoutingError(
+                        f"offset {off} out of range for mesh dimension {d} (k={k})"
+                    )
+                if off > 0:
+                    options.append([(0, off, 1)])
+                else:
+                    options.append([(1, -off, -1)])
+                continue
+            plus = off % k
+            minus = k - plus
+            if plus < minus:
+                options.append([(0, plus, 1)])
+            elif minus < plus:
+                options.append([(1, minus, -1)])
+            else:  # tie: both directions minimal
+                options.append([(0, plus, 1), (1, minus, -1)])
+        return options
+
+    def _build_stencil(self, delta: tuple[int, ...]) -> Stencil:
+        topo = self.topology
+        ndim = topo.ndim
+        options = self._direction_options(delta)
+        combos = list(itertools.product(*options))
+        weight = 1.0 / len(combos)
+
+        acc: dict[tuple, float] = {}
+        for combo in combos:
+            steps = tuple(s for (_, s, _) in combo)
+            signs = np.array([sg for (_, _, sg) in combo], dtype=np.int64)
+            dirs = [dr for (dr, _, _) in combo]
+            if sum(steps) == 0:
+                continue
+            N = lattice_path_counts(steps)
+            total = N[tuple(steps)]
+            # A[x] = paths from x to S
+            A = np.flip(N)
+            for d in range(ndim):
+                s_d = steps[d]
+                if s_d == 0:
+                    continue
+                # Edges leave x with x_d in [0, s_d); crossing fraction:
+                before = _axis_slice(N, d, 0, s_d)
+                after = _axis_slice(A, d, 1, s_d + 1)
+                fracs = before * after / total
+                # Lattice coordinates of the sliced box.
+                box = tuple(
+                    (s + 1) if dd != d else s for dd, s in enumerate(steps)
+                )
+                coords = _box_coords(box)  # (E_d, ndim) lattice offsets
+                offsets = coords * signs[None, :]
+                f = fracs.ravel() * weight
+                for row, frac in zip(offsets, f):
+                    key = (tuple(int(v) for v in row), d, dirs[d])
+                    acc[key] = acc.get(key, 0.0) + float(frac)
+
+        return _stencil_from_dict(acc, ndim)
+
+
+def _axis_slice(arr: np.ndarray, axis: int, start: int, stop: int) -> np.ndarray:
+    sl = [slice(None)] * arr.ndim
+    sl[axis] = slice(start, stop)
+    return arr[tuple(sl)]
+
+
+def _box_coords(box: tuple[int, ...]) -> np.ndarray:
+    grids = np.meshgrid(*[np.arange(b) for b in box], indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=-1)
+
+
+def _stencil_from_dict(acc: dict, ndim: int) -> Stencil:
+    if not acc:
+        empty = np.empty((0, ndim), dtype=np.int64)
+        z = np.empty(0, dtype=np.int64)
+        return Stencil(empty, z, z.copy(), np.empty(0))
+    keys = list(acc.keys())
+    offsets = np.array([k[0] for k in keys], dtype=np.int64)
+    dims = np.array([k[1] for k in keys], dtype=np.int64)
+    dirs = np.array([k[2] for k in keys], dtype=np.int64)
+    fracs = np.array([acc[k] for k in keys], dtype=np.float64)
+    return Stencil(offsets, dims, dirs, fracs)

@@ -1,0 +1,40 @@
+"""Flow-level execution simulator (the evaluation substrate).
+
+The paper measures wall-clock on a real BG/Q; offline we estimate
+per-iteration communication time with a flow-level network model driven by
+the *same* link-load analysis RAHTM optimizes:
+
+    phase time = max-channel-bytes / link-bandwidth
+               + max-hops * hop-latency + per-phase software overhead
+
+An :class:`ApplicationModel` is a list of per-iteration communication
+phases plus a compute time; benchmark builders calibrate compute so the
+communication fraction under the *default* mapping matches the paper's
+Figure 9 measurements (CG ~70%, BT/SP ~35-40%) — making Figures 8/10
+shape-comparable.
+"""
+
+from repro.simulator.network import NetworkModel, NetworkParams
+from repro.simulator.fluid import FluidPhaseSimulator
+from repro.simulator.des import AdaptivePacketSimulator
+from repro.simulator.app import ApplicationModel, SimResult, calibrate_compute
+from repro.simulator.apps import (
+    bt_application,
+    sp_application,
+    cg_application,
+    halo_application,
+)
+
+__all__ = [
+    "NetworkModel",
+    "NetworkParams",
+    "FluidPhaseSimulator",
+    "AdaptivePacketSimulator",
+    "ApplicationModel",
+    "SimResult",
+    "calibrate_compute",
+    "bt_application",
+    "sp_application",
+    "cg_application",
+    "halo_application",
+]

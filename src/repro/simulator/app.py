@@ -1,0 +1,121 @@
+"""Iterative application execution model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import SimulationError
+from repro.mapping.mapping import Mapping
+from repro.simulator.network import NetworkModel
+
+__all__ = ["SimResult", "ApplicationModel", "calibrate_compute"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Simulated execution breakdown."""
+
+    total_seconds: float
+    comm_seconds: float
+    compute_seconds: float
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+@dataclass(frozen=True)
+class ApplicationModel:
+    """An iterative application: compute + communication phases per iteration.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    phases:
+        Per-iteration communication phases, each a task-level
+        :class:`CommGraph` (phases serialize: BT's six sweep directions,
+        CG's reduction steps, ...).
+    iterations:
+        Outer iteration count.
+    compute_seconds_per_iter:
+        Computation time per iteration (identical across mappings — the
+        mapper can only move communication time).
+    """
+
+    name: str
+    phases: tuple[CommGraph, ...]
+    iterations: int
+    compute_seconds_per_iter: float
+
+    def __post_init__(self):
+        if self.iterations < 1:
+            raise SimulationError("iterations must be >= 1")
+        if self.compute_seconds_per_iter < 0:
+            raise SimulationError("compute time must be >= 0")
+        if not self.phases:
+            raise SimulationError("application needs at least one phase")
+
+    @property
+    def num_tasks(self) -> int:
+        return self.phases[0].num_tasks
+
+    def comm_graph(self) -> CommGraph:
+        """All phases aggregated — the mapper's input."""
+        total = self.phases[0]
+        for p in self.phases[1:]:
+            total = total + p
+        return total
+
+    def iteration_comm_time(self, mapping: Mapping, network: NetworkModel) -> float:
+        """Communication seconds of one iteration under ``mapping``.
+
+        Interpolates between fully serialized phases (sum of per-phase
+        times) and fully overlapped execution (the whole iteration's
+        traffic draining concurrently) by the network's ``phase_overlap``
+        parameter.
+        """
+        serial = 0.0
+        for phase in self.phases:
+            srcs, dsts, vols = mapping.network_flows(phase)
+            serial += network.phase_time(srcs, dsts, vols)
+        alpha = network.params.phase_overlap
+        if alpha == 0.0 or len(self.phases) == 1:
+            return serial
+        srcs, dsts, vols = mapping.network_flows(self.comm_graph())
+        overlapped = network.phase_time(srcs, dsts, vols)
+        return (1.0 - alpha) * serial + alpha * overlapped
+
+    def simulate(self, mapping: Mapping, network: NetworkModel) -> SimResult:
+        """Full-run execution estimate (no compute/comm overlap)."""
+        comm = self.iterations * self.iteration_comm_time(mapping, network)
+        compute = self.iterations * self.compute_seconds_per_iter
+        return SimResult(
+            total_seconds=comm + compute,
+            comm_seconds=comm,
+            compute_seconds=compute,
+        )
+
+
+def calibrate_compute(
+    app: ApplicationModel,
+    mapping: Mapping,
+    network: NetworkModel,
+    target_comm_fraction: float,
+) -> ApplicationModel:
+    """Set per-iteration compute so ``mapping`` sees the target fraction.
+
+    This anchors the simulator to the paper's measured communication
+    fractions (Figure 9) under the *default* mapping; other mappings then
+    shift the fraction exactly as a real run would.
+    """
+    if not (0 < target_comm_fraction < 1):
+        raise SimulationError(
+            f"target fraction must be in (0, 1), got {target_comm_fraction}"
+        )
+    comm = app.iteration_comm_time(mapping, network)
+    if comm <= 0:
+        raise SimulationError("cannot calibrate: zero communication time")
+    compute = comm * (1.0 - target_comm_fraction) / target_comm_fraction
+    return replace(app, compute_seconds_per_iter=compute)

@@ -1,0 +1,78 @@
+"""Flow-level network timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.routing.base import Router
+
+__all__ = ["NetworkParams", "NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link and software constants (defaults approximate BG/Q).
+
+    Attributes
+    ----------
+    link_bandwidth:
+        Usable bytes/second per link direction (BG/Q: 2 GB/s raw,
+        ~1.8 GB/s effective).
+    hop_latency:
+        Per-hop router traversal latency in seconds.
+    phase_overhead:
+        Fixed software (MPI stack) cost charged once per communication
+        phase.
+    phase_overlap:
+        How much an iteration's phases overlap in time, in [0, 1].
+        0 serializes phases completely (blocking exchanges); 1 drains the
+        whole iteration's traffic concurrently (perfect nonblocking
+        overlap). Real iterative codes post receives ahead and progress
+        several exchanges at once on BG/Q's messaging hardware; the
+        default 0.5 splits the difference and is ablated in
+        ``benchmarks/bench_ablations.py``.
+    """
+
+    link_bandwidth: float = 1.8e9
+    hop_latency: float = 40e-9
+    phase_overhead: float = 2e-6
+    phase_overlap: float = 0.5
+
+    def __post_init__(self):
+        if self.link_bandwidth <= 0:
+            raise SimulationError("link_bandwidth must be > 0")
+        if self.hop_latency < 0 or self.phase_overhead < 0:
+            raise SimulationError("latencies must be >= 0")
+        if not (0.0 <= self.phase_overlap <= 1.0):
+            raise SimulationError("phase_overlap must be in [0, 1]")
+
+
+class NetworkModel:
+    """Estimates communication-phase durations on one topology + router.
+
+    The bandwidth term assumes the phase completes when the most-loaded
+    channel drains — the steady-state behaviour the MCL metric abstracts;
+    the latency term covers the longest path's pipeline fill.
+    """
+
+    def __init__(self, router: Router, params: NetworkParams | None = None):
+        self.router = router
+        self.topology = router.topology
+        self.params = params or NetworkParams()
+
+    def phase_time(self, srcs, dsts, vols) -> float:
+        """Duration of one communication phase (node-level flows)."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        vols = np.asarray(vols, dtype=np.float64)
+        offnode = srcs != dsts
+        if not offnode.any():
+            return 0.0
+        srcs, dsts, vols = srcs[offnode], dsts[offnode], vols[offnode]
+        loads = self.router.link_loads(srcs, dsts, vols)
+        bw_time = float(loads.max()) / self.params.link_bandwidth
+        max_hops = int(self.topology.hop_distance(srcs, dsts).max())
+        return bw_time + max_hops * self.params.hop_latency + self.params.phase_overhead

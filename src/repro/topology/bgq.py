@@ -1,0 +1,105 @@
+"""Blue Gene/Q platform model.
+
+The paper evaluates on a 512-node Mira partition: a 5-D torus of shape
+A x B x C x D x E = 4 x 4 x 4 x 4 x 2 with 16 cores per node, and a
+concentration factor of 32 tasks per node (two tasks per core; the
+benchmarks have "significant exposed communication", Section IV).
+
+Mapping of tasks to cores within a node is the extra ``T`` dimension of
+the BG/Q mapping convention; it exists only in rank naming and mapfiles,
+not in the network. :class:`BGQTopology` bundles the torus, the dimension
+names, and the mapfile conventions used by the baseline mappers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["BGQTopology", "DIMENSION_NAMES"]
+
+DIMENSION_NAMES = "ABCDE"
+
+
+class BGQTopology:
+    """A BG/Q partition: 5-D torus plus on-node T dimension.
+
+    Parameters
+    ----------
+    shape:
+        Network dimensions (A, B, C, D, E). Default is the paper's
+        512-node partition ``(4, 4, 4, 4, 2)``.
+    cores_per_node:
+        Hardware cores per node (16 on BG/Q).
+    tasks_per_node:
+        Concentration factor; the paper uses 32 (2 tasks per core).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] = (4, 4, 4, 4, 2),
+        cores_per_node: int = 16,
+        tasks_per_node: int | None = None,
+    ):
+        if len(shape) != 5:
+            raise TopologyError(f"BG/Q shape must have 5 dimensions, got {shape}")
+        self.network = CartesianTopology(shape, wrap=True)
+        self.cores_per_node = int(cores_per_node)
+        self.tasks_per_node = int(
+            tasks_per_node if tasks_per_node is not None else cores_per_node
+        )
+        if self.tasks_per_node < 1:
+            raise TopologyError("tasks_per_node must be >= 1")
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.network.shape
+
+    @property
+    def num_nodes(self) -> int:
+        return self.network.num_nodes
+
+    @property
+    def num_tasks(self) -> int:
+        """Total task slots = nodes x concentration."""
+        return self.num_nodes * self.tasks_per_node
+
+    # -- dimension-order rank enumeration ------------------------------------------
+    def dim_order_permutation(self, order: str = "ABCDET") -> np.ndarray:
+        """Task id for each rank under a BG/Q dimension-order mapping.
+
+        ``order`` is a permutation of ``"ABCDET"``; ranks are assigned by
+        iterating the *last* letter fastest (BG/Q convention: ABCDET varies
+        T fastest). Returns an array ``task_slot[rank]`` where a task slot
+        is ``node * tasks_per_node + t``.
+        """
+        order = order.upper()
+        if sorted(order) != sorted(DIMENSION_NAMES + "T"):
+            raise TopologyError(
+                f"order must be a permutation of 'ABCDET', got {order!r}"
+            )
+        sizes = {name: k for name, k in zip(DIMENSION_NAMES, self.shape)}
+        sizes["T"] = self.tasks_per_node
+        dims = [sizes[ch] for ch in order]
+        total = int(np.prod(dims))
+        ranks = np.arange(total, dtype=np.int64)
+        # Decode rank -> coordinate per letter of `order` (last varies fastest).
+        coords: dict[str, np.ndarray] = {}
+        rem = ranks.copy()
+        for pos in range(len(order) - 1, -1, -1):
+            coords[order[pos]] = rem % dims[pos]
+            rem //= dims[pos]
+        node_coords = np.stack(
+            [coords[ch] for ch in DIMENSION_NAMES], axis=-1
+        )
+        nodes = self.network.index(node_coords)
+        return nodes * self.tasks_per_node + coords["T"]
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(k) for k in self.shape)
+        return (
+            f"BGQTopology({dims}, cores={self.cores_per_node}, "
+            f"tasks_per_node={self.tasks_per_node})"
+        )

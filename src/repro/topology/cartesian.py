@@ -1,0 +1,266 @@
+"""Mixed-radix Cartesian network topologies (k-ary n-torus / n-mesh).
+
+Nodes are numbered in C (row-major) order over the shape. Directed network
+channels get *dense slot ids*::
+
+    slot(u, dim, dir) = (u * ndim + dim) * 2 + dir      # dir: 0 -> +, 1 -> -
+
+Every node reserves ``2 * ndim`` slots even when a channel does not
+physically exist (mesh boundary, arity-1 dimension); :attr:`channel_valid`
+masks the real channels. This wastes a constant factor of memory but makes
+channel-id arithmetic branch-free in the routing hot loops, which dominate
+RAHTM's merge phase.
+
+A 2-ary *torus* dimension naturally yields **two parallel channels** between
+the node pair (the regular and the wraparound link). This is exactly the
+paper's "2-ary n-torus == 2-ary n-mesh with double-wide links" equivalence
+(Section III-C); no special-casing is needed anywhere else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.utils.validation import check_shape_tuple
+
+__all__ = ["CartesianTopology", "torus", "mesh", "hypercube"]
+
+DIR_PLUS = 0
+DIR_MINUS = 1
+
+
+class CartesianTopology:
+    """A mixed-radix torus/mesh.
+
+    Parameters
+    ----------
+    shape:
+        Nodes per dimension, e.g. ``(4, 4, 4, 4, 2)`` for the paper's BG/Q
+        partition.
+    wrap:
+        Either a single bool (applied to every dimension) or one bool per
+        dimension. ``True`` adds wraparound (torus) links for dimensions of
+        arity >= 2.
+    """
+
+    def __init__(self, shape: Sequence[int], wrap: "bool | Sequence[bool]" = True):
+        self.shape: tuple[int, ...] = check_shape_tuple(shape)
+        self.ndim = len(self.shape)
+        if isinstance(wrap, (bool, np.bool_)):
+            wrap = (bool(wrap),) * self.ndim
+        else:
+            wrap = tuple(bool(w) for w in wrap)
+            if len(wrap) != self.ndim:
+                raise TopologyError(
+                    f"wrap has {len(wrap)} entries for {self.ndim} dimensions"
+                )
+        self.wrap: tuple[bool, ...] = wrap
+        self.num_nodes = int(np.prod(self.shape))
+        # C-order strides in units of nodes.
+        strides = np.ones(self.ndim, dtype=np.int64)
+        for d in range(self.ndim - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.shape[d + 1]
+        self._strides = strides
+        self._shape_arr = np.asarray(self.shape, dtype=np.int64)
+        # Precompute all node coordinates, (V, ndim).
+        idx = np.arange(self.num_nodes, dtype=np.int64)
+        self._coords = (idx[:, None] // strides[None, :]) % self._shape_arr[None, :]
+        self._build_channels()
+
+    # -- coordinates -----------------------------------------------------------
+    def coords(self, node) -> np.ndarray:
+        """Coordinates of node id(s); vectorized over arrays."""
+        node = np.asarray(node, dtype=np.int64)
+        if np.any(node < 0) or np.any(node >= self.num_nodes):
+            raise TopologyError(f"node id out of range [0, {self.num_nodes})")
+        return self._coords[node]
+
+    def index(self, coords) -> np.ndarray:
+        """Node id(s) from coordinates; accepts (..., ndim) arrays."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.shape[-1] != self.ndim:
+            raise TopologyError(
+                f"coords last axis must be {self.ndim}, got {coords.shape}"
+            )
+        if np.any(coords < 0) or np.any(coords >= self._shape_arr):
+            raise TopologyError("coordinates out of range")
+        return coords @ self._strides
+
+    @property
+    def coords_array(self) -> np.ndarray:
+        """(V, ndim) read-only coordinate table."""
+        view = self._coords.view()
+        view.setflags(write=False)
+        return view
+
+    @property
+    def strides(self) -> np.ndarray:
+        view = self._strides.view()
+        view.setflags(write=False)
+        return view
+
+    # -- channels ---------------------------------------------------------------
+    def _build_channels(self) -> None:
+        V, n = self.num_nodes, self.ndim
+        self.num_channel_slots = V * n * 2
+        valid = np.zeros(self.num_channel_slots, dtype=bool)
+        dst = np.full(self.num_channel_slots, -1, dtype=np.int64)
+        coords = self._coords
+        for d in range(n):
+            k = self.shape[d]
+            if k < 2:
+                continue  # arity-1 dimension has no channels
+            x = coords[:, d]
+            base = (np.arange(V, dtype=np.int64) * n + d) * 2
+            # plus direction
+            plus_ok = (x < k - 1) | self.wrap[d]
+            nbr_plus = np.arange(V, dtype=np.int64) + np.where(
+                x < k - 1, self._strides[d], -(k - 1) * self._strides[d]
+            )
+            valid[base[plus_ok] + DIR_PLUS] = True
+            dst[base[plus_ok] + DIR_PLUS] = nbr_plus[plus_ok]
+            # minus direction
+            minus_ok = (x > 0) | self.wrap[d]
+            nbr_minus = np.arange(V, dtype=np.int64) - np.where(
+                x > 0, self._strides[d], -(k - 1) * self._strides[d]
+            )
+            valid[base[minus_ok] + DIR_MINUS] = True
+            dst[base[minus_ok] + DIR_MINUS] = nbr_minus[minus_ok]
+        self.channel_valid = valid
+        self.channel_dst = dst
+        slots = np.arange(self.num_channel_slots, dtype=np.int64)
+        self.channel_src = slots // (2 * n)
+        self.channel_dim = (slots // 2) % n
+        self.channel_dir = slots % 2
+        self.num_channels = int(valid.sum())
+
+    def channel_slot(self, node, dim: int, direction: int):
+        """Dense slot id for the channel leaving ``node`` along ``dim``.
+
+        ``direction`` is 0 for + and 1 for -. Works on scalars and arrays.
+        Slots for nonexistent channels are returned too (they are simply
+        invalid); check :attr:`channel_valid` when it matters.
+        """
+        node = np.asarray(node, dtype=np.int64)
+        return (node * self.ndim + dim) * 2 + direction
+
+    def neighbors(self, node: int) -> list[int]:
+        """Distinct neighbor node ids of ``node`` (sorted)."""
+        base = (int(node) * self.ndim) * 2
+        out = self.channel_dst[base: base + 2 * self.ndim]
+        ok = self.channel_valid[base: base + 2 * self.ndim]
+        return sorted(set(int(v) for v in out[ok]))
+
+    # -- distances ----------------------------------------------------------------
+    def delta(self, src, dst) -> np.ndarray:
+        """Signed per-dimension offset from src to dst.
+
+        For wrapped dimensions the offset is reduced to the minimal
+        representative in ``[-k//2, k//2]``; a tie at ``k/2`` (even arity)
+        is reported as ``+k/2`` and treated as bidirectional by routers.
+        For mesh dimensions the plain difference is returned.
+        """
+        cs = self.coords(src)
+        cd = self.coords(dst)
+        diff = cd - cs
+        out = diff.copy()
+        for d in range(self.ndim):
+            if not self.wrap[d]:
+                continue
+            k = self.shape[d]
+            m = np.mod(diff[..., d], k)
+            # reduce to (-k/2, k/2]
+            red = np.where(m > k // 2, m - k, m)
+            red = np.where((k % 2 == 0) & (m == k // 2), k // 2, red)
+            out[..., d] = red
+        return out
+
+    def hop_distance(self, src, dst) -> np.ndarray:
+        """Minimal hop count between node(s)."""
+        return np.abs(self.delta(src, dst)).sum(axis=-1)
+
+    def add_offset(self, node, offset) -> np.ndarray:
+        """Node id(s) at ``coords(node) + offset`` with wraparound.
+
+        Offsets that leave a mesh dimension raise :class:`TopologyError`.
+        """
+        c = self.coords(node) + np.asarray(offset, dtype=np.int64)
+        for d in range(self.ndim):
+            if self.wrap[d]:
+                c[..., d] %= self.shape[d]
+            elif np.any((c[..., d] < 0) | (c[..., d] >= self.shape[d])):
+                raise TopologyError(f"offset leaves mesh dimension {d}")
+        return c @ self._strides
+
+    # -- properties ------------------------------------------------------------------
+    @property
+    def is_uniform(self) -> bool:
+        """True when every dimension of arity > 1 has the same arity."""
+        arities = [k for k in self.shape if k > 1]
+        return len(set(arities)) <= 1
+
+    @property
+    def arity(self) -> int:
+        """Common arity of non-trivial dimensions (requires uniformity)."""
+        if not self.is_uniform:
+            raise TopologyError(f"topology {self.shape} is not uniform")
+        arities = [k for k in self.shape if k > 1]
+        return arities[0] if arities else 1
+
+    @property
+    def bisection_channels(self) -> int:
+        """Number of directed channels crossing a bisection of dimension 0."""
+        if self.shape[0] < 2:
+            return 0
+        per_cut = self.num_nodes // self.shape[0]
+        cuts = 2 if self.wrap[0] and self.shape[0] > 2 else 1
+        if self.wrap[0] and self.shape[0] == 2:
+            cuts = 2  # the double links count twice
+        return 2 * per_cut * cuts
+
+    def describe(self) -> str:
+        kind = "torus" if all(self.wrap) else ("mesh" if not any(self.wrap) else "hybrid")
+        dims = "x".join(str(k) for k in self.shape)
+        return f"{dims} {kind} ({self.num_nodes} nodes, {self.num_channels} channels)"
+
+    def __repr__(self) -> str:
+        return f"CartesianTopology(shape={self.shape}, wrap={self.wrap})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CartesianTopology)
+            and self.shape == other.shape
+            and self.wrap == other.wrap
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self.wrap))
+
+
+def torus(*shape) -> CartesianTopology:
+    """Build a torus; ``torus(4, 4, 4)`` or ``torus((4, 4, 4))``."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return CartesianTopology(shape, wrap=True)
+
+
+def mesh(*shape) -> CartesianTopology:
+    """Build a mesh; ``mesh(4, 4)`` or ``mesh((4, 4))``."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return CartesianTopology(shape, wrap=False)
+
+
+def hypercube(n: int, wrap: bool = False) -> CartesianTopology:
+    """A 2-ary n-cube.
+
+    With ``wrap=False`` (default) this is the mesh form used for interior
+    sub-problems; ``wrap=True`` yields the double-wide-link torus form used
+    for the root of the hierarchy (paper Section III-C).
+    """
+    if n < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1, got {n}")
+    return CartesianTopology((2,) * n, wrap=wrap)

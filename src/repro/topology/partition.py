@@ -1,0 +1,135 @@
+"""Partitioning a non-uniform torus into uniform blocks.
+
+RAHTM's hierarchy wants all dimensions to share the same power-of-two
+arity. Real machines violate this — the paper's BG/Q partition is
+4x4x4x4x2, with the E dimension of arity 2. The paper's fix (Section
+III-B): split the topology into sub-partitions within which the property
+holds, run RAHTM inside each, and let the merge phase (phase 3) stitch the
+partitions back together.
+
+:func:`uniform_partitions` implements the split. It chooses the largest
+power-of-two arity ``a >= 2`` that divides the most dimensions, assigns the
+remaining dimensions block-arity 1, and enumerates the resulting blocks in
+C order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.cartesian import CartesianTopology
+
+__all__ = ["TopologyBlock", "uniform_partitions", "best_uniform_arity"]
+
+
+@dataclass(frozen=True)
+class TopologyBlock:
+    """A rectangular sub-block of a parent topology.
+
+    Attributes
+    ----------
+    origin:
+        Coordinates of the block's lowest corner in the parent.
+    shape:
+        Block extent per dimension.
+    """
+
+    origin: tuple[int, ...]
+    shape: tuple[int, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return int(np.prod(self.shape))
+
+    def node_ids(self, parent: CartesianTopology) -> np.ndarray:
+        """Parent node ids inside this block, in block-C-order."""
+        grids = np.meshgrid(
+            *[np.arange(o, o + s) for o, s in zip(self.origin, self.shape)],
+            indexing="ij",
+        )
+        coords = np.stack([g.ravel() for g in grids], axis=-1)
+        return parent.index(coords)
+
+    def local_topology(self, parent: CartesianTopology) -> CartesianTopology:
+        """The block viewed as a standalone topology.
+
+        Interior blocks are meshes (their wraparound links, if any, belong
+        to the parent torus and cross block boundaries); a block spanning a
+        full wrapped parent dimension keeps the wrap in that dimension.
+        """
+        wrap = tuple(
+            parent.wrap[d] and self.shape[d] == parent.shape[d]
+            for d in range(len(self.shape))
+        )
+        return CartesianTopology(self.shape, wrap=wrap)
+
+
+def _is_pow2(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def best_uniform_arity(shape: tuple[int, ...]) -> int:
+    """Power-of-two arity ``a >= 2`` maximizing uniform-block volume.
+
+    A candidate arity covers the dimensions it divides; the winner
+    maximizes ``a ** coverage`` (the nodes per block), i.e. it keeps as
+    much of the topology as possible inside each hierarchical subproblem.
+    For the paper's 4x4x4x4x2 BG/Q partition this selects ``a = 4``
+    (256-node blocks, two of them split along E). Raises if no dimension
+    is divisible by 2.
+    """
+    candidates = []
+    max_a = max(shape)
+    a = 2
+    while a <= max_a:
+        coverage = sum(1 for k in shape if k % a == 0)
+        if coverage:
+            candidates.append((a**coverage, a))
+        a *= 2
+    if not candidates:
+        raise TopologyError(
+            f"shape {shape} has no dimension divisible by 2; cannot build a "
+            "2-ary hierarchy"
+        )
+    _, a = max(candidates)
+    return a
+
+
+def uniform_partitions(
+    topology: CartesianTopology, arity: int | None = None
+) -> list[TopologyBlock]:
+    """Split ``topology`` into uniform power-of-two-arity blocks.
+
+    Parameters
+    ----------
+    topology:
+        The full (possibly non-uniform) torus/mesh.
+    arity:
+        Block arity override; must be a power of two. When omitted,
+        :func:`best_uniform_arity` picks it.
+
+    Returns
+    -------
+    list of :class:`TopologyBlock` in C order of their block grid. For the
+    paper's 4x4x4x4x2 BG/Q partition this returns two 4x4x4x4x1 blocks.
+    """
+    shape = topology.shape
+    if arity is None:
+        arity = best_uniform_arity(shape)
+    if not _is_pow2(arity) or arity < 2:
+        raise TopologyError(f"block arity must be a power of two >= 2, got {arity}")
+    block_shape = tuple(arity if k % arity == 0 else 1 for k in shape)
+    counts = tuple(k // b for k, b in zip(shape, block_shape))
+    blocks = []
+    for flat in range(int(np.prod(counts))):
+        rem = flat
+        origin = []
+        for d in range(len(shape)):
+            stride = int(np.prod(counts[d + 1:])) if d + 1 < len(shape) else 1
+            origin.append((rem // stride) * block_shape[d])
+            rem %= stride
+        blocks.append(TopologyBlock(tuple(origin), block_shape))
+    return blocks

@@ -1,0 +1,45 @@
+"""Logging configuration.
+
+The library never calls ``logging.basicConfig`` on import; it only attaches
+a ``NullHandler`` to its root logger. Applications (and our experiment
+runner) opt in to console output via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+logging.getLogger(_ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace.
+
+    ``get_logger("core.merge")`` and ``get_logger("repro.core.merge")`` are
+    equivalent.
+    """
+    if not name.startswith(_ROOT_NAME):
+        name = f"{_ROOT_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    for handler in root.handlers:
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    root.addHandler(handler)

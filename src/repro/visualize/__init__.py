@@ -1,0 +1,18 @@
+"""Plain-text visualization of mappings and link loads.
+
+No plotting dependencies: everything renders to strings suitable for
+terminals and logs (the paper's figures are diagrams; these renderers give
+the same at-a-glance information for arbitrary runs).
+"""
+
+from repro.visualize.text import (
+    load_histogram_text,
+    mapping_grid_text,
+    dimension_load_text,
+)
+
+__all__ = [
+    "load_histogram_text",
+    "mapping_grid_text",
+    "dimension_load_text",
+]

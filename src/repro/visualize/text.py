@@ -1,0 +1,101 @@
+"""Text renderers for mappings and channel loads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import ReproError
+from repro.mapping.mapping import Mapping
+from repro.routing.base import Router
+
+__all__ = ["load_histogram_text", "mapping_grid_text", "dimension_load_text"]
+
+_BARS = " ▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, vmax: float) -> str:
+    if vmax <= 0:
+        return _BARS[0]
+    idx = int(round((len(_BARS) - 1) * min(value / vmax, 1.0)))
+    return _BARS[idx]
+
+
+def load_histogram_text(
+    router: Router, mapping: Mapping, graph: CommGraph, bins: int = 16,
+    width: int = 40,
+) -> str:
+    """Histogram of valid-channel loads as horizontal bars.
+
+    The shape of this histogram is the whole story of a mapping: a long
+    right tail *is* contention; RAHTM's goal is to squash it.
+    """
+    srcs, dsts, vols = mapping.network_flows(graph)
+    loads = router.link_loads(srcs, dsts, vols)
+    valid = router.topology.channel_valid
+    counts, edges = np.histogram(loads[valid], bins=bins)
+    peak = counts.max() if counts.size else 1
+    lines = [f"channel load histogram ({int(valid.sum())} channels, "
+             f"MCL={loads.max():.4g})"]
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak)) if peak else ""
+        lines.append(f"{lo:10.3g} - {hi:10.3g} |{bar} {c}")
+    return "\n".join(lines)
+
+
+def mapping_grid_text(mapping: Mapping, dims: tuple[int, int] = (0, 1)) -> str:
+    """Render which tasks sit where, as a 2-D slice of the topology.
+
+    Shows the task list of each node in the plane spanned by ``dims`` at
+    the zero coordinate of every other dimension.
+    """
+    topo = mapping.topology
+    d0, d1 = dims
+    if d0 == d1 or max(d0, d1) >= topo.ndim:
+        raise ReproError(f"invalid dims {dims} for a {topo.ndim}-D topology")
+    cell_width = max(
+        len(",".join(map(str, mapping.tasks_on(v)))) for v in range(topo.num_nodes)
+    )
+    cell_width = max(cell_width, 3)
+    lines = [f"tasks per node, dims {d0} x {d1} "
+             f"(other coordinates at 0)"]
+    for x0 in range(topo.shape[d0]):
+        row = []
+        for x1 in range(topo.shape[d1]):
+            coords = np.zeros(topo.ndim, dtype=np.int64)
+            coords[d0], coords[d1] = x0, x1
+            node = int(topo.index(coords))
+            cell = ",".join(map(str, mapping.tasks_on(node)))
+            row.append(f"{cell:>{cell_width}}")
+        lines.append(" | ".join(row))
+    return "\n".join(lines)
+
+
+def dimension_load_text(
+    router: Router, mapping: Mapping, graph: CommGraph
+) -> str:
+    """Per-dimension, per-direction load summary with sparkline bars.
+
+    A balanced mapping shows similar totals and maxima across dimensions;
+    dimension-order mappings typically light up one dimension.
+    """
+    topo = router.topology
+    srcs, dsts, vols = mapping.network_flows(graph)
+    loads = router.link_loads(srcs, dsts, vols)
+    vmax = loads.max() if loads.size else 1.0
+    lines = ["per-dimension channel loads (max / mean, bar = max)"]
+    for d in range(topo.ndim):
+        for direction, sign in ((0, "+"), (1, "-")):
+            sel = (
+                topo.channel_valid
+                & (topo.channel_dim == d)
+                & (topo.channel_dir == direction)
+            )
+            if not sel.any():
+                continue
+            sub = loads[sel]
+            lines.append(
+                f"dim {d}{sign}: {_bar(float(sub.max()), vmax)} "
+                f"max {sub.max():10.4g}  mean {sub.mean():10.4g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Synthetic workload communication-pattern generators.
+
+The paper profiles NAS BT, SP and CG with IPM and feeds the resulting
+point-to-point communication matrices to the mappers (Table I). Without
+the machine and the profiler we generate the *documented* communication
+structure of those benchmarks directly:
+
+- **BT / SP** (:func:`nas_bt`, :func:`nas_sp`) use the NPB multipartition
+  decomposition: ``P = q^2`` processes own ``q`` diagonal cells each and
+  exchange cell faces with six neighbours on the process grid — ``(i±1,
+  j)``, ``(i, j±1)`` and the diagonals ``(i−1, j−1)``/``(i+1, j+1)``.
+- **CG** (:func:`nas_cg`) uses the NPB row/column decomposition:
+  power-of-two distance exchanges within a process row (recursive halving
+  sum-reduction) plus a transpose-partner exchange — the "heavy, distant
+  communication" the paper calls out as RAHTM's best opportunity.
+
+Generic patterns (halo stencils, sweeps, random, transpose, collectives)
+support the examples, tests and ablations.
+"""
+
+from repro.workloads.nas import nas_bt, nas_sp, nas_cg, NASProblem
+from repro.workloads.stencil import halo2d, halo3d, halo_nd, sweep2d
+from repro.workloads.synthetic import (
+    random_uniform,
+    random_permutation,
+    transpose2d,
+    bisection_stress,
+    ring,
+    butterfly,
+)
+from repro.workloads.collectives import collective_pattern
+from repro.workloads.spectral import fft_pencils, wavefront3d, stencil27
+from repro.workloads.amr import amr_quadtree
+
+__all__ = [
+    "fft_pencils",
+    "wavefront3d",
+    "stencil27",
+    "amr_quadtree",
+    "nas_bt",
+    "nas_sp",
+    "nas_cg",
+    "NASProblem",
+    "halo2d",
+    "halo3d",
+    "halo_nd",
+    "sweep2d",
+    "random_uniform",
+    "random_permutation",
+    "transpose2d",
+    "bisection_stress",
+    "ring",
+    "butterfly",
+    "collective_pattern",
+]

@@ -1,0 +1,119 @@
+"""Irregular (AMR-like) workload generator.
+
+The paper's benchmarks are all grid-structured; adaptive mesh refinement
+codes are the canonical *irregular* counterpoint: communication follows a
+refinement quadtree whose leaves differ in size, so volumes are skewed
+and no logical process grid exists. This generator exercises the parts of
+the library that structured workloads never touch — the greedy
+fixed-size clustering fallback and hierarchy construction on grid-less
+graphs.
+
+Construction: recursively refine a 2-D domain ``levels`` deep, refining
+each quadrant independently with probability ``refine_prob``. Leaves are
+assigned to ranks round-robin in space-filling (Morton) order, each leaf
+exchanging halo volume proportional to the length of the boundary it
+shares with spatially adjacent leaves (finer leaves -> shorter borders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+__all__ = ["amr_quadtree"]
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    x: float
+    y: float
+    size: float
+
+
+def _refine(x, y, size, depth, max_depth, refine_prob, rng, out):
+    if depth < max_depth and rng.random() < refine_prob:
+        half = size / 2
+        # Morton order: children visited in Z order keeps spatial
+        # locality in the leaf sequence (like real AMR rank orderings).
+        for dx, dy in ((0, 0), (0, half), (half, 0), (half, half)):
+            _refine(x + dx, y + dy, half, depth + 1, max_depth,
+                    refine_prob, rng, out)
+    else:
+        out.append(_Leaf(x, y, size))
+
+
+def _shared_border(a: _Leaf, b: _Leaf) -> float:
+    """Length of the shared edge between two axis-aligned squares."""
+    ax1, ay1, ax2, ay2 = a.x, a.y, a.x + a.size, a.y + a.size
+    bx1, by1, bx2, by2 = b.x, b.y, b.x + b.size, b.y + b.size
+    tol = 1e-9
+    if abs(ax2 - bx1) < tol or abs(bx2 - ax1) < tol:  # vertical contact
+        return max(0.0, min(ay2, by2) - max(ay1, by1))
+    if abs(ay2 - by1) < tol or abs(by2 - ay1) < tol:  # horizontal contact
+        return max(0.0, min(ax2, bx2) - max(ax1, bx1))
+    return 0.0
+
+
+def amr_quadtree(
+    num_tasks: int,
+    max_depth: int = 4,
+    refine_prob: float = 0.7,
+    bytes_per_unit_border: float = 1000.0,
+    seed=None,
+) -> CommGraph:
+    """Generate an AMR-style irregular communication graph.
+
+    Parameters
+    ----------
+    num_tasks:
+        MPI ranks; leaves are dealt to ranks in Morton order (so ranks own
+        spatially contiguous patches, like real AMR partitioners).
+    max_depth:
+        Maximum refinement depth (4 -> up to 256 leaves).
+    refine_prob:
+        Probability each quadrant refines further (skews leaf sizes).
+    bytes_per_unit_border:
+        Halo volume per unit of shared boundary length.
+    seed:
+        Refinement randomness.
+    """
+    check_positive_int(num_tasks, "num_tasks")
+    check_positive_int(max_depth, "max_depth")
+    check_probability(refine_prob, "refine_prob")
+    rng = as_rng(seed)
+    leaves: list[_Leaf] = []
+    # Force at least one refinement so there is communication.
+    half = 0.5
+    for dx, dy in ((0, 0), (0, half), (half, 0), (half, half)):
+        _refine(dx, dy, half, 1, max_depth, refine_prob, rng, leaves)
+    if len(leaves) < num_tasks:
+        raise WorkloadError(
+            f"refinement produced {len(leaves)} leaves for {num_tasks} "
+            "ranks; raise max_depth or refine_prob"
+        )
+    owner = np.arange(len(leaves)) * num_tasks // len(leaves)
+
+    edges: list[tuple[int, int, float]] = []
+    for i, a in enumerate(leaves):
+        for j in range(i + 1, len(leaves)):
+            b = leaves[j]
+            border = _shared_border(a, b)
+            if border <= 0:
+                continue
+            ra, rb = int(owner[i]), int(owner[j])
+            if ra == rb:
+                continue
+            vol = border * bytes_per_unit_border
+            edges.append((ra, rb, vol))
+            edges.append((rb, ra, vol))
+    if not edges:
+        raise WorkloadError(
+            "no inter-rank communication generated; decrease num_tasks"
+        )
+    return CommGraph.from_edges(num_tasks, edges)

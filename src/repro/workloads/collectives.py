@@ -1,0 +1,114 @@
+"""Collective-communication pattern expansion (the paper's Section VI
+extension).
+
+The paper's profiling could not see inside collective calls; Section VI
+argues the fix is to expand each collective into the point-to-point
+pattern of its *implementation* (e.g. recursive-doubling vs dissemination
+all-gather produce very different traffic). This module implements that
+expansion for the classic algorithms, so RAHTM can map applications with
+collectives.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+
+__all__ = ["collective_pattern", "SUPPORTED_COLLECTIVES"]
+
+SUPPORTED_COLLECTIVES = {
+    "allgather-recursive-doubling",
+    "allgather-dissemination",
+    "allgather-ring",
+    "allreduce-recursive-doubling",
+    "bcast-binomial",
+    "reduce-binomial",
+    "alltoall-pairwise",
+}
+
+
+def _require_pow2(p: int, what: str) -> int:
+    m = p.bit_length() - 1
+    if 2**m != p:
+        raise WorkloadError(f"{what} requires a power-of-two participant count, got {p}")
+    return m
+
+
+def collective_pattern(
+    name: str,
+    num_tasks: int,
+    volume: float = 1.0,
+    root: int = 0,
+) -> CommGraph:
+    """Expand one collective into its point-to-point communication graph.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SUPPORTED_COLLECTIVES`.
+    num_tasks:
+        Participant count (power of two where the algorithm demands it).
+    volume:
+        Base message volume; per-step volumes follow the algorithm (e.g.
+        recursive-doubling all-gather doubles the payload every round).
+    root:
+        Root rank for rooted collectives (bcast/reduce).
+    """
+    if num_tasks < 2:
+        raise WorkloadError("collectives need >= 2 participants")
+    edges: list[tuple[int, int, float]] = []
+
+    if name == "allgather-recursive-doubling":
+        m = _require_pow2(num_tasks, name)
+        for step in range(m):
+            dist = 1 << step
+            vol = volume * dist  # payload doubles each round
+            for t in range(num_tasks):
+                edges.append((t, t ^ dist, vol))
+    elif name == "allreduce-recursive-doubling":
+        m = _require_pow2(num_tasks, name)
+        for step in range(m):
+            dist = 1 << step
+            for t in range(num_tasks):
+                edges.append((t, t ^ dist, volume))
+    elif name == "allgather-dissemination":
+        steps = math.ceil(math.log2(num_tasks))
+        for step in range(steps):
+            dist = 1 << step
+            vol = volume * min(dist, num_tasks - dist)
+            for t in range(num_tasks):
+                edges.append((t, (t + dist) % num_tasks, vol))
+    elif name == "allgather-ring":
+        for t in range(num_tasks):
+            edges.append((t, (t + 1) % num_tasks, volume * (num_tasks - 1)))
+    elif name in ("bcast-binomial", "reduce-binomial"):
+        m = math.ceil(math.log2(num_tasks))
+        for step in range(m):
+            dist = 1 << (m - 1 - step)
+            for rel in range(num_tasks):
+                if rel % (2 * dist) == 0 and rel + dist < num_tasks:
+                    a = (root + rel) % num_tasks
+                    b = (root + rel + dist) % num_tasks
+                    if name == "bcast-binomial":
+                        edges.append((a, b, volume))
+                    else:
+                        edges.append((b, a, volume))
+    elif name == "alltoall-pairwise":
+        for step in range(1, num_tasks):
+            for t in range(num_tasks):
+                edges.append((t, t ^ step if _is_pow2(num_tasks) else
+                              (t + step) % num_tasks, volume))
+    else:
+        raise WorkloadError(
+            f"unknown collective {name!r}; supported: "
+            f"{sorted(SUPPORTED_COLLECTIVES)}"
+        )
+    return CommGraph.from_edges(num_tasks, edges)
+
+
+def _is_pow2(p: int) -> bool:
+    return p >= 1 and (p & (p - 1)) == 0

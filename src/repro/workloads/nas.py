@@ -1,0 +1,198 @@
+"""NAS Parallel Benchmark communication-pattern generators (BT, SP, CG).
+
+These reproduce the *structure* and relative *volumes* of the three
+benchmarks' point-to-point communication as documented in the NPB 2/3
+sources and the mapping literature, parameterized by problem class.
+
+Volumes are in bytes per outer iteration; mappers only consume relative
+magnitudes, and the simulator multiplies by iteration counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+
+__all__ = ["NASProblem", "nas_bt", "nas_sp", "nas_cg", "PROBLEM_CLASSES"]
+
+
+@dataclass(frozen=True)
+class NASProblem:
+    """Problem-class constants (grid points per side / matrix order)."""
+
+    name: str
+    bt_sp_grid: int  # grid points per side for BT/SP
+    cg_na: int       # matrix order for CG
+    iterations: int  # outer iterations (BT/SP time steps, CG outer its)
+
+
+PROBLEM_CLASSES: dict[str, NASProblem] = {
+    "S": NASProblem("S", 12, 1400, 100),
+    "W": NASProblem("W", 24, 7000, 100),
+    "A": NASProblem("A", 64, 14000, 100),
+    "B": NASProblem("B", 102, 75000, 100),
+    "C": NASProblem("C", 162, 150000, 100),
+    "D": NASProblem("D", 408, 1500000, 100),
+}
+
+
+def _resolve_class(problem_class) -> NASProblem:
+    if isinstance(problem_class, NASProblem):
+        return problem_class
+    try:
+        return PROBLEM_CLASSES[str(problem_class).upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown NAS problem class {problem_class!r}; "
+            f"choose from {sorted(PROBLEM_CLASSES)}"
+        ) from None
+
+
+def multipartition_phase_pairs(q: int) -> list[list[tuple[int, int]]]:
+    """Per-sweep-direction exchange pairs on a q x q process grid.
+
+    Process ``(i, j)`` owns cells ``c = 0..q-1`` at 3-D coordinates
+    ``((i+c) % q, (j+c) % q, c)``. A +x face leaves for the owner of
+    ``(x+1, y, z)`` which is process ``(i+1, j)``; the z sweeps walk the
+    diagonal: +z goes to ``(i-1, j-1)`` and -z to ``(i+1, j+1)``.
+
+    Returns six lists (one per sweep direction: +x, -x, +y, -y, +z, -z) of
+    ``(src, dst)`` pairs.
+    """
+    directions = [
+        lambda i, j: ((i + 1) % q, j),            # +x sweep
+        lambda i, j: ((i - 1) % q, j),            # -x sweep
+        lambda i, j: (i, (j + 1) % q),            # +y sweep
+        lambda i, j: (i, (j - 1) % q),            # -y sweep
+        lambda i, j: ((i - 1) % q, (j - 1) % q),  # +z sweep (diagonal)
+        lambda i, j: ((i + 1) % q, (j + 1) % q),  # -z sweep
+    ]
+    phases = []
+    for nbr in directions:
+        pairs = []
+        for i in range(q):
+            for j in range(q):
+                me = i * q + j
+                ni, nj = nbr(i, j)
+                other = ni * q + nj
+                if other != me:
+                    pairs.append((me, other))
+        phases.append(pairs)
+    return phases
+
+
+def multipartition_face_bytes(
+    num_tasks: int, problem: NASProblem, words_per_point: int, sweeps: int
+) -> tuple[int, float]:
+    """(process-grid side q, bytes sent per process per sweep direction)."""
+    q = math.isqrt(num_tasks)
+    if q * q != num_tasks or q < 2:
+        raise WorkloadError(
+            f"BT/SP multipartition needs a square process count >= 4, "
+            f"got {num_tasks}"
+        )
+    n = problem.bt_sp_grid
+    cell_side = max(n // q, 1)
+    # One face per cell per sweep direction; q cells per process.
+    return q, float(q * (cell_side**2) * words_per_point * 8 * sweeps)
+
+
+def _multipartition_graph(
+    num_tasks: int, problem: NASProblem, words_per_point: int, sweeps: int
+) -> CommGraph:
+    q, face_bytes = multipartition_face_bytes(
+        num_tasks, problem, words_per_point, sweeps
+    )
+    edges = [
+        (s, d, face_bytes)
+        for pairs in multipartition_phase_pairs(q)
+        for s, d in pairs
+    ]
+    return CommGraph.from_edges(num_tasks, edges, grid_shape=(q, q))
+
+
+def nas_bt(num_tasks: int, problem_class="C") -> CommGraph:
+    """NAS BT (block tri-diagonal solver) per-iteration communication.
+
+    BT exchanges 5x5 block boundary data (25 words per grid point) once
+    per direction per time step.
+    """
+    problem = _resolve_class(problem_class)
+    return _multipartition_graph(num_tasks, problem, words_per_point=25, sweeps=1)
+
+
+def nas_sp(num_tasks: int, problem_class="C") -> CommGraph:
+    """NAS SP (scalar penta-diagonal solver) per-iteration communication.
+
+    SP exchanges scalar boundary data (5 words per grid point) but sweeps
+    each direction twice per time step (forward elimination +
+    back-substitution with separate face exchanges).
+    """
+    problem = _resolve_class(problem_class)
+    return _multipartition_graph(num_tasks, problem, words_per_point=5, sweeps=2)
+
+
+def nas_cg(num_tasks: int, problem_class="C") -> CommGraph:
+    """NAS CG (conjugate gradient) per-iteration communication.
+
+    NPB CG arranges ``P = 2^m`` processes in ``nprows x npcols`` (npcols =
+    nprows for even m, 2*nprows for odd m). Each of the 25 CG sub-iterations
+    performs a recursive-halving sum reduction across the process row
+    (partners at column XOR distances 1, 2, 4, ...) and an exchange with the
+    transpose partner — long-distance, bandwidth-heavy traffic.
+    """
+    phases, grid = cg_phase_edges(num_tasks, problem_class)
+    edges = [e for phase in phases for e in phase]
+    return CommGraph.from_edges(num_tasks, edges, grid_shape=grid)
+
+
+def cg_phase_edges(
+    num_tasks: int, problem_class="C"
+) -> tuple[list[list[tuple[int, int, float]]], tuple[int, int]]:
+    """CG communication split into serialized phases.
+
+    Phase 0 is the transpose exchange; phases 1..log2(npcols) are the
+    recursive-halving reduction steps at column distances 1, 2, 4, ....
+    Returns (phases, process grid shape).
+    """
+    problem = _resolve_class(problem_class)
+    m = int(round(math.log2(num_tasks)))
+    if 2**m != num_tasks or num_tasks < 4:
+        raise WorkloadError(
+            f"CG needs a power-of-two process count >= 4, got {num_tasks}"
+        )
+    nprows = 2 ** (m // 2)
+    npcols = num_tasks // nprows  # nprows or 2*nprows
+    l2npcols = int(round(math.log2(npcols)))
+    na = problem.cg_na
+    sub_iterations = 25
+
+    # Volume per exchange: each process owns na/nprows rows and na/npcols
+    # columns of the matrix; the reduction and transpose both move vectors
+    # of the local column count (doubles).
+    vec_bytes = float((na // npcols + 1) * 8 * sub_iterations)
+
+    transpose: list[tuple[int, int, float]] = []
+    for me in range(num_tasks):
+        # Transpose-partner exchange (NPB cg.f setup_proc_info):
+        if npcols == nprows:
+            exch = (me % nprows) * nprows + me // nprows
+        else:
+            half = me // 2
+            exch = 2 * ((half % nprows) * nprows + half // nprows) + me % 2
+        if exch != me:
+            transpose.append((me, exch, vec_bytes))
+    phases = [transpose]
+    for i in range(l2npcols):
+        step: list[tuple[int, int, float]] = []
+        for me in range(num_tasks):
+            proc_row, proc_col = divmod(me, npcols)
+            partner = proc_row * npcols + (proc_col ^ (2**i))
+            step.append((me, partner, vec_bytes))
+        phases.append(step)
+    return phases, (nprows, npcols)

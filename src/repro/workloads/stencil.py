@@ -1,0 +1,119 @@
+"""Structured-grid stencil (halo-exchange) communication patterns."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+from repro.utils.validation import check_shape_tuple
+
+__all__ = ["halo_nd", "halo2d", "halo3d", "sweep2d"]
+
+
+def halo_nd(
+    grid_shape,
+    volume: float = 1.0,
+    wrap: bool = True,
+    diagonal_volume: float = 0.0,
+) -> CommGraph:
+    """Nearest-neighbour halo exchange on an n-D process grid.
+
+    Parameters
+    ----------
+    grid_shape:
+        Logical process-grid shape; tasks are C-ordered over it.
+    volume:
+        Bytes per face exchange (per direction).
+    wrap:
+        Periodic boundaries (processes on opposite faces exchange).
+    diagonal_volume:
+        Optional corner-exchange volume with the 2^n - 1 ... only the 2n
+        face diagonals in each 2-D plane are generated (the common stencil
+        corner case), each with this volume.
+    """
+    grid_shape = check_shape_tuple(grid_shape, "grid_shape")
+    num_tasks = int(np.prod(grid_shape))
+    ndim = len(grid_shape)
+    strides = np.ones(ndim, dtype=np.int64)
+    for d in range(ndim - 2, -1, -1):
+        strides[d] = strides[d + 1] * grid_shape[d + 1]
+    idx = np.arange(num_tasks, dtype=np.int64)
+    coords = (idx[:, None] // strides[None, :]) % np.asarray(grid_shape)
+
+    def nbr(shift: np.ndarray) -> np.ndarray | None:
+        c = coords + shift[None, :]
+        if wrap:
+            c = c % np.asarray(grid_shape)
+            return c @ strides
+        ok = ((c >= 0) & (c < np.asarray(grid_shape))).all(axis=1)
+        out = np.where(ok, np.clip(c, 0, None) @ strides, -1)
+        return out
+
+    srcs, dsts, vols = [], [], []
+    for d in range(ndim):
+        if grid_shape[d] < 2:
+            continue
+        for sign in (+1, -1):
+            shift = np.zeros(ndim, dtype=np.int64)
+            shift[d] = sign
+            n = nbr(shift)
+            ok = (n >= 0) & (n != idx)
+            srcs.append(idx[ok])
+            dsts.append(n[ok])
+            vols.append(np.full(int(ok.sum()), float(volume)))
+    if diagonal_volume > 0:
+        for d1 in range(ndim):
+            for d2 in range(d1 + 1, ndim):
+                if grid_shape[d1] < 2 or grid_shape[d2] < 2:
+                    continue
+                for s1 in (+1, -1):
+                    for s2 in (+1, -1):
+                        shift = np.zeros(ndim, dtype=np.int64)
+                        shift[d1], shift[d2] = s1, s2
+                        n = nbr(shift)
+                        ok = (n >= 0) & (n != idx)
+                        srcs.append(idx[ok])
+                        dsts.append(n[ok])
+                        vols.append(
+                            np.full(int(ok.sum()), float(diagonal_volume))
+                        )
+    if not srcs:
+        raise WorkloadError(f"grid {grid_shape} yields no halo exchanges")
+    return CommGraph(
+        num_tasks,
+        np.concatenate(srcs),
+        np.concatenate(dsts),
+        np.concatenate(vols),
+        grid_shape=grid_shape,
+    )
+
+
+def halo2d(nx: int, ny: int, volume: float = 1.0, wrap: bool = True,
+           diagonal_volume: float = 0.0) -> CommGraph:
+    """2-D halo exchange on an ``nx x ny`` grid."""
+    return halo_nd((nx, ny), volume=volume, wrap=wrap,
+                   diagonal_volume=diagonal_volume)
+
+
+def halo3d(nx: int, ny: int, nz: int, volume: float = 1.0,
+           wrap: bool = True) -> CommGraph:
+    """3-D halo exchange on an ``nx x ny x nz`` grid."""
+    return halo_nd((nx, ny, nz), volume=volume, wrap=wrap)
+
+
+def sweep2d(nx: int, ny: int, volume: float = 1.0) -> CommGraph:
+    """Wavefront sweep (Sn transport style): downstream-only +x/+y flow."""
+    grid_shape = check_shape_tuple((nx, ny), "grid shape")
+    num_tasks = nx * ny
+    edges = []
+    for i in range(nx):
+        for j in range(ny):
+            me = i * ny + j
+            if i + 1 < nx:
+                edges.append((me, (i + 1) * ny + j, float(volume)))
+            if j + 1 < ny:
+                edges.append((me, i * ny + j + 1, float(volume)))
+    if not edges:
+        raise WorkloadError("sweep needs a grid with at least 2 processes")
+    return CommGraph.from_edges(num_tasks, edges, grid_shape=grid_shape)

@@ -1,0 +1,111 @@
+"""Unstructured / adversarial synthetic communication patterns.
+
+Used by tests (random graphs stress invariants), ablations (bisection
+stress separates routing-aware from routing-unaware mappers), and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.commgraph.graph import CommGraph
+from repro.errors import WorkloadError
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "random_uniform",
+    "random_permutation",
+    "transpose2d",
+    "bisection_stress",
+    "ring",
+    "butterfly",
+]
+
+
+def random_uniform(
+    num_tasks: int,
+    num_edges: int,
+    max_volume: float = 100.0,
+    seed=None,
+) -> CommGraph:
+    """Random directed edges with volumes uniform in (0, max_volume]."""
+    check_positive_int(num_tasks, "num_tasks")
+    check_positive_int(num_edges, "num_edges")
+    rng = as_rng(seed)
+    srcs = rng.integers(0, num_tasks, size=num_edges)
+    dsts = rng.integers(0, num_tasks, size=num_edges)
+    keep = srcs != dsts
+    vols = rng.uniform(0, max_volume, size=num_edges)
+    vols = np.maximum(vols, 1e-9)
+    return CommGraph(num_tasks, srcs[keep], dsts[keep], vols[keep])
+
+
+def random_permutation(num_tasks: int, volume: float = 1.0, seed=None) -> CommGraph:
+    """Every task sends to one random distinct partner (a derangement-ish
+    permutation; fixed points are rerolled pairwise)."""
+    check_positive_int(num_tasks, "num_tasks")
+    if num_tasks < 2:
+        raise WorkloadError("permutation traffic needs >= 2 tasks")
+    rng = as_rng(seed)
+    perm = rng.permutation(num_tasks)
+    fixed = np.flatnonzero(perm == np.arange(num_tasks))
+    # Swap each fixed point with its cyclic successor to kill self-sends.
+    for f in fixed:
+        g = (f + 1) % num_tasks
+        perm[f], perm[g] = perm[g], perm[f]
+    srcs = np.arange(num_tasks)
+    keep = perm != srcs
+    return CommGraph(num_tasks, srcs[keep], perm[keep],
+                     np.full(int(keep.sum()), float(volume)))
+
+
+def transpose2d(side: int, volume: float = 1.0) -> CommGraph:
+    """Matrix-transpose traffic: (i, j) <-> (j, i) on a side x side grid."""
+    check_positive_int(side, "side")
+    if side < 2:
+        raise WorkloadError("transpose needs side >= 2")
+    edges = []
+    for i in range(side):
+        for j in range(side):
+            if i != j:
+                edges.append((i * side + j, j * side + i, float(volume)))
+    return CommGraph.from_edges(side * side, edges, grid_shape=(side, side))
+
+
+def bisection_stress(num_tasks: int, volume: float = 1.0) -> CommGraph:
+    """Task t in the lower half exchanges with t + P/2: maximal bisection
+    pressure; the canonical adversary for locality-only mappers."""
+    check_positive_int(num_tasks, "num_tasks")
+    if num_tasks % 2:
+        raise WorkloadError("bisection stress needs an even task count")
+    half = num_tasks // 2
+    edges = []
+    for t in range(half):
+        edges.append((t, t + half, float(volume)))
+        edges.append((t + half, t, float(volume)))
+    return CommGraph.from_edges(num_tasks, edges)
+
+
+def ring(num_tasks: int, volume: float = 1.0, bidirectional: bool = True) -> CommGraph:
+    """Ring shift: t -> (t+1) mod P (and reverse when bidirectional)."""
+    check_positive_int(num_tasks, "num_tasks")
+    if num_tasks < 2:
+        raise WorkloadError("ring needs >= 2 tasks")
+    edges = [(t, (t + 1) % num_tasks, float(volume)) for t in range(num_tasks)]
+    if bidirectional:
+        edges += [(t, (t - 1) % num_tasks, float(volume)) for t in range(num_tasks)]
+    return CommGraph.from_edges(num_tasks, edges)
+
+
+def butterfly(num_tasks: int, volume: float = 1.0) -> CommGraph:
+    """All XOR-power-of-two exchanges (FFT/butterfly): t <-> t ^ 2^j."""
+    check_positive_int(num_tasks, "num_tasks")
+    m = num_tasks.bit_length() - 1
+    if 2**m != num_tasks or num_tasks < 2:
+        raise WorkloadError("butterfly needs a power-of-two task count >= 2")
+    edges = []
+    for t in range(num_tasks):
+        for j in range(m):
+            edges.append((t, t ^ (1 << j), float(volume)))
+    return CommGraph.from_edges(num_tasks, edges)

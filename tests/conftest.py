@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import mesh, torus
+
+
+@pytest.fixture
+def torus44():
+    return torus(4, 4)
+
+
+@pytest.fixture
+def torus444():
+    return torus(4, 4, 4)
+
+
+@pytest.fixture
+def mesh33():
+    return mesh(3, 3)
+
+
+@pytest.fixture
+def mar44(torus44):
+    return MinimalAdaptiveRouter(torus44)
+
+
+@pytest.fixture
+def dor44(torus44):
+    return DimensionOrderRouter(torus44)
+
+
+@pytest.fixture
+def ring16():
+    """A 16-task bidirectional ring graph."""
+    edges = []
+    for t in range(16):
+        edges.append((t, (t + 1) % 16, 5.0))
+        edges.append(((t + 1) % 16, t, 5.0))
+    return CommGraph.from_edges(16, edges)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

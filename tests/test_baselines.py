@@ -1,0 +1,182 @@
+"""Baseline mapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DimOrderMapper,
+    HilbertMapper,
+    HopBytesMapper,
+    RandomMapper,
+    RubikTilingMapper,
+)
+from repro.baselines.dimorder import parse_order
+from repro.commgraph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping, hop_bytes
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import BGQTopology, torus
+from repro.workloads import halo2d, nas_cg, random_uniform
+
+
+def all_valid(mapping: Mapping, num_tasks: int, conc: int):
+    assert mapping.num_tasks == num_tasks
+    assert (mapping.node_counts == conc).all()
+
+
+# -- dimension order ------------------------------------------------------------
+def test_parse_order_letters_and_mixed():
+    assert parse_order("ABT", 2) == (0, 1, "T")
+    assert parse_order("TBA", 2) == ("T", 1, 0)
+    assert parse_order((1, "T", 0), 2) == (1, "T", 0)
+    with pytest.raises(ConfigError):
+        parse_order("AB", 2)  # missing T
+    with pytest.raises(ConfigError):
+        parse_order("ACT", 2)  # C invalid for 2-D
+    with pytest.raises(ConfigError):
+        parse_order("ATT", 2)
+
+
+def test_dimorder_default_last_varies_fastest():
+    topo = torus(2, 2)
+    m = DimOrderMapper(topo).map(random_uniform(8, 10, seed=0))
+    # ABT: ranks 0,1 share node 0
+    assert m.task_to_node[:2].tolist() == [0, 0]
+    assert m.task_to_node[2] == 1  # next B step
+
+
+def test_dimorder_t_first_round_robins_nodes():
+    topo = torus(2, 2)
+    m = DimOrderMapper(topo, "TAB").map(random_uniform(8, 10, seed=0))
+    # order T,A,B with B fastest: consecutive ranks walk B
+    assert m.task_to_node[0] == 0
+    assert m.task_to_node[1] == 1
+
+
+def test_dimorder_matches_bgq_reference():
+    """Generic mapper agrees with the BGQTopology reference enumeration."""
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=2)
+    g = random_uniform(64, 10, seed=0)
+    for order in ("ABCDET", "TABCDE", "ACEBDT"):
+        m = DimOrderMapper(bgq, order).map(g)
+        slots = bgq.dim_order_permutation(order)
+        assert np.array_equal(m.task_to_node, slots // bgq.tasks_per_node)
+
+
+def test_all_dimorders_are_valid():
+    topo = torus(4, 4)
+    g = halo2d(8, 8)
+    for order in ("ABT", "TAB", "BAT", "TBA"):
+        all_valid(DimOrderMapper(topo, order).map(g), 64, 4)
+
+
+# -- hilbert ------------------------------------------------------------------------
+def test_hilbert_mapping_valid():
+    topo = torus(4, 4, 4)
+    g = nas_cg(128, "W")
+    m = HilbertMapper(topo).map(g)
+    all_valid(m, 128, 2)
+
+
+def test_hilbert_consecutive_ranks_local():
+    """Hilbert locality: consecutive node-groups are adjacent."""
+    topo = torus(4, 4)
+    g = random_uniform(16, 10, seed=0)
+    m = HilbertMapper(topo).map(g)
+    nodes = m.task_to_node
+    dists = topo.hop_distance(nodes[:-1], nodes[1:])
+    assert dists.max() <= 1
+
+
+def test_hilbert_curve_dims_selection():
+    topo = torus(4, 4, 2)
+    mapper = HilbertMapper(topo)
+    assert mapper.curve_dims == (0, 1)  # largest equal power-of-two group
+    m = mapper.map(random_uniform(32, 10, seed=0))
+    all_valid(m, 32, 1)
+
+
+def test_hilbert_invalid_dims():
+    with pytest.raises(ConfigError):
+        HilbertMapper(torus(3, 3))
+    with pytest.raises(ConfigError):
+        HilbertMapper(torus(4, 4), curve_dims=(0, 1, 1))
+
+
+# -- rubik -------------------------------------------------------------------------
+def test_rubik_explicit_shapes():
+    topo = torus(4, 4)
+    g = halo2d(8, 8)  # 64 tasks, conc 4
+    m = RubikTilingMapper(topo, tile_shape=(4, 4), box_shape=(2, 2)).map(g)
+    all_valid(m, 64, 4)
+    # tile (0..3, 0..3) of the app grid lands in the first 2x2 box
+    first_tile_tasks = [i * 8 + j for i in range(4) for j in range(4)]
+    nodes = m.task_to_node[first_tile_tasks]
+    coords = topo.coords(nodes)
+    assert coords.max() <= 1
+
+
+def test_rubik_auto_shapes():
+    topo = torus(4, 4, 4)
+    g = nas_cg(256, "W")
+    m = RubikTilingMapper(topo).map(g)
+    all_valid(m, 256, 4)
+
+
+def test_rubik_validation():
+    topo = torus(4, 4)
+    g = halo2d(8, 8)
+    with pytest.raises(ConfigError):
+        RubikTilingMapper(topo, tile_shape=(3, 3), box_shape=(2, 2)).map(g)
+    with pytest.raises(ConfigError):
+        RubikTilingMapper(topo, tile_shape=(4, 4), box_shape=(4, 4)).map(g)
+
+
+# -- hop-bytes annealer ---------------------------------------------------------------
+def test_hopbytes_sa_improves_over_random_start():
+    topo = torus(4, 4)
+    g = halo2d(4, 4, volume=5.0)
+    mapper = HopBytesMapper(topo, "hopbytes", iterations=4000, seed=0)
+    m = mapper.map(g)
+    all_valid(m, 16, 1)
+    rand = RandomMapper(topo, seed=0).map(g)
+    assert hop_bytes(m, g) <= hop_bytes(rand, g)
+
+
+def test_mcl_objective_improves_mcl():
+    topo = torus(4, 4)
+    g = nas_cg(16, "W")
+    router = MinimalAdaptiveRouter(topo)
+    m = HopBytesMapper(topo, "mcl", iterations=3000, seed=0).map(g)
+    rand = RandomMapper(topo, seed=1).map(g)
+    assert evaluate_mapping(router, m, g).mcl <= evaluate_mapping(
+        router, rand, g
+    ).mcl
+
+
+def test_hopbytes_invalid_objective():
+    with pytest.raises(ConfigError):
+        HopBytesMapper(torus(4, 4), objective="latency")
+
+
+def test_hopbytes_zero_iterations_still_valid():
+    topo = torus(4, 4)
+    m = HopBytesMapper(topo, iterations=0, seed=0).map(halo2d(4, 4))
+    all_valid(m, 16, 1)
+
+
+# -- random ------------------------------------------------------------------------
+def test_random_mapper_seeded():
+    topo = torus(4, 4)
+    g = halo2d(8, 8)
+    a = RandomMapper(topo, seed=3).map(g)
+    b = RandomMapper(topo, seed=3).map(g)
+    assert np.array_equal(a.task_to_node, b.task_to_node)
+    all_valid(a, 64, 4)
+
+
+def test_concentration_divisibility_checked():
+    topo = torus(4, 4)
+    with pytest.raises(ConfigError):
+        RandomMapper(topo).map(CommGraph(17, [0], [1], [1.0]))

@@ -1,0 +1,70 @@
+"""Recursive-bisection baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RecursiveBisectionMapper
+from repro.commgraph import CommGraph
+from repro.errors import ConfigError
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping, hop_bytes
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import torus
+from repro.workloads import halo2d, random_uniform
+
+
+def test_valid_permutation():
+    topo = torus(4, 4)
+    m = RecursiveBisectionMapper(topo).map(random_uniform(16, 60, seed=0))
+    assert m.is_permutation()
+
+
+def test_concentration():
+    topo = torus(4, 4)
+    m = RecursiveBisectionMapper(topo).map(halo2d(8, 8))
+    assert (m.node_counts == 4).all()
+
+
+def test_power_of_two_required():
+    with pytest.raises(ConfigError):
+        RecursiveBisectionMapper(torus(3, 3))
+
+
+def test_keeps_communities_local():
+    """Two cliques + a weak bridge: the first bisection must separate the
+    cliques, keeping each in one half of the torus."""
+    edges = []
+    for base in (0, 8):
+        for a in range(base, base + 8):
+            for b in range(base, base + 8):
+                if a != b:
+                    edges.append((a, b, 50.0))
+    edges.append((0, 8, 1.0))
+    g = CommGraph.from_edges(16, edges)
+    topo = torus(4, 4)
+    m = RecursiveBisectionMapper(topo, seed=0).map(g)
+    coords = topo.coords(m.task_to_node)
+    # all of clique 0 in one half of the longest dimension
+    half0 = set(coords[:8, 0] // 2)
+    half1 = set(coords[8:, 0] // 2)
+    assert len(half0) == 1 and len(half1) == 1 and half0 != half1
+
+
+def test_beats_random_on_hop_bytes():
+    """It optimizes locality, so hop-bytes should beat random placement."""
+    topo = torus(4, 4)
+    g = halo2d(4, 4, volume=5.0)
+    rb = RecursiveBisectionMapper(topo, seed=0).map(g)
+    rng = np.random.default_rng(0)
+    rand_hb = np.median([
+        hop_bytes(Mapping(topo, rng.permutation(16)), g) for _ in range(10)
+    ])
+    assert hop_bytes(rb, g) <= rand_hb
+
+
+def test_deterministic():
+    topo = torus(4, 4)
+    g = random_uniform(16, 50, seed=3)
+    a = RecursiveBisectionMapper(topo, seed=5).map(g)
+    b = RecursiveBisectionMapper(topo, seed=5).map(g)
+    assert np.array_equal(a.task_to_node, b.task_to_node)

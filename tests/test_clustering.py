@@ -1,0 +1,116 @@
+"""Phase-1 clustering tests."""
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.core.clustering import (
+    build_cluster_hierarchy,
+    cluster_fixed_size,
+    greedy_fixed_size_labels,
+)
+from repro.errors import ConfigError
+from repro.workloads import halo2d, random_uniform
+
+
+def test_cluster_fixed_size_identity_for_group1():
+    g = halo2d(4, 4)
+    lvl = cluster_fixed_size(g, 1)
+    assert np.array_equal(lvl.labels, np.arange(16))
+    assert lvl.graph is g
+
+
+def test_cluster_fixed_size_uses_tiling_when_grid_present():
+    g = halo2d(4, 4, volume=1.0, wrap=False)
+    lvl = cluster_fixed_size(g, 4)
+    assert lvl.tile_shape == (2, 2)
+    assert lvl.graph.num_tasks == 4
+    assert lvl.graph.grid_shape == (2, 2)
+    # volume conserved (including intra-cluster self loops)
+    assert lvl.graph.total_volume == pytest.approx(g.total_volume)
+
+
+def test_cluster_fixed_size_greedy_fallback_without_grid():
+    g = random_uniform(12, 60, seed=1)
+    lvl = cluster_fixed_size(g, 3)
+    assert lvl.tile_shape is None
+    counts = np.bincount(lvl.labels, minlength=4)
+    assert (counts == 3).all()
+
+
+def test_cluster_fixed_size_divisibility_error():
+    g = halo2d(4, 4)
+    with pytest.raises(ConfigError):
+        cluster_fixed_size(g, 5)
+
+
+def test_greedy_groups_heavy_pairs_together():
+    # Two heavy pairs, light cross edges: each pair must share a group.
+    g = CommGraph.from_edges(4, [
+        (0, 2, 100.0), (1, 3, 100.0), (0, 1, 1.0), (2, 3, 1.0),
+    ])
+    labels = greedy_fixed_size_labels(g, 2)
+    assert labels[0] == labels[2]
+    assert labels[1] == labels[3]
+
+
+def test_greedy_exact_sizes_even_with_awkward_fragments():
+    # A heavy triangle among 0,1,2 with group size 2 forces a split but
+    # sizes must still come out exact.
+    g = CommGraph.from_edges(6, [
+        (0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0), (3, 4, 1.0),
+    ])
+    labels = greedy_fixed_size_labels(g, 2)
+    assert (np.bincount(labels) == 2).all()
+
+
+def test_greedy_divisibility_error():
+    g = CommGraph(5, [0], [1], [1.0])
+    with pytest.raises(ConfigError):
+        greedy_fixed_size_labels(g, 2)
+
+
+def test_build_hierarchy_shapes():
+    g = halo2d(8, 8)  # 64 tasks
+    h = build_cluster_hierarchy(g, num_nodes=16, branching=4, num_levels=2)
+    assert h.num_node_clusters == 16
+    assert h.graph_at(0).num_tasks == 16
+    assert h.graph_at(1).num_tasks == 4
+    assert h.graph_at(2).num_tasks == 1
+    # every level-1 cluster has exactly `branching` children
+    for c in range(4):
+        assert len(h.children_of(1, c)) == 4
+
+
+def test_build_hierarchy_validation():
+    g = halo2d(4, 4)
+    with pytest.raises(ConfigError):
+        build_cluster_hierarchy(g, num_nodes=5, branching=4, num_levels=1)
+    with pytest.raises(ConfigError):
+        build_cluster_hierarchy(g, num_nodes=16, branching=4, num_levels=3)
+
+
+def test_labels_to_level_composition():
+    g = halo2d(8, 8)
+    h = build_cluster_hierarchy(g, num_nodes=64, branching=4, num_levels=3)
+    top = h.labels_to_level(3)
+    assert (top == 0).all()
+    mid = h.labels_to_level(2)
+    counts = np.bincount(mid, minlength=4)
+    assert (counts == 16).all()
+
+
+def test_volume_conserved_through_hierarchy():
+    g = halo2d(8, 8, volume=2.0)
+    h = build_cluster_hierarchy(g, num_nodes=16, branching=4, num_levels=2)
+    for level in range(3):
+        assert h.graph_at(level).total_volume == pytest.approx(g.total_volume)
+
+
+def test_intra_cluster_volume_grows_up_the_hierarchy():
+    g = halo2d(8, 8, volume=1.0)
+    h = build_cluster_hierarchy(g, num_nodes=16, branching=4, num_levels=2)
+    off = [
+        h.graph_at(level).offdiagonal_volume for level in range(3)
+    ]
+    assert off[0] > off[1] > off[2] == 0.0

@@ -1,0 +1,147 @@
+"""CommGraph container tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commgraph import CommGraph, load_commgraph, save_commgraph
+from repro.errors import CommGraphError
+
+
+def test_deduplication_sums_volumes():
+    g = CommGraph(4, [0, 0, 1], [1, 1, 2], [3.0, 4.0, 5.0])
+    assert g.num_edges == 2
+    assert g.total_volume == pytest.approx(12.0)
+    m = g.to_matrix(dense=True)
+    assert m[0, 1] == pytest.approx(7.0)
+
+
+def test_zero_volume_edges_dropped():
+    g = CommGraph(4, [0, 1], [1, 2], [0.0, 1.0])
+    assert g.num_edges == 1
+
+
+def test_validation():
+    with pytest.raises(CommGraphError):
+        CommGraph(0, [], [], [])
+    with pytest.raises(CommGraphError):
+        CommGraph(4, [0], [4], [1.0])
+    with pytest.raises(CommGraphError):
+        CommGraph(4, [0], [1], [-1.0])
+    with pytest.raises(CommGraphError):
+        CommGraph(4, [0, 1], [1], [1.0, 1.0])
+    with pytest.raises(CommGraphError):
+        CommGraph(4, [0], [1], [1.0], grid_shape=(3, 3))
+
+
+def test_from_matrix_roundtrip():
+    m = np.array([[0, 2, 0], [1, 0, 0], [0, 0, 3.0]])
+    g = CommGraph.from_matrix(m)
+    assert np.allclose(g.to_matrix(dense=True), m)
+    import scipy.sparse as sp
+
+    g2 = CommGraph.from_matrix(sp.csr_matrix(m))
+    assert g == g2
+
+
+def test_self_loops_and_offdiagonal():
+    g = CommGraph(3, [0, 1], [0, 2], [5.0, 2.0])
+    assert g.total_volume == pytest.approx(7.0)
+    assert g.offdiagonal_volume == pytest.approx(2.0)
+    assert g.without_self_loops().num_edges == 1
+
+
+def test_task_volumes_counts_both_directions():
+    g = CommGraph(3, [0], [1], [4.0])
+    tv = g.task_volumes()
+    assert tv.tolist() == [4.0, 4.0, 0.0]
+
+
+def test_symmetrized():
+    g = CommGraph(3, [0], [1], [4.0])
+    s = g.symmetrized()
+    m = s.to_matrix(dense=True)
+    assert m[0, 1] == m[1, 0] == pytest.approx(4.0)
+
+
+def test_contract_conserves_volume():
+    g = CommGraph(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+    c = g.contract([0, 0, 1, 1], 2)
+    assert c.num_tasks == 2
+    assert c.total_volume == pytest.approx(g.total_volume)
+    # intra-cluster edge 0->1 becomes a self loop
+    assert c.to_matrix(dense=True)[0, 0] == pytest.approx(1.0)
+
+
+@given(st.integers(2, 30), st.integers(1, 60), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_contract_volume_conservation_property(n, e, k):
+    rng = np.random.default_rng(e * 100 + n)
+    srcs = rng.integers(0, n, e)
+    dsts = rng.integers(0, n, e)
+    vols = rng.uniform(0.1, 5, e)
+    g = CommGraph(n, srcs, dsts, vols)
+    labels = rng.integers(0, k, n)
+    c = g.contract(labels, k)
+    assert c.total_volume == pytest.approx(g.total_volume)
+
+
+def test_relabeled_preserves_structure():
+    g = CommGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+    perm = np.array([2, 0, 1])
+    r = g.relabeled(perm)
+    assert r.to_matrix(dense=True)[2, 0] == pytest.approx(1.0)
+    with pytest.raises(CommGraphError):
+        g.relabeled([0, 0, 1])
+
+
+def test_subgraph_reindexes():
+    g = CommGraph(5, [0, 1, 3], [1, 2, 4], [1.0, 2.0, 3.0])
+    s = g.subgraph([3, 4])
+    assert s.num_tasks == 2
+    assert s.to_matrix(dense=True)[0, 1] == pytest.approx(3.0)
+    with pytest.raises(CommGraphError):
+        g.subgraph([1, 1])
+
+
+def test_scaled_and_add():
+    g = CommGraph(3, [0], [1], [4.0])
+    assert g.scaled(2.0).total_volume == pytest.approx(8.0)
+    with pytest.raises(CommGraphError):
+        g.scaled(0)
+    h = g + g
+    assert h.to_matrix(dense=True)[0, 1] == pytest.approx(8.0)
+    with pytest.raises(CommGraphError):
+        g + CommGraph(4, [], [], [])
+
+
+def test_grid_shape_annotation():
+    g = CommGraph(6, [0], [1], [1.0], grid_shape=(2, 3))
+    assert g.grid_shape == (2, 3)
+    assert "grid" in repr(g)
+
+
+def test_to_networkx():
+    g = CommGraph(3, [0, 1], [1, 2], [1.0, 2.0])
+    nx_g = g.to_networkx()
+    assert nx_g.number_of_nodes() == 3
+    assert nx_g[1][2]["volume"] == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("suffix", [".npz", ".json"])
+def test_io_roundtrip(tmp_path, suffix):
+    g = CommGraph(6, [0, 2, 5], [1, 3, 0], [1.5, 2.5, 3.5], grid_shape=(2, 3))
+    path = tmp_path / f"graph{suffix}"
+    save_commgraph(g, path)
+    loaded = load_commgraph(path)
+    assert loaded == g
+    assert loaded.grid_shape == (2, 3)
+
+
+def test_io_rejects_unknown_format(tmp_path):
+    g = CommGraph(2, [0], [1], [1.0])
+    with pytest.raises(CommGraphError):
+        save_commgraph(g, tmp_path / "graph.txt")
+    with pytest.raises(CommGraphError):
+        load_commgraph(tmp_path / "graph.txt")

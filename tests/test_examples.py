@@ -1,0 +1,46 @@
+"""Smoke-run the lightweight example scripts (heavy ones are exercised by
+their underlying experiment modules elsewhere)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_routing_aware_vs_hopbytes(capsys):
+    run_example("routing_aware_vs_hopbytes.py")
+    out = capsys.readouterr().out
+    assert "hop-bytes-optimal" in out
+    assert "MCL-optimal" in out
+
+
+def test_other_topologies(capsys):
+    run_example("other_topologies.py")
+    out = capsys.readouterr().out
+    assert "fat-tree" in out and "dragonfly" in out
+
+
+@pytest.mark.slow
+def test_inspect_mapping(capsys):
+    run_example("inspect_mapping.py")
+    out = capsys.readouterr().out
+    assert "RAHTM" in out and "channel load histogram" in out
+
+
+@pytest.mark.slow
+def test_collectives_extension(capsys):
+    run_example("collectives_extension.py")
+    out = capsys.readouterr().out
+    assert "allreduce-recursive-doubling" in out

@@ -1,0 +1,140 @@
+"""Experiment-harness tests."""
+
+import math
+
+import pytest
+
+from repro.baselines import DimOrderMapper
+from repro.errors import ConfigError
+from repro.experiments import (
+    MapperSpec,
+    SCALES,
+    Table,
+    get_scale,
+    run_comparison,
+)
+from repro.experiments import fig1, fig234, fig7, fig8, fig9, fig10, table1, table2
+from repro.experiments.report import geomean
+from repro.experiments.runner import benchmark_apps
+
+
+# -- report -----------------------------------------------------------------------
+def test_geomean():
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([2, 2, 2]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geomean([1, -1])
+    assert math.isnan(geomean([]))
+
+
+def test_table_roundtrip_and_text():
+    t = Table("demo")
+    t.set("r1", "c1", 1.5)
+    t.set("r1", "c2", 2.5)
+    t.set("r2", "c1", 3.0)
+    assert t.get("r1", "c2") == 2.5
+    assert t.row("r1") == [1.5, 2.5]
+    assert t.col("c1") == [1.5, 3.0]
+    text = t.to_text()
+    assert "demo" in text and "r2" in text and "c2" in text
+
+
+def test_table_geomean_row():
+    t = Table("demo")
+    t.set("a", "x", 1.0)
+    t.set("b", "x", 4.0)
+    t.add_geomean_row()
+    assert t.get("geomean", "x") == pytest.approx(2.0)
+
+
+# -- config -----------------------------------------------------------------------
+def test_scales_consistent():
+    for scale in SCALES.values():
+        assert scale.num_tasks == scale.num_nodes * scale.concentration
+        # BT/SP need square counts, CG powers of two
+        q = math.isqrt(scale.num_tasks)
+        assert q * q == scale.num_tasks
+        assert 2 ** int(math.log2(scale.num_tasks)) == scale.num_tasks
+        assert scale.topology().num_nodes == scale.num_nodes
+
+
+def test_paper_scale_matches_paper():
+    paper = get_scale("paper")
+    assert paper.shape == (4, 4, 4, 4, 2)
+    assert paper.concentration == 32
+    assert paper.num_tasks == 16384
+    assert paper.rahtm.beam_width == 64  # the paper's N
+
+
+def test_get_scale_errors():
+    with pytest.raises(ConfigError):
+        get_scale("galactic")
+    s = get_scale("tiny")
+    assert get_scale(s) is s
+
+
+# -- walk-through figures -----------------------------------------------------------
+def test_fig1_reproduces_the_argument():
+    t = fig1.run()
+    hb_mcl = t.get("hop-bytes", "MCL")
+    mar_mcl = t.get("MCL/MAR", "MCL")
+    assert mar_mcl < hb_mcl  # routing-aware halves the hot link
+    assert mar_mcl == pytest.approx(51.5)
+    assert t.get("hop-bytes", "hop_bytes") < t.get("MCL/MAR", "hop_bytes")
+
+
+def test_fig234_tile_search():
+    t = fig234.run()
+    assert t.get("2x2", "inter_tile_volume") < t.get("1x4", "inter_tile_volume")
+
+
+def test_table2_milp_agrees_with_enumeration():
+    t = table2.run(time_limit=30)
+    for label in ("halo-n2", "rand-n2", "torus-root-n2"):
+        assert t.get(label, "milp_mcl") == pytest.approx(
+            t.get(label, "bruteforce_mcl"), rel=1e-6
+        )
+
+
+def test_fig7_merge_improves():
+    t = fig7.run()
+    assert t.get("beam-8", "MCL") <= t.get("phase2-only", "MCL") + 1e-9
+    assert t.get("beam-64", "MCL") <= t.get("beam-1", "MCL") + 1e-9
+
+
+def test_scaling_experiment_tiny():
+    from repro.experiments import scaling
+
+    t = scaling.run(scales=("tiny",))
+    assert t.get("tiny", "tasks") == 64
+    assert t.get("tiny", "mcl_ratio") <= 1.05
+    assert t.get("tiny", "mapping_s") > 0
+
+
+# -- runner ------------------------------------------------------------------------
+def test_benchmark_apps_cover_table1():
+    apps = benchmark_apps(get_scale("tiny"))
+    assert set(apps) == {"BT", "SP", "CG"}
+    for app in apps.values():
+        assert app.num_tasks == get_scale("tiny").num_tasks
+
+
+@pytest.mark.slow
+def test_run_comparison_tiny_shapes():
+    scale = get_scale("tiny")
+    mappers = [
+        MapperSpec("ABT", lambda t: DimOrderMapper(t, "ABT")),
+        MapperSpec("TAB", lambda t: DimOrderMapper(t, "TAB")),
+    ]
+    result = run_comparison(scale, mappers=mappers)
+    f8 = fig8.from_comparison(result)
+    f9 = fig9.from_comparison(result)
+    f10 = fig10.from_comparison(result)
+    # normalization: the default column is exactly 1
+    for bench in ("BT", "SP", "CG"):
+        assert f8.get(bench, "ABT") == pytest.approx(1.0)
+        assert f10.get(bench, "ABT") == pytest.approx(1.0)
+    # calibrated fractions match Figure 9's measurements
+    assert f9.get("CG", "communication") == pytest.approx(0.72, abs=0.01)
+    assert f9.get("BT", "communication") == pytest.approx(0.35, abs=0.01)
+    assert "geomean" in f8.row_labels

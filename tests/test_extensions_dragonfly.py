@@ -1,0 +1,156 @@
+"""Dragonfly extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.errors import ConfigError, TopologyError
+from repro.extensions import Dragonfly, DragonflyMapper, DragonflyRouter
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping
+from repro.workloads import random_uniform
+
+
+@pytest.fixture
+def df():
+    # 5 groups, 2 routers/group, 2 hosts/router, 2 global links/router
+    return Dragonfly(5, 2, 2, 2)
+
+
+def test_counts(df):
+    assert df.num_routers == 10
+    assert df.num_nodes == 20
+    assert df._n_local == 5 * 2 * 1
+    assert df._n_global == 5 * 4
+
+
+def test_validation():
+    with pytest.raises(TopologyError):
+        Dragonfly(10, 2, 1, 2)  # g > r*h + 1
+    with pytest.raises(TopologyError):
+        Dragonfly(1, 2, 1, 1)
+
+
+def test_decomposition(df):
+    assert df.router_of(7) == 3
+    assert df.group_of(7) == 1
+    assert df.group_of_router(9) == 4
+
+
+def test_global_router_assignment(df):
+    # group 0's peers in order: 1,2,3,4 -> peer_index 0..3; h=2 so router 0
+    # handles peers 1,2 and router 1 handles peers 3,4.
+    assert df.global_router(0, 1) == 0
+    assert df.global_router(0, 2) == 0
+    assert df.global_router(0, 3) == 1
+    assert df.global_router(0, 4) == 1
+    # group 2 peers: 0,1,3,4
+    assert df.global_router(2, 0) == 4  # router 0 of group 2
+    assert df.global_router(2, 4) == 5
+
+
+def test_slot_spaces_disjoint(df):
+    t = df.terminal_slot([0, 19], 0)
+    l = df.local_slot([0], [1])
+    g = df.global_slot([0], [4])
+    assert t.max() < df._n_terminal
+    assert df._n_terminal <= l[0] < df._n_terminal + df._n_local
+    assert g[0] >= df._n_terminal + df._n_local
+
+
+def test_slot_validation(df):
+    with pytest.raises(TopologyError):
+        df.local_slot([0], [0])
+    with pytest.raises(TopologyError):
+        df.local_slot([0], [2])  # different groups
+    with pytest.raises(TopologyError):
+        df.global_slot([1], [1])
+
+
+def test_hop_distance(df):
+    assert df.hop_distance(0, 0) == 0
+    assert df.hop_distance(0, 1) == 0      # same router
+    assert df.hop_distance(0, 2) == 1      # same group, local hop
+    # group 0 host 0 (router 0) -> group 1 host: router 0 owns the global
+    # link to group 1, so route is global + maybe local at destination.
+    assert df.hop_distance(0, 4) in (1, 2, 3)
+
+
+def test_router_loads_intra_group(df):
+    r = DragonflyRouter(df)
+    loads = r.link_loads([0], [2], [10.0])  # router 0 -> router 1, group 0
+    assert loads[df.local_slot([0], [1])[0]] == pytest.approx(10.0)
+    # terminal links loaded once each way
+    assert loads[df.terminal_slot([0], 0)[0]] == pytest.approx(10.0)
+    assert loads[df.terminal_slot([2], 1)[0]] == pytest.approx(10.0)
+    # no global load
+    assert loads[df._n_terminal + df._n_local:].sum() == 0.0
+
+
+def test_router_loads_inter_group(df):
+    r = DragonflyRouter(df)
+    # host 0 (router 0, group 0) -> host 12 (router 6, group 3):
+    # global link 0->3 owned by router 1 of group 0 => local 0->1,
+    # global (0,3), local at destination: gdst = global_router(3, 0).
+    loads = r.link_loads([0], [12], [8.0])
+    assert loads[df.global_slot([0], [3])[0]] == pytest.approx(8.0)
+    assert loads[df.local_slot([0], [1])[0]] == pytest.approx(8.0)
+    assert loads.sum() >= 8.0 * 3  # terminal x2 + global + locals
+
+
+def test_same_router_flows_only_terminal(df):
+    r = DragonflyRouter(df)
+    loads = r.link_loads([0], [1], [6.0])
+    assert loads[: df._n_terminal].sum() == pytest.approx(12.0)
+    assert loads[df._n_terminal:].sum() == 0.0
+
+
+def test_mapper_valid(df):
+    g = random_uniform(40, 150, seed=1)  # concentration 2
+    mapping = DragonflyMapper(df).map(g)
+    assert (mapping.node_counts == 2).all()
+
+
+def test_mapper_groups_heavy_cliques(df):
+    """A heavy 4-task clique should land inside one group (no global
+    traffic from it)."""
+    edges = []
+    for a in range(4):
+        for b in range(4):
+            if a != b:
+                edges.append((a, b, 100.0))
+    for t in range(4, 20):
+        edges.append((t, (t + 1) % 20, 1.0))
+    g = CommGraph.from_edges(20, edges)
+    mapping = DragonflyMapper(df).map(g)
+    groups = df.group_of(mapping.task_to_node[:4])
+    assert len(set(groups.tolist())) == 1
+
+
+def test_mapper_reduces_global_pressure_vs_random(df):
+    rng = np.random.default_rng(0)
+    g = random_uniform(20, 120, max_volume=30.0, seed=2)
+    router = DragonflyRouter(df)
+    mapped = DragonflyMapper(df).map(g)
+    srcs, dsts, vols = mapped.network_flows(g)
+    mapped_global = router.link_loads(srcs, dsts, vols)[
+        df._n_terminal + df._n_local:
+    ].max()
+    rand = Mapping(df, rng.permutation(20))
+    rs, rd, rv = rand.network_flows(g)
+    rand_global = router.link_loads(rs, rd, rv)[
+        df._n_terminal + df._n_local:
+    ].max()
+    assert mapped_global <= rand_global + 1e-9
+
+
+def test_mapper_divisibility(df):
+    with pytest.raises(ConfigError):
+        DragonflyMapper(df).map(random_uniform(21, 30, seed=0))
+
+
+def test_metrics_protocol_compat(df):
+    g = random_uniform(20, 60, seed=3)
+    mapping = Mapping(df, np.arange(20))
+    rep = evaluate_mapping(DragonflyRouter(df), mapping, g)
+    assert rep.mcl > 0

@@ -1,0 +1,121 @@
+"""Fluid (max-min fair) phase simulator tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SimulationError
+from repro.routing import MinimalAdaptiveRouter
+from repro.simulator.fluid import FluidPhaseSimulator, max_min_fair_rates
+from repro.topology import mesh, torus
+
+
+# -- max-min fairness core ------------------------------------------------------
+def test_two_flows_share_one_link():
+    usage = sp.csr_matrix(np.array([[1.0, 1.0]]))
+    rates = max_min_fair_rates(usage, np.array([10.0]),
+                               np.array([True, True]))
+    assert rates == pytest.approx([5.0, 5.0])
+
+
+def test_bottleneck_and_leftover():
+    # flow 0 uses links A and B; flow 1 only link A. A has capacity 10,
+    # B capacity 4: flow 0 bottlenecked at 4, flow 1 then gets 6.
+    usage = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 0.0]]))
+    rates = max_min_fair_rates(usage, np.array([10.0, 4.0]),
+                               np.array([True, True]))
+    assert rates[0] == pytest.approx(4.0)
+    assert rates[1] == pytest.approx(6.0)
+
+
+def test_inactive_flows_get_zero():
+    usage = sp.csr_matrix(np.array([[1.0, 1.0]]))
+    rates = max_min_fair_rates(usage, np.array([10.0]),
+                               np.array([True, False]))
+    assert rates[0] == pytest.approx(10.0)
+    assert rates[1] == 0.0
+
+
+def test_fractional_usage():
+    # flow split 50/50 over two links of capacity 5: rate can reach 10.
+    usage = sp.csr_matrix(np.array([[0.5], [0.5]]))
+    rates = max_min_fair_rates(usage, np.array([5.0, 5.0]),
+                               np.array([True]))
+    assert rates[0] == pytest.approx(10.0)
+
+
+# -- phase simulation ----------------------------------------------------------------
+@pytest.fixture
+def sim44():
+    topo = torus(4, 4)
+    return topo, FluidPhaseSimulator(MinimalAdaptiveRouter(topo),
+                                     link_bandwidth=100.0)
+
+
+def test_single_flow_time(sim44):
+    topo, sim = sim44
+    # one 1-hop flow of 200 bytes at 100 B/s on its only channel: 2 s
+    assert sim.phase_time([0], [1], [200.0]) == pytest.approx(2.0)
+
+
+def test_diagonal_flow_uses_both_paths(sim44):
+    topo, sim = sim44
+    # 0 -> 5 splits 50/50: each channel carries half at full rate -> the
+    # flow drains at up to 2x a single link's bandwidth... but the split
+    # is fixed at 50% per path, so rate is bounded by 2 * capacity.
+    t = sim.phase_time([0], [5], [200.0])
+    assert t == pytest.approx(1.0)
+
+
+def test_disjoint_flows_parallel(sim44):
+    topo, sim = sim44
+    # two disjoint 1-hop flows run concurrently: same time as one
+    t1 = sim.phase_time([0], [1], [100.0])
+    t2 = sim.phase_time([0, 10], [1, 11], [100.0, 100.0])
+    assert t2 == pytest.approx(t1)
+
+
+def test_shared_link_serializes(sim44):
+    topo, sim = sim44
+    # identical flows share one channel: double the time of one
+    t1 = sim.phase_time([0], [1], [100.0])
+    t2 = sim.phase_time([0, 0], [1, 1], [100.0, 100.0])
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_freed_capacity_speeds_up_survivor():
+    topo = mesh(2, 1)
+    sim = FluidPhaseSimulator(
+        MinimalAdaptiveRouter(topo), link_bandwidth=100.0
+    )
+    # two flows on the same single channel, one small, one large:
+    # phase 1: both at 50 B/s until the small (100 B) finishes at t=2;
+    # then the large (300 B) has 200 B left at 100 B/s -> t=4 total.
+    t = sim.phase_time([0, 0], [1, 1], [100.0, 300.0])
+    assert t == pytest.approx(4.0)
+
+
+def test_matches_mcl_bound(sim44):
+    """Fluid completion can never beat the MCL drain-time lower bound."""
+    topo, sim = sim44
+    rng = np.random.default_rng(0)
+    srcs = rng.integers(0, 16, 30)
+    dsts = rng.integers(0, 16, 30)
+    vols = rng.uniform(10, 100, 30)
+    router = MinimalAdaptiveRouter(topo)
+    keep = srcs != dsts
+    mcl = router.max_channel_load(srcs[keep], dsts[keep], vols[keep])
+    t = sim.phase_time(srcs, dsts, vols)
+    assert t >= mcl / 100.0 - 1e-9
+
+
+def test_empty_and_onnode(sim44):
+    topo, sim = sim44
+    assert sim.phase_time([], [], []) == 0.0
+    assert sim.phase_time([3], [3], [100.0]) == 0.0
+
+
+def test_bad_bandwidth():
+    with pytest.raises(SimulationError):
+        FluidPhaseSimulator(MinimalAdaptiveRouter(torus(2, 2)),
+                            link_bandwidth=0)

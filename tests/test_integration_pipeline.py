@@ -1,0 +1,121 @@
+"""End-to-end integration tests: the full user journey in one place.
+
+profile -> cluster/map -> deliver (mapfile) -> simulate -> inspect,
+exactly as a downstream user would chain the library's pieces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CommGraph,
+    Mapping,
+    RAHTMConfig,
+    RAHTMMapper,
+    evaluate_mapping,
+    torus,
+)
+from repro.baselines import DimOrderMapper
+from repro.mapping import read_mapfile, write_mapfile
+from repro.profile import VirtualMPI, profile_commgraph
+from repro.routing import MinimalAdaptiveRouter
+from repro.simulator import (
+    ApplicationModel,
+    NetworkModel,
+    calibrate_compute,
+)
+from repro.topology import BGQTopology
+from repro.visualize import load_histogram_text
+from repro.workloads import halo2d
+
+FAST = RAHTMConfig(beam_width=8, max_orientations=8, milp_time_limit=10.0,
+                   order_mode="identity", refine_iterations=300, seed=0)
+
+
+def test_full_pipeline_profile_map_simulate(tmp_path):
+    # 1. The "application": a 8x8 stencil job with an occasional allreduce,
+    #    traced through the virtual MPI layer.
+    num_ranks = 64
+    vm = VirtualMPI(num_ranks)
+    halo = halo2d(8, 8, volume=40_000.0)
+    for s, d, v in zip(halo.srcs, halo.dsts, halo.vols):
+        vm.send(int(s), int(d), float(v), call="MPI_Isend")
+    vm.collective("allreduce-recursive-doubling", 2_000.0)
+    graph, ipm = profile_commgraph(vm)
+    assert 0.9 < ipm.point_to_point_fraction < 1.0
+
+    # 2. Offline mapping on a BG/Q-style platform.
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 1), tasks_per_node=4)
+    mapper = RAHTMMapper(bgq, FAST)
+    mapping = mapper.map(graph)
+    router = MinimalAdaptiveRouter(bgq.network)
+    rahtm_rep = evaluate_mapping(router, mapping, graph)
+    default = DimOrderMapper(bgq).map(graph)
+    default_rep = evaluate_mapping(router, default, graph)
+    assert rahtm_rep.mcl <= default_rep.mcl * 1.05
+
+    # 3. Deliver as a mapfile and read it back.
+    path = tmp_path / "job.map"
+    write_mapfile(path, mapping, bgq)
+    recovered = read_mapfile(path, bgq)
+    assert np.array_equal(recovered.task_to_node, mapping.task_to_node)
+
+    # 4. Estimate the runtime impact.
+    app = ApplicationModel("halo-job", (graph,), iterations=50,
+                           compute_seconds_per_iter=0.0)
+    network = NetworkModel(router)
+    app = calibrate_compute(app, default, network, 0.40)
+    t_default = app.simulate(default, network).total_seconds
+    t_rahtm = app.simulate(recovered, network).total_seconds
+    assert t_rahtm <= t_default * 1.05
+
+    # 5. Inspect: the histogram renders and reports the right MCL.
+    text = load_histogram_text(router, recovered, graph)
+    assert f"MCL={rahtm_rep.mcl:.4g}" in text
+
+
+def test_pipeline_on_saved_workload(tmp_path):
+    """CLI-style flow: persist workload, reload, map, persist mapping."""
+    from repro.cli import main
+
+    wpath = tmp_path / "w.npz"
+    mpath = tmp_path / "m.npz"
+    assert main(["workload", "--spec", "bt:16:W", "--out", str(wpath)]) == 0
+    assert main([
+        "map", "--topology", "4x4", "--workload", str(wpath),
+        "--mapper", "rahtm", "--beam-width", "4", "--max-orientations", "4",
+        "--milp-time-limit", "5", "--refine", "200", "--out", str(mpath),
+    ]) == 0
+    assert main([
+        "evaluate", "--topology", "4x4", "--workload", str(wpath),
+        "--mapping", str(mpath),
+    ]) == 0
+
+
+def test_pipeline_cross_topology_consistency():
+    """The same workload mapped on torus/fat-tree/dragonfly yields finite,
+    comparable metrics through the one evaluate_mapping API."""
+    from repro.extensions import (
+        Dragonfly, DragonflyMapper, DragonflyRouter,
+        FatTree, FatTreeMapper, FatTreeRouter,
+    )
+    from repro.workloads import nas_cg
+
+    graph = nas_cg(64, "W")
+    results = {}
+    topo = torus(4, 4)
+    results["torus"] = evaluate_mapping(
+        MinimalAdaptiveRouter(topo),
+        RAHTMMapper(topo, FAST).map(graph), graph,
+    )
+    ft = FatTree(2, 5)  # 32 leaves, concentration 2
+    results["fattree"] = evaluate_mapping(
+        FatTreeRouter(ft), FatTreeMapper(ft).map(graph), graph
+    )
+    df = Dragonfly(4, 4, 2, 1)  # 32 hosts
+    results["dragonfly"] = evaluate_mapping(
+        DragonflyRouter(df), DragonflyMapper(df).map(graph), graph
+    )
+    for name, rep in results.items():
+        assert np.isfinite(rep.mcl) and rep.mcl > 0, name
+        assert rep.offnode_volume <= graph.total_volume

@@ -1,0 +1,98 @@
+"""Unit tests for the LP expression layer."""
+
+import pytest
+
+from repro.lp import Model, lpsum
+from repro.lp.expr import Constraint, LinExpr
+
+
+@pytest.fixture
+def m():
+    return Model("t")
+
+
+def test_variable_to_expr(m):
+    x = m.add_var("x")
+    e = x.to_expr()
+    assert e.coeffs == {0: 1.0}
+    assert e.constant == 0.0
+
+
+def test_addition_and_subtraction(m):
+    x, y = m.add_var("x"), m.add_var("y")
+    e = x + 2 * y - 3
+    assert e.coeffs == {0: 1.0, 1: 2.0}
+    assert e.constant == -3.0
+
+
+def test_rsub_and_radd(m):
+    x = m.add_var("x")
+    e = 5 - x
+    assert e.coeffs == {0: -1.0}
+    assert e.constant == 5.0
+    e2 = 5 + x
+    assert e2.coeffs == {0: 1.0}
+
+
+def test_negation_and_scalar_ops(m):
+    x, y = m.add_var("x"), m.add_var("y")
+    e = -(2 * x - y) / 2
+    assert e.coeffs == {0: -1.0, 1: 0.5}
+
+
+def test_cancellation_drops_terms(m):
+    x, y = m.add_var("x"), m.add_var("y")
+    e = x + y - x
+    assert e.coeffs == {1: 1.0}
+
+
+def test_expr_times_expr_not_allowed(m):
+    x, y = m.add_var("x"), m.add_var("y")
+    with pytest.raises(TypeError):
+        _ = x.to_expr() * y.to_expr()
+
+
+def test_comparisons_build_constraints(m):
+    x, y = m.add_var("x"), m.add_var("y")
+    c = x + y <= 4
+    assert isinstance(c, Constraint)
+    assert c.sense == "<="
+    assert c.rhs == 4.0
+    c2 = x >= y
+    assert c2.sense == ">="
+    assert c2.rhs == 0.0
+    c3 = x == 3
+    assert c3.sense == "=="
+    assert c3.rhs == 3.0
+
+
+def test_constraint_invalid_sense():
+    with pytest.raises(ValueError):
+        Constraint(LinExpr({0: 1.0}), "<")
+
+
+def test_lpsum_matches_repeated_add(m):
+    xs = m.add_vars(10, "x")
+    a = lpsum(xs)
+    b = xs[0].to_expr()
+    for v in xs[1:]:
+        b = b + v
+    assert a.coeffs == b.coeffs
+
+
+def test_lpsum_mixed_terms(m):
+    x = m.add_var("x")
+    e = lpsum([x, 2.0, 3 * x, LinExpr({}, 1.0)])
+    assert e.coeffs == {0: 4.0}
+    assert e.constant == 3.0
+
+
+def test_lpsum_rejects_garbage():
+    with pytest.raises(TypeError):
+        lpsum(["nope"])
+
+
+def test_lpsum_empty():
+    e = lpsum([])
+    assert e.coeffs == {}
+    assert e.constant == 0.0

@@ -1,0 +1,150 @@
+"""Solver-layer tests: LP and MILP lowering to HiGHS."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.lp import Model, SolveStatus
+
+
+def test_simple_lp_min():
+    m = Model()
+    x = m.add_var("x", lb=0)
+    y = m.add_var("y", lb=0)
+    m.add_constraint(x + y >= 4)
+    m.add_constraint(x - y <= 2)
+    m.set_objective(2 * x + y)
+    sol = m.solve()
+    assert sol.is_optimal
+    # Optimum at x=0, y=4 -> 4.
+    assert sol.objective == pytest.approx(4.0)
+
+
+def test_lp_max_sense():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=3)
+    y = m.add_var("y", lb=0, ub=5)
+    m.set_objective(x + 2 * y, sense="max")
+    sol = m.solve()
+    assert sol.objective == pytest.approx(13.0)
+    assert sol.value(x) == pytest.approx(3.0)
+
+
+def test_milp_integrality():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=10, integer=True)
+    m.add_constraint(2 * x <= 7)
+    m.set_objective(x, sense="max")
+    sol = m.solve()
+    assert sol.is_optimal
+    assert sol.value(x) == pytest.approx(3.0)
+
+
+def test_binary_shorthand():
+    m = Model()
+    bits = m.add_vars(5, "b", binary=True)
+    m.add_constraint(sum(bits[1:], bits[0].to_expr()) <= 2)
+    m.set_objective(
+        sum((i + 1) * b for i, b in enumerate(bits)), sense="max"
+    )
+    sol = m.solve()
+    assert sol.objective == pytest.approx(4 + 5)
+
+
+def test_infeasible_status_and_raise():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=1)
+    m.add_constraint(x >= 2)
+    m.set_objective(x)
+    sol = m.solve()
+    assert sol.status is SolveStatus.INFEASIBLE
+    assert not sol.has_solution
+    with pytest.raises(InfeasibleError):
+        m.solve(raise_on_infeasible=True)
+
+
+def test_unbounded_status():
+    m = Model()
+    x = m.add_var("x", lb=0)
+    m.set_objective(x, sense="max")
+    sol = m.solve()
+    assert sol.status is SolveStatus.UNBOUNDED
+
+
+def test_value_on_expression():
+    m = Model()
+    x = m.add_var("x", lb=1, ub=1)
+    y = m.add_var("y", lb=2, ub=2)
+    m.set_objective(x + y)
+    sol = m.solve()
+    assert sol.value(x + 3 * y) == pytest.approx(7.0)
+
+
+def test_value_without_solution_raises():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=1)
+    m.add_constraint(x >= 2)
+    m.set_objective(x)
+    sol = m.solve()
+    with pytest.raises(ValueError):
+        sol.value(x)
+
+
+def test_equality_constraints():
+    m = Model()
+    x = m.add_var("x", lb=0, ub=10)
+    y = m.add_var("y", lb=0, ub=10)
+    m.add_constraint(x + y == 6)
+    m.add_constraint(x - y == 2)
+    m.set_objective(x)
+    sol = m.solve()
+    assert sol.value(x) == pytest.approx(4.0)
+    assert sol.value(y) == pytest.approx(2.0)
+
+
+def test_bad_bounds_rejected():
+    m = Model()
+    with pytest.raises(ValueError):
+        m.add_var("x", lb=3, ub=1)
+
+
+def test_add_constraint_type_check():
+    m = Model()
+    with pytest.raises(TypeError):
+        m.add_constraint(True)  # accidental boolean comparison
+
+
+def test_objective_type_check():
+    m = Model()
+    with pytest.raises(TypeError):
+        m.set_objective("x")
+    with pytest.raises(ValueError):
+        m.set_objective(m.add_var("x"), sense="biggest")
+
+
+def test_model_stats():
+    m = Model("stats")
+    m.add_vars(3, "x")
+    m.add_var("b", binary=True)
+    m.add_constraint(m.add_var("y") >= 1)
+    assert m.num_vars == 5
+    assert m.num_integer_vars == 1
+    assert m.is_mip
+    assert "stats" in repr(m)
+
+
+def test_knapsack():
+    values = [10, 13, 7, 8, 4]
+    weights = [3, 4, 2, 3, 1]
+    m = Model("knapsack")
+    take = m.add_vars(5, "take", binary=True)
+    m.add_constraint(
+        sum(w * t for w, t in zip(weights, take)) <= 7
+    )
+    m.set_objective(sum(v * t for v, t in zip(values, take)), sense="max")
+    sol = m.solve()
+    assert sol.is_optimal
+    assert sol.objective == pytest.approx(24.0)  # items 0,1 (w=7, v=23)? check
+    chosen = [i for i, t in enumerate(take) if sol.value(t) > 0.5]
+    total_w = sum(weights[i] for i in chosen)
+    assert total_w <= 7

@@ -1,0 +1,120 @@
+"""Mapping and mapfile tests."""
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.errors import MappingError
+from repro.mapping import Mapping, read_mapfile, write_mapfile
+from repro.topology import BGQTopology, torus
+
+
+def test_identity_mapping():
+    t = torus(2, 2)
+    m = Mapping.identity(t, tasks_per_node=2)
+    assert m.num_tasks == 8
+    assert m.node_of([0, 1, 2]).tolist() == [0, 0, 1]
+    assert m.tasks_on(0).tolist() == [0, 1]
+    assert not m.is_permutation()
+    assert Mapping.identity(t).is_permutation()
+
+
+def test_capacity_enforced():
+    t = torus(2, 2)
+    with pytest.raises(MappingError):
+        Mapping(t, [0, 0, 1, 2], tasks_per_node=1)
+    with pytest.raises(MappingError):
+        Mapping(t, [0, 4])
+    with pytest.raises(MappingError):
+        Mapping(t, [])
+
+
+def test_default_capacity_is_ceiling():
+    t = torus(2, 2)
+    m = Mapping(t, [0, 1, 2, 3, 0])
+    assert m.tasks_per_node == 2
+
+
+def test_permute_nodes_and_tasks():
+    t = torus(2, 2)
+    m = Mapping(t, [0, 1, 2, 3])
+    pn = m.permute_nodes([3, 2, 1, 0])
+    assert pn.task_to_node.tolist() == [3, 2, 1, 0]
+    pt = m.permute_tasks([1, 0, 2, 3])
+    assert pt.task_to_node.tolist() == [1, 0, 2, 3]
+    with pytest.raises(MappingError):
+        m.permute_nodes([0, 0, 1, 2])
+    with pytest.raises(MappingError):
+        m.permute_tasks([0, 0, 1, 2])
+
+
+def test_network_flows_aggregation():
+    t = torus(2, 2)
+    # tasks 0,1 colocated on node 0; tasks 2,3 on node 1
+    m = Mapping(t, [0, 0, 1, 1], tasks_per_node=2)
+    g = CommGraph(4, [0, 1, 0, 2], [1, 2, 2, 3], [5.0, 1.0, 2.0, 9.0])
+    srcs, dsts, vols = m.network_flows(g)
+    # 0->1 intra-node (dropped); 1->2 and 0->2 aggregate to node 0->1
+    assert srcs.tolist() == [0]
+    assert dsts.tolist() == [1]
+    assert vols[0] == pytest.approx(3.0)
+    assert m.offnode_volume(g) == pytest.approx(3.0)
+
+
+def test_network_flows_size_mismatch():
+    t = torus(2, 2)
+    m = Mapping(t, [0, 1, 2, 3])
+    with pytest.raises(MappingError):
+        m.network_flows(CommGraph(3, [0], [1], [1.0]))
+
+
+def test_node_counts_and_used():
+    t = torus(2, 2)
+    m = Mapping(t, [0, 0, 3, 3], tasks_per_node=2)
+    assert m.node_counts.tolist() == [2, 0, 0, 2]
+    assert m.used_nodes == 2
+
+
+def test_mapfile_roundtrip(tmp_path):
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=4)
+    rng = np.random.default_rng(0)
+    t2n = np.repeat(rng.permutation(bgq.num_nodes), 4)
+    mapping = Mapping(bgq.network, t2n, tasks_per_node=4)
+    path = tmp_path / "map.txt"
+    write_mapfile(path, mapping, bgq)
+    loaded = read_mapfile(path, bgq)
+    assert np.array_equal(loaded.task_to_node, mapping.task_to_node)
+
+
+def test_mapfile_t_coordinates_unique_per_node(tmp_path):
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=2)
+    mapping = Mapping.identity(bgq.network, tasks_per_node=2)
+    path = tmp_path / "map.txt"
+    write_mapfile(path, mapping, bgq)
+    rows = [line.split() for line in path.read_text().splitlines()]
+    seen = set()
+    for row in rows:
+        key = tuple(row)  # full slot must be unique
+        assert key not in seen
+        seen.add(key)
+
+
+def test_mapfile_validation(tmp_path):
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=1)
+    path = tmp_path / "bad.txt"
+    path.write_text("0 0 0 0 0\n")  # 5 fields, not 6
+    with pytest.raises(MappingError):
+        read_mapfile(path, bgq)
+    path.write_text("")
+    with pytest.raises(MappingError):
+        read_mapfile(path, bgq)
+    path.write_text("0 0 0 0 0 5\n")  # T out of range
+    with pytest.raises(MappingError):
+        read_mapfile(path, bgq)
+
+
+def test_mapfile_concentration_check(tmp_path):
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=1)
+    mapping = Mapping.identity(bgq.network, tasks_per_node=2)
+    with pytest.raises(MappingError):
+        write_mapfile(tmp_path / "m.txt", mapping, bgq)

@@ -1,0 +1,176 @@
+"""Phase-3 merge tests."""
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.core.clustering import build_cluster_hierarchy
+from repro.core.merge import (
+    MergeBlock,
+    MergeConfig,
+    hierarchical_merge,
+    merge_blocks,
+)
+from repro.core.pseudo_pin import pseudo_pin
+from repro.errors import ConfigError
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import CubeHierarchy, torus
+from repro.workloads import random_uniform
+
+
+def two_blocks_setup():
+    """Two 2x2 blocks side by side in a 4x4-wide, 2-tall mesh-like torus."""
+    topo = torus(4, 4)
+    router = MinimalAdaptiveRouter(topo)
+    blocks = [
+        MergeBlock(
+            origin=np.array([0, 0]), shape=(2, 2),
+            clusters=np.array([0, 1, 2, 3]),
+            local_coords=np.array([[0, 0], [0, 1], [1, 0], [1, 1]]),
+        ),
+        MergeBlock(
+            origin=np.array([0, 2]), shape=(2, 2),
+            clusters=np.array([4, 5, 6, 7]),
+            local_coords=np.array([[0, 0], [0, 1], [1, 0], [1, 1]]),
+        ),
+    ]
+    return topo, router, blocks
+
+
+def test_merge_positions_cover_all_clusters():
+    topo, router, blocks = two_blocks_setup()
+    g = random_uniform(8, 30, seed=0)
+    out = merge_blocks(
+        topo, router, blocks, g.srcs, g.dsts, g.vols,
+        MergeConfig(beam_width=4, seed=0), num_clusters=8,
+    )
+    assert set(out.positions) == set(range(8))
+    nodes = list(out.positions.values())
+    assert len(set(nodes)) == 8
+
+
+def test_merge_respects_block_rigidity():
+    """Clusters of one block stay inside that block's region."""
+    topo, router, blocks = two_blocks_setup()
+    g = random_uniform(8, 30, seed=1)
+    out = merge_blocks(
+        topo, router, blocks, g.srcs, g.dsts, g.vols,
+        MergeConfig(beam_width=8, seed=1), num_clusters=8,
+    )
+    for c in (0, 1, 2, 3):
+        coords = topo.coords(out.positions[c])
+        assert coords[1] < 2
+    for c in (4, 5, 6, 7):
+        coords = topo.coords(out.positions[c])
+        assert coords[1] >= 2
+
+
+def test_merge_optimizes_cross_block_mcl():
+    """A heavy cross-block flow must end up spread over many minimal
+    paths: merged MCL well below the single-channel load that naive
+    adjacent placement would produce (the routing-aware behaviour)."""
+    topo, router, blocks = two_blocks_setup()
+    g = CommGraph.from_edges(8, [(1, 4, 100.0), (4, 1, 100.0)])
+    out = merge_blocks(
+        topo, router, blocks, g.srcs, g.dsts, g.vols,
+        MergeConfig(beam_width=16, seed=0), num_clusters=8,
+    )
+    # adjacency would put 100 bytes on one channel; path diversity wins
+    assert out.mcl <= 50.0 + 1e-9
+
+
+def test_single_block_returns_identity_orientation():
+    topo, router, blocks = two_blocks_setup()
+    g = random_uniform(8, 20, seed=2)
+    out = merge_blocks(
+        topo, router, blocks[:1], g.srcs, g.dsts, g.vols,
+        MergeConfig(beam_width=4, seed=0), num_clusters=8,
+    )
+    assert set(out.positions) == {0, 1, 2, 3}
+    assert out.orientations[0].is_identity
+
+
+def test_wider_beam_never_hurts():
+    topo, router, blocks = two_blocks_setup()
+    g = random_uniform(8, 40, max_volume=20.0, seed=3)
+    mcls = []
+    for beam in (1, 4, 16, 64):
+        out = merge_blocks(
+            topo, router, blocks, g.srcs, g.dsts, g.vols,
+            MergeConfig(beam_width=beam, order_mode="identity", seed=0),
+            num_clusters=8,
+        )
+        mcls.append(out.mcl)
+    assert all(a >= b - 1e-9 for a, b in zip(mcls, mcls[1:]))
+
+
+def test_merge_config_validation():
+    with pytest.raises(ConfigError):
+        MergeConfig(beam_width=0)
+    with pytest.raises(ConfigError):
+        MergeConfig(order_mode="lucky")
+
+
+def test_hierarchical_merge_improves_or_matches_pin():
+    topo = torus(4, 4)
+    graph = random_uniform(16, 80, max_volume=50.0, seed=5)
+    cube_h = CubeHierarchy(topo)
+    hierarchy = build_cluster_hierarchy(graph, 16, 4, 2)
+    pin = pseudo_pin(hierarchy, cube_h, time_limit=20)
+    router = MinimalAdaptiveRouter(topo)
+    node_graph = hierarchy.node_graph
+    before = evaluate_mapping(
+        router, Mapping(topo, pin.cluster_to_node), node_graph
+    ).mcl
+    merged, stats = hierarchical_merge(
+        topo, router, cube_h, node_graph, pin.cluster_to_node,
+        MergeConfig(beam_width=16, seed=0),
+    )
+    after = evaluate_mapping(router, Mapping(topo, merged), node_graph).mcl
+    assert after <= before + 1e-9
+    assert stats["evaluations"] > 0
+
+
+def test_hierarchical_merge_output_is_bijection():
+    topo = torus(4, 4)
+    graph = random_uniform(16, 60, seed=6)
+    cube_h = CubeHierarchy(topo)
+    hierarchy = build_cluster_hierarchy(graph, 16, 4, 2)
+    pin = pseudo_pin(hierarchy, cube_h, time_limit=20)
+    router = MinimalAdaptiveRouter(topo)
+    merged, _ = hierarchical_merge(
+        topo, router, cube_h, hierarchy.node_graph, pin.cluster_to_node,
+        MergeConfig(beam_width=4, max_orientations=4, seed=0),
+    )
+    assert sorted(merged.tolist()) == list(range(16))
+
+
+def test_hierarchical_merge_symmetry_cache():
+    """A fully symmetric workload makes sibling merges identical."""
+    topo = torus(8, 8)
+    from repro.workloads import halo2d
+
+    graph = halo2d(8, 8, volume=1.0)
+    cube_h = CubeHierarchy(topo)
+    hierarchy = build_cluster_hierarchy(graph, 64, 4, 3)
+    pin = pseudo_pin(hierarchy, cube_h, time_limit=20)
+    router = MinimalAdaptiveRouter(topo)
+    merged, stats = hierarchical_merge(
+        topo, router, cube_h, hierarchy.node_graph, pin.cluster_to_node,
+        MergeConfig(beam_width=4, max_orientations=4, seed=0),
+    )
+    assert sorted(merged.tolist()) == list(range(64))
+
+
+def test_hierarchical_merge_rejects_non_bijection():
+    topo = torus(4, 4)
+    cube_h = CubeHierarchy(topo)
+    g = random_uniform(16, 10, seed=0)
+    router = MinimalAdaptiveRouter(topo)
+    with pytest.raises(ConfigError):
+        hierarchical_merge(
+            topo, router, cube_h, g, np.zeros(16, dtype=np.int64),
+            MergeConfig(),
+        )

@@ -1,0 +1,101 @@
+"""Metric identity and report tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.commgraph import CommGraph
+from repro.mapping import Mapping
+from repro.metrics import (
+    average_channel_load,
+    dilation,
+    evaluate_mapping,
+    hop_bytes,
+    load_histogram,
+    max_channel_load,
+)
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import torus
+from repro.workloads import halo2d, random_uniform
+
+
+@pytest.fixture
+def setup44():
+    t = torus(4, 4)
+    return t, MinimalAdaptiveRouter(t), Mapping.identity(t), halo2d(4, 4, 3.0)
+
+
+def test_mcl_positive_for_real_traffic(setup44):
+    t, r, m, g = setup44
+    assert max_channel_load(r, m, g) > 0
+
+
+def test_hop_bytes_is_router_independent(setup44):
+    t, r, m, g = setup44
+    assert hop_bytes(m, g) == pytest.approx(16 * 4 * 3.0)  # all 1-hop
+
+
+@given(st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_total_load_equals_hop_bytes_under_minimal_routing(seed):
+    """Any minimal router spreads exactly hop-bytes of load in total."""
+    t = torus(4, 4)
+    g = random_uniform(16, 40, seed=seed)
+    m = Mapping.identity(t)
+    hb = hop_bytes(m, g)
+    for router in (MinimalAdaptiveRouter(t), DimensionOrderRouter(t)):
+        srcs, dsts, vols = m.network_flows(g)
+        assert router.link_loads(srcs, dsts, vols).sum() == pytest.approx(hb)
+
+
+def test_average_load_lower_bounds_mcl(setup44):
+    t, r, m, g = setup44
+    assert average_channel_load(r, m, g) <= max_channel_load(r, m, g) + 1e-12
+
+
+def test_dilation(setup44):
+    t, r, m, g = setup44
+    mean, mx = dilation(m, g)
+    assert mean == pytest.approx(1.0)
+    assert mx == 1
+
+
+def test_load_histogram(setup44):
+    t, r, m, g = setup44
+    counts, edges = load_histogram(r, m, g, bins=5)
+    assert counts.sum() == t.num_channels
+
+
+def test_report_fields(setup44):
+    t, r, m, g = setup44
+    rep = evaluate_mapping(r, m, g)
+    assert rep.mcl == max_channel_load(r, m, g)
+    assert rep.hop_bytes == hop_bytes(m, g)
+    assert rep.offnode_fraction == pytest.approx(1.0)
+    assert rep.load_imbalance >= 1.0
+    assert "MCL" in str(rep)
+
+
+def test_report_with_colocated_tasks():
+    t = torus(2, 2)
+    m = Mapping(t, [0, 0, 1, 1], tasks_per_node=2)
+    g = CommGraph(4, [0, 2], [1, 3], [10.0, 10.0])  # all intra-node
+    r = MinimalAdaptiveRouter(t)
+    rep = evaluate_mapping(r, m, g)
+    assert rep.mcl == 0.0
+    assert rep.offnode_fraction == 0.0
+    assert rep.num_network_flows == 0
+
+
+def test_hop_bytes_vs_mcl_disagree_for_single_heavy_flow():
+    """The Figure-1 tension: adjacency minimizes hop-bytes while the
+    *diagonal* placement minimizes MCL under adaptive routing, because the
+    flow spreads over many minimal paths."""
+    t = torus(4, 4)
+    r = MinimalAdaptiveRouter(t)
+    g = CommGraph(16, [0], [1], [100.0])
+    near = Mapping.identity(t)  # 0 and 1 adjacent
+    far = Mapping(t, np.r_[0, 10, np.setdiff1d(np.arange(16), [0, 10])])
+    assert hop_bytes(near, g) < hop_bytes(far, g)
+    assert max_channel_load(r, far, g) < max_channel_load(r, near, g)

@@ -1,0 +1,143 @@
+"""Hyperoctahedral orientation-group tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orientation import (
+    Orientation,
+    all_orientations,
+    node_permutation,
+    orientations_for_shape,
+    sample_orientations,
+)
+from repro.errors import ConfigError
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_group_size(n):
+    group = all_orientations(n)
+    assert len(group) == 2**n * math.factorial(n)
+    # all distinct
+    assert len({(o.perm, o.flip) for o in group}) == len(group)
+
+
+def test_identity():
+    ident = Orientation.identity(3)
+    assert ident.is_identity
+    coords = np.array([[0, 1, 2], [1, 0, 3]])
+    assert np.array_equal(ident.apply(coords, (2, 2, 4)), coords)
+
+
+def test_apply_flip_and_perm():
+    o = Orientation((1, 0), (True, False))
+    # y0 = shape0-1 - x1 ; y1 = x0
+    out = o.apply(np.array([[0, 1]]), (2, 2))
+    assert out.tolist() == [[0, 0]]
+    out = o.apply(np.array([[1, 0]]), (2, 2))
+    assert out.tolist() == [[1, 1]]
+
+
+def test_apply_rejects_unequal_extents():
+    o = Orientation((1, 0), (False, False))
+    with pytest.raises(ConfigError):
+        o.apply(np.array([[0, 0]]), (2, 3))
+
+
+def test_invalid_orientation_construction():
+    with pytest.raises(ConfigError):
+        Orientation((0, 0), (False, False))
+    with pytest.raises(ConfigError):
+        Orientation((0, 1), (False,))
+
+
+orientation_strategy = st.integers(2, 3).flatmap(
+    lambda n: st.tuples(
+        st.permutations(range(n)),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+    ).map(lambda pf: Orientation(tuple(pf[0]), tuple(pf[1])))
+)
+
+
+@given(orientation_strategy, st.data())
+@settings(max_examples=50, deadline=None)
+def test_compose_matches_sequential_apply(o1, data):
+    n = o1.ndim
+    o2 = data.draw(
+        st.tuples(
+            st.permutations(range(n)),
+            st.lists(st.booleans(), min_size=n, max_size=n),
+        ).map(lambda pf: Orientation(tuple(pf[0]), tuple(pf[1])))
+    )
+    shape = (4,) * n
+    coords = np.stack(np.meshgrid(*[np.arange(4)] * n, indexing="ij"),
+                      axis=-1).reshape(-1, n)
+    seq = o1.apply(o2.apply(coords, shape), shape)
+    comp = o1.compose(o2).apply(coords, shape)
+    assert np.array_equal(seq, comp)
+
+
+@given(orientation_strategy)
+@settings(max_examples=50, deadline=None)
+def test_inverse_property(o):
+    n = o.ndim
+    shape = (3,) * n
+    coords = np.stack(np.meshgrid(*[np.arange(3)] * n, indexing="ij"),
+                      axis=-1).reshape(-1, n)
+    back = o.inverse().apply(o.apply(coords, shape), shape)
+    assert np.array_equal(back, coords)
+    assert o.compose(o.inverse()).is_identity
+
+
+def test_node_permutation_is_permutation():
+    for shape in [(2, 2), (2, 2, 2), (4, 4), (4, 2)]:
+        for o in orientations_for_shape(shape):
+            p = node_permutation(shape, o)
+            assert sorted(p.tolist()) == list(range(int(np.prod(shape))))
+
+
+def test_orientations_for_noncubic_shape():
+    # (4, 2): dims cannot swap; flips on both -> 4 orientations
+    group = orientations_for_shape((4, 2))
+    assert len(group) == 4
+    # (4, 4, 1): two swappable dims, flips on two -> 2! * 4 = 8
+    group = orientations_for_shape((4, 4, 1))
+    assert len(group) == 8
+    assert all(o.perm[2] == 2 for o in group)
+
+
+def test_orientations_preserve_shape_membership():
+    shape = (4, 4, 1)
+    coords = np.array([[3, 0, 0], [1, 2, 0]])
+    for o in orientations_for_shape(shape):
+        out = o.apply(coords, shape)
+        assert (out >= 0).all()
+        assert (out < np.asarray(shape)).all()
+
+
+def test_sample_orientations_keeps_identity():
+    group = all_orientations(3)
+    sampled = sample_orientations(group, 5, seed=0)
+    assert len(sampled) == 5
+    assert sampled[0].is_identity
+    # deterministic under the same seed
+    again = sample_orientations(group, 5, seed=0)
+    assert [(o.perm, o.flip) for o in sampled] == [
+        (o.perm, o.flip) for o in again
+    ]
+
+
+def test_sample_orientations_limits():
+    group = all_orientations(2)
+    assert sample_orientations(group, None, seed=0) == group
+    assert sample_orientations(group, 100, seed=0) == group
+    with pytest.raises(ConfigError):
+        sample_orientations(group, 0, seed=0)
+
+
+def test_str_representation():
+    o = Orientation((1, 0), (True, False))
+    assert str(o) == "-1+0"

@@ -1,0 +1,119 @@
+"""Cross-cutting property-based tests on whole-stack invariants.
+
+The strongest correctness signals in this codebase: quantities that must
+be exactly preserved under symmetries of the torus, regardless of
+workload, mapping, or router internals.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.orientation import all_orientations, node_permutation
+from repro.mapping import Mapping
+from repro.metrics import evaluate_mapping
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import torus
+from repro.workloads import random_uniform
+
+TOPO = torus(4, 4)
+MAR = MinimalAdaptiveRouter(TOPO)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def translation_perm(topo, offset):
+    """Node permutation translating every node by ``offset`` (mod shape)."""
+    coords = topo.coords_array + np.asarray(offset, dtype=np.int64)
+    coords = coords % np.asarray(topo.shape, dtype=np.int64)
+    return topo.index(coords)
+
+
+@given(seeds, st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_mcl_invariant_under_torus_translation(seed, dx, dy):
+    """Translating a mapping around the torus cannot change its MCL."""
+    g = random_uniform(16, 50, seed=seed)
+    base = Mapping(TOPO, np.random.default_rng(seed).permutation(16))
+    shifted = base.permute_nodes(translation_perm(TOPO, (dx, dy)))
+    m0 = evaluate_mapping(MAR, base, g)
+    m1 = evaluate_mapping(MAR, shifted, g)
+    assert m1.mcl == pytest.approx(m0.mcl)
+    assert m1.hop_bytes == pytest.approx(m0.hop_bytes)
+
+
+@given(seeds, st.integers(0, 7))
+@settings(max_examples=25, deadline=None)
+def test_mcl_invariant_under_torus_orientation(seed, orient_idx):
+    """Rotating/reflecting the whole torus is an automorphism: MCL, and
+    the full sorted load spectrum, are preserved under MAR."""
+    group = all_orientations(2)
+    orientation = group[orient_idx]
+    perm = node_permutation(TOPO.shape, orientation)
+    g = random_uniform(16, 50, seed=seed)
+    base = Mapping(TOPO, np.random.default_rng(seed + 1).permutation(16))
+    rotated = base.permute_nodes(perm)
+    s0, d0, v0 = base.network_flows(g)
+    s1, d1, v1 = rotated.network_flows(g)
+    l0 = MAR.link_loads(s0, d0, v0)
+    l1 = MAR.link_loads(s1, d1, v1)
+    assert np.allclose(np.sort(l0), np.sort(l1))
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_load_superposition(seed):
+    """Link loads are linear in the traffic: loads(A + B) = loads(A) +
+    loads(B) for any two workloads under any router."""
+    ga = random_uniform(16, 30, seed=seed)
+    gb = random_uniform(16, 30, seed=seed + 10**6)
+    m = Mapping.identity(TOPO)
+    for router in (MAR, DimensionOrderRouter(TOPO)):
+        la = router.link_loads(*m.network_flows(ga))
+        lb = router.link_loads(*m.network_flows(gb))
+        lab = router.link_loads(*m.network_flows(ga + gb))
+        assert np.allclose(la + lb, lab)
+
+
+@given(seeds, st.floats(0.1, 10.0))
+@settings(max_examples=25, deadline=None)
+def test_load_scaling_homogeneity(seed, factor):
+    """Scaling all volumes scales every channel load by the same factor."""
+    g = random_uniform(16, 40, seed=seed)
+    m = Mapping.identity(TOPO)
+    l1 = MAR.link_loads(*m.network_flows(g))
+    l2 = MAR.link_loads(*m.network_flows(g.scaled(factor)))
+    assert np.allclose(l2, factor * l1)
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_mar_never_exceeds_dor_total(seed):
+    """Both routers carry identical total load (hop-bytes); MAR's max is
+    never above DOR's by the convexity of load spreading."""
+    g = random_uniform(16, 40, seed=seed)
+    m = Mapping.identity(TOPO)
+    flows = m.network_flows(g)
+    mar_loads = MAR.link_loads(*flows)
+    dor_loads = DimensionOrderRouter(TOPO).link_loads(*flows)
+    assert mar_loads.sum() == pytest.approx(dor_loads.sum())
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_concentration_clustering_never_increases_offnode_volume(seed):
+    """Any concentration mapping keeps off-node volume <= total volume,
+    and RAHTM's clustered mapping keeps it <= a random mapping's (in
+    expectation; tested against the median of a few)."""
+    from repro.core.clustering import cluster_fixed_size
+
+    g = random_uniform(32, 120, seed=seed)
+    level = cluster_fixed_size(g, 2)
+    clustered = Mapping(TOPO, level.labels, tasks_per_node=2)
+    rng = np.random.default_rng(seed)
+    rand_offs = []
+    for _ in range(5):
+        rand = Mapping(TOPO, rng.permutation(32) // 2, tasks_per_node=2)
+        rand_offs.append(rand.offnode_volume(g))
+    assert clustered.offnode_volume(g) <= np.median(rand_offs) + 1e-9

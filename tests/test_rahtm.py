@@ -1,0 +1,132 @@
+"""End-to-end RAHTM mapper tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DimOrderMapper, RandomMapper
+from repro.core import RAHTMConfig, RAHTMMapper
+from repro.errors import ConfigError
+from repro.metrics import evaluate_mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import BGQTopology, torus
+from repro.workloads import halo2d, nas_cg, random_uniform
+
+FAST = RAHTMConfig(beam_width=8, max_orientations=8, milp_time_limit=15.0,
+                   order_mode="identity", seed=0)
+
+
+def test_mapping_is_valid_permutation():
+    topo = torus(4, 4)
+    mapping = RAHTMMapper(topo, FAST).map(random_uniform(16, 60, seed=0))
+    assert mapping.is_permutation()
+
+
+def test_concentration_handled():
+    topo = torus(4, 4)
+    g = halo2d(8, 8, volume=3.0)  # 64 tasks on 16 nodes
+    mapping = RAHTMMapper(topo, FAST).map(g)
+    assert mapping.tasks_per_node == 4
+    assert mapping.used_nodes == 16
+    assert (mapping.node_counts == 4).all()
+
+
+def test_beats_default_with_concentration_on_halo():
+    topo = torus(4, 4)
+    g = halo2d(8, 8, volume=3.0)
+    router = MinimalAdaptiveRouter(topo)
+    rahtm = evaluate_mapping(router, RAHTMMapper(topo, FAST).map(g), g).mcl
+    default = evaluate_mapping(
+        router, DimOrderMapper(topo, "ABT").map(g), g
+    ).mcl
+    assert rahtm <= default
+
+
+def test_beats_random_on_cg():
+    topo = torus(4, 4)
+    g = nas_cg(64, "W")
+    router = MinimalAdaptiveRouter(topo)
+    rahtm = evaluate_mapping(router, RAHTMMapper(topo, FAST).map(g), g).mcl
+    rand = evaluate_mapping(
+        router, RandomMapper(topo, seed=0).map(g), g
+    ).mcl
+    assert rahtm < rand
+
+
+def test_partitioned_topology_path():
+    """Non-uniform torus (arity-2 third dimension) takes the partition +
+    stitch route (the paper's E-dimension handling)."""
+    topo = torus(4, 4, 2)
+    g = halo2d(8, 4, volume=2.0)
+    mapper = RAHTMMapper(topo, FAST)
+    mapping = mapper.map(g)
+    assert mapping.is_permutation()
+    assert "phase3-stitch" in mapper.timer.totals
+
+
+def test_bgq_topology_accepted():
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=2)
+    g = random_uniform(64, 150, seed=1)
+    # A 2-ary 5-torus makes the root MILP 32x32 — let it hit the limit
+    # quickly and exercise the greedy fallback.
+    cfg = RAHTMConfig(beam_width=4, max_orientations=6, milp_time_limit=3.0,
+                      order_mode="identity", seed=0)
+    mapping = RAHTMMapper(bgq, cfg).map(g)
+    assert mapping.num_tasks == 64
+    assert mapping.tasks_per_node == 2
+
+
+def test_dor_routing_mode():
+    topo = torus(4, 4)
+    cfg = RAHTMConfig(beam_width=4, max_orientations=4, routing="dor",
+                      milp_time_limit=10.0, order_mode="identity", seed=0)
+    mapping = RAHTMMapper(topo, cfg).map(random_uniform(16, 40, seed=2))
+    assert mapping.is_permutation()
+
+
+def test_no_milp_ablation():
+    topo = torus(4, 4)
+    cfg = RAHTMConfig(beam_width=4, max_orientations=4, use_milp=False,
+                      order_mode="identity", seed=0)
+    mapping = RAHTMMapper(topo, cfg).map(random_uniform(16, 40, seed=3))
+    assert mapping.is_permutation()
+
+
+def test_deterministic_under_seed():
+    topo = torus(4, 4)
+    g = random_uniform(16, 60, seed=4)
+    a = RAHTMMapper(topo, FAST).map(g)
+    b = RAHTMMapper(topo, FAST).map(g)
+    assert np.array_equal(a.task_to_node, b.task_to_node)
+
+
+def test_task_count_must_divide():
+    topo = torus(4, 4)
+    with pytest.raises(ConfigError):
+        RAHTMMapper(topo, FAST).map(random_uniform(17, 20, seed=0))
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigError):
+        RAHTMConfig(routing="magic")
+    with pytest.raises(ConfigError):
+        RAHTMMapper("not a topology")
+
+
+def test_stats_populated():
+    topo = torus(4, 4)
+    mapper = RAHTMMapper(topo, FAST)
+    mapper.map(random_uniform(16, 40, seed=5))
+    assert mapper.stats["concentration"] == 1
+    assert "phase2-milp" in mapper.stats["phase_seconds"]
+    assert mapper.stats["merge_evaluations"] > 0
+
+
+def test_identity_is_optimal_for_matched_halo():
+    """A 4x4 halo on a 4x4 torus: the identity mapping is optimal (all
+    flows 1 hop, perfectly balanced). RAHTM must find an equally good
+    mapping (MCL == volume per direction)."""
+    topo = torus(4, 4)
+    g = halo2d(4, 4, volume=7.0)
+    router = MinimalAdaptiveRouter(topo)
+    mcl = evaluate_mapping(router, RAHTMMapper(topo, FAST).map(g), g).mcl
+    assert mcl == pytest.approx(7.0)

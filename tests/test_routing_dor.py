@@ -1,0 +1,81 @@
+"""Dimension-order router tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.topology import mesh, torus
+
+
+def test_single_path_and_order():
+    topo = mesh(4, 4)
+    r = DimensionOrderRouter(topo)
+    loads = r.link_loads([0], [5], [10.0])
+    used = np.flatnonzero(loads > 0)
+    assert len(used) == 2
+    # Default order corrects dim 0 first: 0 -> (1,0) -> (1,1).
+    assert topo.channel_dim[used[0]] in (0, 1)
+    dims_used = sorted(int(topo.channel_dim[s]) for s in used)
+    assert dims_used == [0, 1]
+    # first hop leaves node 0 in dim 0
+    first = [s for s in used if topo.channel_src[s] == 0]
+    assert len(first) == 1 and topo.channel_dim[first[0]] == 0
+
+
+def test_custom_dim_order():
+    topo = mesh(4, 4)
+    r = DimensionOrderRouter(topo, dim_order=(1, 0))
+    loads = r.link_loads([0], [5], [10.0])
+    first = [s for s in np.flatnonzero(loads > 0) if topo.channel_src[s] == 0]
+    assert topo.channel_dim[first[0]] == 1
+
+
+def test_invalid_dim_order():
+    with pytest.raises(RoutingError):
+        DimensionOrderRouter(mesh(4, 4), dim_order=(0, 0))
+
+
+def test_torus_takes_short_way():
+    topo = torus(4, 4)
+    r = DimensionOrderRouter(topo)
+    loads = r.link_loads([0], [3], [8.0])  # (0,0) -> (0,3): -1 around
+    assert loads.sum() == pytest.approx(8.0)  # one hop
+
+
+def test_tie_breaks_plus():
+    topo = torus(4, 4)
+    r = DimensionOrderRouter(topo)
+    st = r.stencil((0, 2))
+    assert (st.dirs == 0).all()  # plus direction on ties
+
+
+def test_loads_equal_hop_bytes():
+    topo = torus(4, 4, 4)
+    r = DimensionOrderRouter(topo)
+    rng = np.random.default_rng(3)
+    srcs = rng.integers(0, 64, 40)
+    dsts = rng.integers(0, 64, 40)
+    vols = rng.uniform(1, 5, 40)
+    loads = r.link_loads(srcs, dsts, vols)
+    mask = srcs != dsts
+    hb = (topo.hop_distance(srcs[mask], dsts[mask]) * vols[mask]).sum()
+    assert loads.sum() == pytest.approx(hb)
+
+
+def test_dor_concentrates_load_vs_mar():
+    """DOR's single path can never beat the all-paths split on MCL."""
+    topo = torus(4, 4)
+    dor = DimensionOrderRouter(topo)
+    mar = MinimalAdaptiveRouter(topo)
+    srcs, dsts = np.array([0, 0, 0]), np.array([5, 10, 15])
+    vols = np.array([9.0, 9.0, 9.0])
+    assert mar.max_channel_load(srcs, dsts, vols) <= dor.max_channel_load(
+        srcs, dsts, vols
+    ) + 1e-12
+
+
+def test_mesh_out_of_range_offset():
+    r = DimensionOrderRouter(mesh(3, 3))
+    with pytest.raises(RoutingError):
+        r._build_stencil((3, 0))

@@ -1,0 +1,77 @@
+"""Lattice path-counting tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import lattice_path_counts, multinomial
+
+
+def test_multinomial_small_cases():
+    assert multinomial([0]) == 1.0
+    assert multinomial([3]) == 1.0
+    assert multinomial([1, 1]) == 2.0
+    assert multinomial([2, 1]) == 3.0
+    assert multinomial([2, 2]) == 6.0
+    assert multinomial([1, 1, 1]) == 6.0
+
+
+@given(st.lists(st.integers(0, 6), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_multinomial_matches_factorial_formula(steps):
+    expected = math.factorial(sum(steps))
+    for s in steps:
+        expected //= math.factorial(s)
+    assert multinomial(steps) == pytest.approx(expected)
+
+
+def test_multinomial_rejects_negative_and_huge():
+    with pytest.raises(RoutingError):
+        multinomial([-1, 2])
+    with pytest.raises(RoutingError):
+        multinomial([200])
+
+
+def test_lattice_counts_shape_and_corners():
+    N = lattice_path_counts((2, 3))
+    assert N.shape == (3, 4)
+    assert N[0, 0] == 1.0
+    assert N[2, 3] == multinomial([2, 3])
+
+
+def test_lattice_counts_pascal_recurrence():
+    N = lattice_path_counts((3, 3))
+    for i in range(4):
+        for j in range(4):
+            expected = 1.0 if i == j == 0 else (
+                (N[i - 1, j] if i else 0.0) + (N[i, j - 1] if j else 0.0)
+            )
+            assert N[i, j] == pytest.approx(expected)
+
+
+def test_lattice_counts_level_sums_are_powers():
+    # Within an unconstrained region, paths of length t fan out d^t ways.
+    N = lattice_path_counts((4, 4))
+    for t in range(5):
+        level = sum(N[i, t - i] for i in range(t + 1))
+        assert level == pytest.approx(2**t)
+
+
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=3))
+@settings(max_examples=40, deadline=None)
+def test_lattice_counts_permutation_invariant(steps):
+    # Permuting dimensions permutes the count tensor identically.
+    N = lattice_path_counts(tuple(steps))
+    M = lattice_path_counts(tuple(reversed(steps)))
+    assert np.allclose(N, np.transpose(M, axes=tuple(reversed(range(M.ndim)))))
+
+
+def test_lattice_counts_zero_dims():
+    assert lattice_path_counts(()) == pytest.approx(1.0)
+    N = lattice_path_counts((0, 0))
+    assert N.shape == (1, 1)
+    assert N[0, 0] == 1.0

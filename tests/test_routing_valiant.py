@@ -1,0 +1,89 @@
+"""Valiant two-phase routing tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import MinimalAdaptiveRouter, ValiantRouter
+from repro.topology import mesh, torus
+from repro.workloads import random_uniform
+
+
+@pytest.fixture
+def val44():
+    return ValiantRouter(torus(4, 4))
+
+
+def test_requires_torus():
+    with pytest.raises(RoutingError):
+        ValiantRouter(mesh(4, 4))
+
+
+def test_total_load_is_two_phase_average(val44):
+    """Expected total load = vol * (E[hops to random w] + E[hops w to d]).
+
+    Both expectations equal the torus's mean minimal distance from a fixed
+    point to a uniform node, so total = 2 * vol * mean_distance.
+    """
+    topo = val44.topology
+    all_nodes = np.arange(topo.num_nodes)
+    mean_dist = topo.hop_distance(np.zeros_like(all_nodes), all_nodes).mean()
+    loads = val44.link_loads([0], [5], [7.0])
+    assert loads.sum() == pytest.approx(2 * 7.0 * mean_dist)
+
+
+def test_self_flow_still_routes_through_intermediate():
+    """Unlike minimal routing, Valiant sends even same-node traffic out
+    (the model drops src == dst flows before routing, matching the library
+    convention that co-located tasks do not use the network)."""
+    val = ValiantRouter(torus(4, 4))
+    loads = val.link_loads([3], [3], [10.0])
+    assert loads.sum() == 0.0
+
+
+def test_loads_nearly_uniform(val44):
+    """Valiant's signature: channel loads are much flatter than minimal
+    routing for adversarial traffic."""
+    topo = val44.topology
+    mar = MinimalAdaptiveRouter(topo)
+    # adversarial: every node sends to its +x neighbour (DOR-friendly but
+    # with a heavy single direction)
+    srcs = np.arange(16)
+    dsts = topo.add_offset(srcs, [1, 0])
+    vols = np.full(16, 10.0)
+    val_loads = val44.link_loads(srcs, dsts, vols)
+    mar_loads = mar.link_loads(srcs, dsts, vols)
+    val_active = val_loads[val_loads > 1e-12]
+    imbalance_val = val_active.max() / val_active.mean()
+    imbalance_mar = mar_loads[mar_loads > 1e-12].max() / mar_loads[
+        mar_loads > 1e-12
+    ].mean()
+    assert imbalance_val <= imbalance_mar + 1e-9
+    assert imbalance_val == pytest.approx(1.0, abs=0.3)
+
+
+def test_mapping_insensitivity(val44):
+    """Permuting the mapping changes Valiant MCL far less than minimal
+    MCL — the 'mappings barely matter under Valiant' anchor."""
+    topo = val44.topology
+    g = random_uniform(16, 60, max_volume=20.0, seed=0)
+    rng = np.random.default_rng(1)
+    mar = MinimalAdaptiveRouter(topo)
+
+    def spread(router):
+        mcls = []
+        for _ in range(5):
+            perm = rng.permutation(16)
+            ns, nd = perm[g.srcs], perm[g.dsts]
+            keep = ns != nd
+            mcls.append(router.max_channel_load(ns[keep], nd[keep],
+                                                g.vols[keep]))
+        return (max(mcls) - min(mcls)) / np.mean(mcls)
+
+    assert spread(val44) <= spread(mar) + 1e-9
+
+
+def test_translation_invariance(val44):
+    a = val44.link_loads([0], [5], [3.0])
+    b = val44.link_loads([10], [15], [3.0])
+    assert np.allclose(np.sort(a), np.sort(b))

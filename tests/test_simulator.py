@@ -1,0 +1,158 @@
+"""Simulator tests: network model, application model, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.mapping import Mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.simulator import (
+    ApplicationModel,
+    NetworkModel,
+    NetworkParams,
+    bt_application,
+    calibrate_compute,
+    cg_application,
+    halo_application,
+    sp_application,
+)
+from repro.topology import torus
+from repro.workloads import halo2d
+
+
+@pytest.fixture
+def net44():
+    topo = torus(4, 4)
+    return topo, NetworkModel(MinimalAdaptiveRouter(topo))
+
+
+def test_params_validation():
+    with pytest.raises(SimulationError):
+        NetworkParams(link_bandwidth=0)
+    with pytest.raises(SimulationError):
+        NetworkParams(hop_latency=-1)
+    with pytest.raises(SimulationError):
+        NetworkParams(phase_overlap=1.5)
+
+
+def test_phase_time_zero_without_offnode_traffic(net44):
+    topo, net = net44
+    assert net.phase_time([0, 1], [0, 1], [100.0, 5.0]) == 0.0
+
+
+def test_phase_time_scales_with_volume(net44):
+    topo, net = net44
+    t1 = net.phase_time([0], [1], [1e6])
+    t2 = net.phase_time([0], [1], [2e6])
+    assert t2 > t1
+    # bandwidth-dominated regime: roughly linear
+    assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+
+def test_phase_time_includes_latency_and_overhead():
+    topo = torus(4, 4)
+    params = NetworkParams(hop_latency=1e-6, phase_overhead=1e-3)
+    net = NetworkModel(MinimalAdaptiveRouter(topo), params)
+    t = net.phase_time([0], [1], [1.0])
+    assert t >= 1e-3 + 1e-6
+
+
+def test_application_model_validation():
+    g = halo2d(4, 4)
+    with pytest.raises(SimulationError):
+        ApplicationModel("x", (g,), iterations=0, compute_seconds_per_iter=0)
+    with pytest.raises(SimulationError):
+        ApplicationModel("x", (), iterations=1, compute_seconds_per_iter=0)
+    with pytest.raises(SimulationError):
+        ApplicationModel("x", (g,), iterations=1, compute_seconds_per_iter=-1)
+
+
+def test_simulate_accounting(net44):
+    topo, net = net44
+    g = halo2d(4, 4, volume=1e6)
+    app = ApplicationModel("halo", (g,), iterations=10,
+                           compute_seconds_per_iter=0.01)
+    mapping = Mapping.identity(topo)
+    res = app.simulate(mapping, net)
+    assert res.compute_seconds == pytest.approx(0.1)
+    assert res.total_seconds == pytest.approx(
+        res.comm_seconds + res.compute_seconds
+    )
+    assert 0 < res.comm_fraction < 1
+
+
+def test_calibration_hits_target(net44):
+    topo, net = net44
+    g = halo2d(4, 4, volume=1e6)
+    app = ApplicationModel("halo", (g,), iterations=5,
+                           compute_seconds_per_iter=0.0)
+    mapping = Mapping.identity(topo)
+    cal = calibrate_compute(app, mapping, net, 0.35)
+    assert cal.simulate(mapping, net).comm_fraction == pytest.approx(0.35)
+    with pytest.raises(SimulationError):
+        calibrate_compute(app, mapping, net, 1.5)
+
+
+def test_overlap_interpolates_between_serial_and_aggregate():
+    topo = torus(4, 4)
+    g1 = halo2d(4, 4, volume=1e6)
+    g2 = halo2d(4, 4, volume=2e6)
+    mapping = Mapping.identity(topo)
+    times = {}
+    for alpha in (0.0, 0.5, 1.0):
+        net = NetworkModel(
+            MinimalAdaptiveRouter(topo), NetworkParams(phase_overlap=alpha)
+        )
+        app = ApplicationModel("x", (g1, g2), 1, 0.0)
+        times[alpha] = app.iteration_comm_time(mapping, net)
+    assert times[1.0] <= times[0.5] <= times[0.0]
+    assert times[0.5] == pytest.approx((times[0.0] + times[1.0]) / 2)
+
+
+def test_worse_mapping_costs_more_time(net44):
+    topo, net = net44
+    g = halo2d(4, 4, volume=1e6)
+    app = ApplicationModel("halo", (g,), 3, 0.0)
+    good = Mapping.identity(topo)
+    rng = np.random.default_rng(0)
+    bad = Mapping(topo, rng.permutation(16))
+    assert app.simulate(good, net).comm_seconds <= app.simulate(
+        bad, net
+    ).comm_seconds
+
+
+# -- benchmark application builders ---------------------------------------------------
+def test_bt_application_structure():
+    app = bt_application(16, "W")
+    assert app.name == "BT"
+    assert len(app.phases) == 6
+    agg = app.comm_graph()
+    from repro.workloads import nas_bt
+
+    assert agg == nas_bt(16, "W")
+
+
+def test_sp_application_structure():
+    app = sp_application(16, "W")
+    assert len(app.phases) == 6
+    from repro.workloads import nas_sp
+
+    assert app.comm_graph() == nas_sp(16, "W")
+
+
+def test_cg_application_structure():
+    app = cg_application(64, "W")
+    # transpose + log2(npcols)=3 reduce phases
+    assert len(app.phases) == 4
+    from repro.workloads import nas_cg
+
+    assert app.comm_graph() == nas_cg(64, "W")
+
+
+def test_halo_application_phases():
+    app = halo_application((4, 4), volume=2.0, iterations=3)
+    assert len(app.phases) == 4  # +x, -x, +y, -y
+    agg = app.comm_graph()
+    assert agg.total_volume == pytest.approx(
+        halo2d(4, 4, volume=2.0).total_volume
+    )

@@ -1,0 +1,100 @@
+"""Tile-search (phase 1, Figure 2) tests."""
+
+import numpy as np
+import pytest
+
+from repro.commgraph import CommGraph
+from repro.core import best_tiling, enumerate_tilings, tile_labels
+from repro.core.tiling import inter_tile_volume
+from repro.errors import CommGraphError, ConfigError
+from repro.workloads import halo2d
+
+
+def test_enumerate_tilings_2d():
+    tilings = enumerate_tilings((4, 4), 4)
+    assert set(tilings) == {(1, 4), (2, 2), (4, 1)}
+
+
+def test_enumerate_tilings_respects_grid_divisibility():
+    tilings = enumerate_tilings((8, 2), 4)
+    assert set(tilings) == {(4, 1), (2, 2), (1, 4)} - {(1, 4)}
+
+
+def test_enumerate_tilings_figure2_16node():
+    # The paper's Figure 2 shows 8-node tiles over a 16-node graph.
+    tilings = enumerate_tilings((4, 4), 8)
+    assert set(tilings) == {(2, 4), (4, 2)}
+
+
+def test_enumerate_invalid():
+    with pytest.raises(ConfigError):
+        enumerate_tilings((4, 4), 5)  # does not divide 16
+    with pytest.raises(ConfigError):
+        enumerate_tilings((4, 4), 0)
+
+
+def test_tile_labels_c_order():
+    labels = tile_labels((4, 4), (2, 2))
+    assert labels.reshape(4, 4).tolist() == [
+        [0, 0, 1, 1],
+        [0, 0, 1, 1],
+        [2, 2, 3, 3],
+        [2, 2, 3, 3],
+    ]
+
+
+def test_tile_labels_validation():
+    with pytest.raises(ConfigError):
+        tile_labels((4, 4), (3, 2))
+    with pytest.raises(ConfigError):
+        tile_labels((4, 4), (2,))
+
+
+def test_inter_tile_volume_counts_cross_edges():
+    g = halo2d(4, 4, volume=1.0, wrap=False)
+    # 2x2 tiles: cut edges = 2 per adjacent tile border x 4 borders x 2 dirs
+    assert inter_tile_volume(g, (2, 2)) == pytest.approx(16.0)
+
+
+def test_best_tiling_prefers_square_for_halo():
+    g = halo2d(8, 8, volume=1.0, wrap=False)
+    shape, cut = best_tiling(g, 4)
+    assert shape == (2, 2)
+    shape16, _ = best_tiling(g, 16)
+    assert shape16 == (4, 4)
+
+
+def test_best_tiling_wrap_makes_full_strips_free():
+    # On a wrapped grid a tile spanning a full dimension has no cut there,
+    # so strips tie with squares; the deterministic tie-break picks the
+    # lexicographically earliest shape.
+    g = halo2d(4, 4, volume=1.0, wrap=True)
+    shape, cut = best_tiling(g, 4)
+    assert shape == (1, 4)
+    assert cut == pytest.approx(32.0)
+
+
+def test_best_tiling_follows_anisotropy():
+    # Heavier row-direction traffic favours row-aligned tiles.
+    edges = []
+    for i in range(4):
+        for j in range(4):
+            me = i * 4 + j
+            edges.append((me, i * 4 + (j + 1) % 4, 100.0))  # along rows
+            edges.append((me, ((i + 1) % 4) * 4 + j, 1.0))  # along cols
+    g = CommGraph.from_edges(16, edges, grid_shape=(4, 4))
+    shape, _ = best_tiling(g, 4)
+    assert shape == (1, 4)
+
+
+def test_best_tiling_requires_grid():
+    g = CommGraph(16, [0], [1], [1.0])
+    with pytest.raises(CommGraphError):
+        best_tiling(g, 4)
+
+
+def test_best_tiling_deterministic_tie_break():
+    g = CommGraph(16, [], [], [], grid_shape=(4, 4))  # no edges: all tie
+    shape, cut = best_tiling(g, 4)
+    assert shape == (1, 4)  # lexicographically first
+    assert cut == 0.0

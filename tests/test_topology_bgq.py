@@ -1,0 +1,60 @@
+"""BG/Q platform model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import BGQTopology
+
+
+def test_paper_partition_defaults():
+    bgq = BGQTopology()
+    assert bgq.shape == (4, 4, 4, 4, 2)
+    assert bgq.num_nodes == 512
+    assert bgq.cores_per_node == 16
+    assert bgq.num_tasks == 512 * 16
+
+
+def test_paper_concentration_32():
+    bgq = BGQTopology(tasks_per_node=32)
+    assert bgq.num_tasks == 16384  # the paper's 16K processes
+
+
+def test_shape_validation():
+    with pytest.raises(TopologyError):
+        BGQTopology(shape=(4, 4, 4))
+    with pytest.raises(TopologyError):
+        BGQTopology(tasks_per_node=0)
+
+
+def test_abcdet_order_t_fastest():
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=4)
+    slots = bgq.dim_order_permutation("ABCDET")
+    # First 4 ranks share node 0 (T varies fastest).
+    assert slots[:4].tolist() == [0, 1, 2, 3]
+    # Rank 4 moves one step in E (the last network letter).
+    node = slots[4] // 4
+    assert bgq.network.coords(int(node)).tolist() == [0, 0, 0, 0, 1]
+
+
+def test_tabcde_order_spreads_consecutive_ranks():
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=4)
+    slots = bgq.dim_order_permutation("TABCDE")
+    nodes = slots // 4
+    # E fastest: consecutive ranks land on different nodes.
+    assert nodes[0] != nodes[1]
+
+
+def test_order_is_permutation():
+    bgq = BGQTopology(shape=(2, 2, 2, 2, 2), tasks_per_node=2)
+    for order in ("ABCDET", "TABCDE", "ACEBDT", "EDCBAT"):
+        slots = bgq.dim_order_permutation(order)
+        assert sorted(slots.tolist()) == list(range(bgq.num_tasks))
+
+
+def test_bad_order_rejected():
+    bgq = BGQTopology()
+    with pytest.raises(TopologyError):
+        bgq.dim_order_permutation("ABCDE")  # missing T
+    with pytest.raises(TopologyError):
+        bgq.dim_order_permutation("ABCDEE")

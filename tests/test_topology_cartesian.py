@@ -1,0 +1,157 @@
+"""Topology substrate tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import CartesianTopology, hypercube, mesh, torus
+
+shapes = st.lists(st.integers(1, 5), min_size=1, max_size=4).map(tuple).filter(
+    lambda s: 1 < int(np.prod(s)) <= 200
+)
+
+
+def test_basic_counts():
+    t = torus(4, 4, 4)
+    assert t.num_nodes == 64
+    assert t.ndim == 3
+    # 64 nodes x 3 dims x 2 dirs, all valid on a torus with k >= 2
+    assert t.num_channels == 64 * 6
+
+
+def test_mesh_boundary_channels():
+    m = mesh(3, 3)
+    # interior links: 2 * (2*3) * 2 directions = 24 directed channels
+    assert m.num_channels == 24
+
+
+def test_arity1_dimension_has_no_channels():
+    t = CartesianTopology((4, 1), wrap=True)
+    assert t.num_channels == 4 * 2  # only dimension 0
+
+
+@given(shapes)
+@settings(max_examples=40, deadline=None)
+def test_coords_index_roundtrip(shape):
+    t = torus(shape)
+    ids = np.arange(t.num_nodes)
+    assert np.array_equal(t.index(t.coords(ids)), ids)
+
+
+def test_coords_out_of_range():
+    t = torus(3, 3)
+    with pytest.raises(TopologyError):
+        t.coords(9)
+    with pytest.raises(TopologyError):
+        t.index([3, 0])
+    with pytest.raises(TopologyError):
+        t.index([0, 0, 0])
+
+
+def test_neighbors_torus_vs_mesh():
+    t = torus(4, 4)
+    m = mesh(4, 4)
+    assert len(t.neighbors(0)) == 4
+    assert len(m.neighbors(0)) == 2  # corner
+    assert len(m.neighbors(5)) == 4  # interior
+
+
+def test_neighbors_2ary_torus_double_links():
+    h = hypercube(2, wrap=True)
+    # each node has 2 distinct neighbors (double channels merge)
+    assert h.neighbors(0) == [1, 2]
+    assert h.num_channels == 4 * 2 * 2  # all slots valid
+
+
+def test_delta_wraparound_reduction():
+    t = torus(4, 4)
+    # 0 -> (0,3): shortest is -1
+    d = t.delta(0, 3)
+    assert d.tolist() == [0, -1]
+    # 0 -> (0,2): tie, reported as +2
+    assert t.delta(0, 2).tolist() == [0, 2]
+
+
+def test_delta_mesh_is_plain_difference():
+    m = mesh(5, 5)
+    assert m.delta(0, 24).tolist() == [4, 4]
+    assert m.delta(24, 0).tolist() == [-4, -4]
+
+
+def test_hop_distance():
+    t = torus(4, 4)
+    assert t.hop_distance(0, 5) == 2
+    assert t.hop_distance(0, 15) == 2  # wrap both dims
+    assert t.hop_distance(0, 0) == 0
+
+
+def test_add_offset_wraps():
+    t = torus(4, 4)
+    assert t.add_offset(15, [1, 1]) == 0
+    m = mesh(4, 4)
+    with pytest.raises(TopologyError):
+        m.add_offset(15, [1, 0])
+
+
+def test_channel_slot_arithmetic():
+    t = torus(2, 3)
+    slot = t.channel_slot(4, 1, 0)
+    assert t.channel_src[slot] == 4
+    assert t.channel_dim[slot] == 1
+    assert t.channel_dir[slot] == 0
+
+
+def test_channel_dst_consistency():
+    t = torus(3, 4, 2)
+    valid = np.flatnonzero(t.channel_valid)
+    src = t.channel_src[valid]
+    dst = t.channel_dst[valid]
+    # every channel connects distinct nodes at hop distance 1 (except
+    # arity-2 wrap which is still distance 1)
+    assert (src != dst).all()
+    assert (t.hop_distance(src, dst) == 1).all()
+
+
+def test_uniformity_and_arity():
+    assert torus(4, 4, 4).is_uniform
+    assert torus(4, 4, 4).arity == 4
+    assert torus(4, 4, 1).is_uniform  # arity-1 dims ignored
+    assert not torus(4, 2).is_uniform
+    with pytest.raises(TopologyError):
+        _ = torus(4, 2).arity
+
+
+def test_wrap_tuple_validation():
+    with pytest.raises(TopologyError):
+        CartesianTopology((4, 4), wrap=(True,))
+    t = CartesianTopology((4, 4), wrap=(True, False))
+    assert t.wrap == (True, False)
+
+
+def test_equality_and_hash():
+    assert torus(4, 4) == torus(4, 4)
+    assert torus(4, 4) != mesh(4, 4)
+    assert len({torus(4, 4), torus(4, 4), mesh(4, 4)}) == 2
+
+
+def test_describe():
+    assert "torus" in torus(4, 4).describe()
+    assert "mesh" in mesh(2, 2).describe()
+    assert "hybrid" in CartesianTopology((4, 4), wrap=(True, False)).describe()
+
+
+def test_hypercube_builder():
+    h = hypercube(3)
+    assert h.shape == (2, 2, 2)
+    assert not any(h.wrap)
+    with pytest.raises(TopologyError):
+        hypercube(0)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        torus()
+    with pytest.raises((ValueError, TypeError)):
+        CartesianTopology((4, 0))

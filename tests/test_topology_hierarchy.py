@@ -1,0 +1,91 @@
+"""2-ary hierarchy bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import CartesianTopology, CubeHierarchy, mesh, torus
+
+
+def test_levels_and_blocks():
+    h = CubeHierarchy(torus(4, 4))
+    assert h.num_levels == 2
+    assert h.n == 2
+    assert h.num_blocks(0) == 16
+    assert h.num_blocks(1) == 4
+    assert h.num_blocks(2) == 1
+
+
+def test_block_of_partitions_nodes():
+    t = torus(4, 4)
+    h = CubeHierarchy(t)
+    for level in (0, 1, 2):
+        blocks = h.block_of(np.arange(16), level)
+        counts = np.bincount(blocks, minlength=h.num_blocks(level))
+        assert (counts == 16 // h.num_blocks(level)).all()
+
+
+def test_block_nodes_inverse_of_block_of():
+    t = torus(8, 8)
+    h = CubeHierarchy(t)
+    for level in range(h.num_levels + 1):
+        for b in range(h.num_blocks(level)):
+            nodes = h.block_nodes(level, b)
+            assert (h.block_of(nodes, level) == b).all()
+
+
+def test_child_position_bits():
+    t = torus(4, 4)
+    h = CubeHierarchy(t)
+    # node (1, 3): inside level-1 block, coords mod 2 = (1, 1) -> corner 3
+    node = t.index([1, 3])
+    assert h.child_position(node, 1) == 3
+    # level 2: block side 4, halves at coord//2 -> (0, 1) -> corner 1
+    assert h.child_position(node, 2) == 1
+
+
+def test_child_cube_wrap_only_at_root():
+    t = torus(4, 4)
+    h = CubeHierarchy(t)
+    assert h.child_cube(1).wrap == (False, False)
+    assert h.child_cube(2).wrap == (True, True)
+    m = mesh(4, 4)
+    hm = CubeHierarchy(m)
+    assert hm.child_cube(2).wrap == (False, False)
+
+
+def test_corner_origin():
+    t = torus(4, 4)
+    h = CubeHierarchy(t)
+    # root block 0, corner 3 -> origin (2, 2)
+    assert h.corner_origin(2, 0, 3).tolist() == [2, 2]
+    assert h.corner_origin(2, 0, 0).tolist() == [0, 0]
+    assert h.corner_origin(2, 0, 1).tolist() == [0, 2]
+
+
+def test_inactive_dimensions_skipped():
+    t = CartesianTopology((4, 1, 4), wrap=True)
+    h = CubeHierarchy(t)
+    assert h.n == 2
+    assert h.dims == (0, 2)
+    assert h.num_blocks(1) == 4
+
+
+def test_nonuniform_rejected():
+    with pytest.raises(TopologyError):
+        CubeHierarchy(torus(4, 2))
+
+
+def test_non_pow2_rejected():
+    with pytest.raises(TopologyError):
+        CubeHierarchy(torus(3, 3))
+
+
+def test_level_bounds_checked():
+    h = CubeHierarchy(torus(4, 4))
+    with pytest.raises(TopologyError):
+        h.num_blocks(3)
+    with pytest.raises(TopologyError):
+        h.child_cube(0)
+    with pytest.raises(TopologyError):
+        h.block_nodes(1, 99)

@@ -1,0 +1,58 @@
+"""Remaining topology surface: bisection counts, views, array queries."""
+
+import numpy as np
+import pytest
+
+from repro.topology import CartesianTopology, mesh, torus
+
+
+def test_bisection_channels_mesh():
+    # 4x4 mesh: one cut, 4 node pairs, 2 directions
+    assert mesh(4, 4).bisection_channels == 8
+
+
+def test_bisection_channels_torus():
+    # 4x4 torus: two cuts (middle + wrap), 4 pairs each, 2 directions
+    assert torus(4, 4).bisection_channels == 16
+
+
+def test_bisection_channels_arity2_wrap():
+    # 2x4 torus: dim0 arity 2 -> double links count as two cuts
+    assert torus(2, 4).bisection_channels == 16
+
+
+def test_bisection_channels_trivial_dim():
+    assert CartesianTopology((1, 4), wrap=True).bisection_channels == 0
+
+
+def test_coords_array_readonly():
+    t = torus(3, 3)
+    with pytest.raises(ValueError):
+        t.coords_array[0, 0] = 99
+    with pytest.raises(ValueError):
+        t.strides[0] = 5
+
+
+def test_vectorized_queries():
+    t = torus(4, 4)
+    nodes = np.array([0, 5, 15])
+    coords = t.coords(nodes)
+    assert coords.shape == (3, 2)
+    assert np.array_equal(t.index(coords), nodes)
+    d = t.delta(np.array([0, 0]), np.array([5, 15]))
+    assert d.shape == (2, 2)
+    h = t.hop_distance(np.array([0, 0]), np.array([5, 15]))
+    assert h.tolist() == [2, 2]
+
+
+def test_add_offset_vectorized():
+    t = torus(4, 4)
+    out = t.add_offset(np.array([0, 15]), [1, 1])
+    assert out.tolist() == [5, 0]
+
+
+def test_channel_slot_vectorized():
+    t = torus(4, 4)
+    slots = t.channel_slot(np.array([0, 1]), 1, 0)
+    assert np.array_equal(t.channel_src[slots], [0, 1])
+    assert (t.channel_dim[slots] == 1).all()

@@ -1,0 +1,71 @@
+"""Uniform-partitioning tests (the BG/Q E-dimension trick)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import CartesianTopology, torus, uniform_partitions
+from repro.topology.partition import best_uniform_arity
+
+
+def test_bgq_partition_shape():
+    t = torus(4, 4, 4, 4, 2)
+    blocks = uniform_partitions(t)
+    assert len(blocks) == 2
+    assert all(b.shape == (4, 4, 4, 4, 1) for b in blocks)
+    assert blocks[0].origin == (0, 0, 0, 0, 0)
+    assert blocks[1].origin == (0, 0, 0, 0, 1)
+
+
+def test_uniform_topology_single_block():
+    t = torus(4, 4)
+    blocks = uniform_partitions(t)
+    assert len(blocks) == 1
+    assert blocks[0].shape == (4, 4)
+
+
+def test_blocks_cover_all_nodes_disjointly():
+    t = torus(4, 2, 8)
+    blocks = uniform_partitions(t)
+    seen = np.concatenate([b.node_ids(t) for b in blocks])
+    assert sorted(seen.tolist()) == list(range(t.num_nodes))
+
+
+def test_best_uniform_arity_prefers_coverage():
+    assert best_uniform_arity((4, 4, 4, 4, 2)) == 4
+    assert best_uniform_arity((2, 2, 2)) == 2
+    assert best_uniform_arity((8, 8)) == 8
+    assert best_uniform_arity((8, 4)) == 4  # both divisible by 4, only one by 8
+
+
+def test_no_pow2_dimension_raises():
+    with pytest.raises(TopologyError):
+        best_uniform_arity((3, 5))
+
+
+def test_explicit_arity_validation():
+    t = torus(4, 4)
+    with pytest.raises(TopologyError):
+        uniform_partitions(t, arity=3)
+    blocks = uniform_partitions(t, arity=2)
+    assert len(blocks) == 4
+
+
+def test_local_topology_wrap_inheritance():
+    t = torus(4, 4, 2)
+    blocks = uniform_partitions(t)
+    local = blocks[0].local_topology(t)
+    # dims 0,1 span the full parent -> keep wrap; dim 2 is cut to arity 1.
+    assert local.shape == (4, 4, 1)
+    assert local.wrap[0] and local.wrap[1]
+    assert not local.wrap[2]
+
+
+def test_block_node_ids_in_c_order():
+    t = CartesianTopology((2, 4), wrap=True)
+    blocks = uniform_partitions(t, arity=2)
+    ids = blocks[0].node_ids(t)
+    coords = t.coords(ids)
+    # C order: last dim fastest
+    assert np.array_equal(coords[0], [0, 0])
+    assert np.array_equal(coords[1], [0, 1])

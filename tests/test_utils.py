@@ -1,0 +1,131 @@
+"""Utility-layer tests (validation, rng, timing, logging)."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    PhaseTimer,
+    Timer,
+    as_rng,
+    check_array_1d,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+    check_shape_tuple,
+    get_logger,
+    spawn_rngs,
+)
+from repro.utils.logconf import enable_console_logging
+from repro.utils.validation import check_power_of_two
+
+
+# -- validation -----------------------------------------------------------------
+def test_check_positive_int():
+    assert check_positive_int(5, "x") == 5
+    assert check_positive_int(np.int64(3), "x") == 3
+    with pytest.raises(ValueError):
+        check_positive_int(0, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(2.5, "x")
+    with pytest.raises(TypeError):
+        check_positive_int(True, "x")
+
+
+def test_check_nonnegative():
+    assert check_nonnegative(0, "x") == 0.0
+    assert check_nonnegative(1.5, "x") == 1.5
+    with pytest.raises(ValueError):
+        check_nonnegative(-1e-9, "x")
+    with pytest.raises(ValueError):
+        check_nonnegative(float("nan"), "x")
+
+
+def test_check_shape_tuple():
+    assert check_shape_tuple(4) == (4,)
+    assert check_shape_tuple([2, 3]) == (2, 3)
+    with pytest.raises(ValueError):
+        check_shape_tuple([])
+    with pytest.raises(ValueError):
+        check_shape_tuple((4, 0))
+
+
+def test_check_probability():
+    assert check_probability(0.5, "p") == 0.5
+    with pytest.raises(ValueError):
+        check_probability(1.1, "p")
+
+
+def test_check_array_1d():
+    out = check_array_1d([1, 2, 3], "a", dtype=np.int64)
+    assert out.dtype == np.int64
+    with pytest.raises(ValueError):
+        check_array_1d([[1], [2]], "a")
+
+
+def test_check_power_of_two():
+    assert check_power_of_two(8, "x") == 8
+    assert check_power_of_two(1, "x") == 1
+    with pytest.raises(ValueError):
+        check_power_of_two(6, "x")
+
+
+# -- rng -------------------------------------------------------------------------
+def test_as_rng_passthrough_and_seed():
+    rng = np.random.default_rng(0)
+    assert as_rng(rng) is rng
+    a = as_rng(42).integers(0, 100, 5)
+    b = as_rng(42).integers(0, 100, 5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_rngs_independent_and_stable():
+    streams1 = spawn_rngs(7, 3)
+    streams2 = spawn_rngs(7, 3)
+    for r1, r2 in zip(streams1, streams2):
+        assert np.array_equal(r1.integers(0, 1000, 4), r2.integers(0, 1000, 4))
+    with pytest.raises(ValueError):
+        spawn_rngs(7, -1)
+
+
+def test_spawn_rngs_from_generator():
+    streams = spawn_rngs(np.random.default_rng(1), 2)
+    assert len(streams) == 2
+
+
+# -- timing -----------------------------------------------------------------------
+def test_timer():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_phase_timer_accumulates():
+    pt = PhaseTimer()
+    with pt.phase("a"):
+        pass
+    with pt.phase("a"):
+        pass
+    with pt.phase("b"):
+        pass
+    assert pt.counts["a"] == 2
+    assert pt.counts["b"] == 1
+    assert pt.total == pytest.approx(sum(pt.totals.values()))
+    report = pt.report()
+    assert "a" in report and "TOTAL" in report
+
+
+# -- logging ------------------------------------------------------------------------
+def test_get_logger_namespacing():
+    assert get_logger("core.merge").name == "repro.core.merge"
+    assert get_logger("repro.core.merge").name == "repro.core.merge"
+
+
+def test_enable_console_logging_idempotent():
+    enable_console_logging(logging.DEBUG)
+    root = logging.getLogger("repro")
+    n = len(root.handlers)
+    enable_console_logging(logging.INFO)
+    assert len(logging.getLogger("repro").handlers) == n

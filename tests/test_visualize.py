@@ -1,0 +1,69 @@
+"""Text-visualization tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.mapping import Mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.topology import torus
+from repro.visualize import (
+    dimension_load_text,
+    load_histogram_text,
+    mapping_grid_text,
+)
+from repro.workloads import halo2d
+
+
+@pytest.fixture
+def setup():
+    t = torus(4, 4)
+    return t, MinimalAdaptiveRouter(t), Mapping.identity(t), halo2d(4, 4, 3.0)
+
+
+def test_load_histogram_text(setup):
+    t, r, m, g = setup
+    text = load_histogram_text(r, m, g)
+    assert "MCL=3" in text
+    assert str(t.num_channels) in text
+    assert "#" in text
+
+
+def test_mapping_grid_text(setup):
+    t, r, m, g = setup
+    text = mapping_grid_text(m)
+    assert "15" in text
+    lines = text.splitlines()
+    assert len(lines) == 1 + 4  # header + 4 rows
+    with pytest.raises(ReproError):
+        mapping_grid_text(m, dims=(0, 0))
+    with pytest.raises(ReproError):
+        mapping_grid_text(m, dims=(0, 5))
+
+
+def test_mapping_grid_with_concentration():
+    t = torus(2, 2)
+    m = Mapping.identity(t, tasks_per_node=2)
+    text = mapping_grid_text(m)
+    assert "0,1" in text
+
+
+def test_dimension_load_text(setup):
+    t, r, m, g = setup
+    text = dimension_load_text(r, m, g)
+    assert "dim 0+" in text and "dim 1-" in text
+    # halo is perfectly balanced: all maxima equal
+    import re
+
+    maxima = [float(x) for x in re.findall(r"max\s+([0-9.]+)", text)]
+    assert len(set(maxima)) == 1
+
+
+def test_dimension_load_skips_trivial_dims():
+    from repro.topology import CartesianTopology
+    from repro.workloads import ring
+
+    t = CartesianTopology((4, 1), wrap=True)
+    r = MinimalAdaptiveRouter(t)
+    m = Mapping.identity(t)
+    text = dimension_load_text(r, m, ring(4))
+    assert "dim 1" not in text

@@ -1,0 +1,112 @@
+"""NAS benchmark generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import nas_bt, nas_cg, nas_sp
+from repro.workloads.nas import (
+    PROBLEM_CLASSES,
+    cg_phase_edges,
+    multipartition_phase_pairs,
+)
+
+
+def test_bt_structure_six_neighbors():
+    g = nas_bt(16, "C")  # 4x4 grid
+    assert g.grid_shape == (4, 4)
+    m = g.to_matrix(dense=True)
+    out_degree = (m > 0).sum(axis=1)
+    # multipartition: 6 neighbours per process on a 4x4 wrapped grid
+    assert (out_degree == 6).all()
+
+
+def test_bt_volume_symmetric():
+    g = nas_bt(16, "C")
+    m = g.to_matrix(dense=True)
+    assert np.allclose(m, m.T)
+
+
+def test_bt_diagonal_neighbors_present():
+    g = nas_bt(16, "C")
+    q = 4
+    m = g.to_matrix(dense=True)
+    # process (0,0) must talk to (1,1) and (3,3) (the z sweeps)
+    assert m[0, 1 * q + 1] > 0
+    assert m[0, 3 * q + 3] > 0
+
+
+def test_sp_vs_bt_volume_ratio():
+    bt = nas_bt(16, "C")
+    sp = nas_sp(16, "C")
+    # BT moves 25 words once; SP moves 5 words twice -> BT is 2.5x SP.
+    assert bt.total_volume == pytest.approx(2.5 * sp.total_volume)
+
+
+def test_bt_rejects_nonsquare():
+    with pytest.raises(WorkloadError):
+        nas_bt(15)
+    with pytest.raises(WorkloadError):
+        nas_bt(2)
+
+
+def test_phase_pairs_partition_the_graph():
+    q = 4
+    phases = multipartition_phase_pairs(q)
+    assert len(phases) == 6
+    for pairs in phases:
+        # each process sends exactly once per phase
+        srcs = [s for s, _ in pairs]
+        assert sorted(srcs) == list(range(q * q))
+
+
+def test_cg_even_power_grid():
+    g = nas_cg(16, "C")  # m=4 even: 4x4
+    assert g.grid_shape == (4, 4)
+
+
+def test_cg_odd_power_grid():
+    g = nas_cg(32, "C")  # m=5: nprows=4, npcols=8
+    assert g.grid_shape == (4, 8)
+
+
+def test_cg_transpose_partner_is_involution():
+    phases, (nprows, npcols) = cg_phase_edges(64, "C")
+    transpose = {(s, d) for s, d, _ in phases[0]}
+    for s, d in transpose:
+        assert (d, s) in transpose
+
+
+def test_cg_reduce_partners_powers_of_two():
+    phases, (nprows, npcols) = cg_phase_edges(64, "C")
+    for i, phase in enumerate(phases[1:]):
+        for s, d, _ in phase:
+            assert (s % npcols) ^ (d % npcols) == 2**i
+            assert s // npcols == d // npcols  # same row
+
+
+def test_cg_has_long_distance_communication():
+    g = nas_cg(256, "C")
+    # partners at column distance 8 exist: rank 0 <-> rank 8
+    assert g.to_matrix(dense=True)[0, 8] > 0
+
+
+def test_cg_rejects_non_pow2():
+    with pytest.raises(WorkloadError):
+        nas_cg(12)
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(WorkloadError):
+        nas_bt(16, "Z")
+
+
+def test_class_scaling_monotone():
+    small = nas_bt(16, "A").total_volume
+    big = nas_bt(16, "C").total_volume
+    assert big > small
+
+
+def test_all_classes_resolvable():
+    for cls in PROBLEM_CLASSES:
+        assert nas_cg(16, cls).total_volume > 0

@@ -1,0 +1,147 @@
+"""Stencil / synthetic / collective workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    bisection_stress,
+    butterfly,
+    collective_pattern,
+    halo2d,
+    halo3d,
+    halo_nd,
+    random_permutation,
+    random_uniform,
+    ring,
+    sweep2d,
+    transpose2d,
+)
+from repro.workloads.collectives import SUPPORTED_COLLECTIVES
+
+
+def test_halo2d_wrap_degree():
+    g = halo2d(4, 4, volume=2.0)
+    m = g.to_matrix(dense=True)
+    assert ((m > 0).sum(axis=1) == 4).all()
+    assert g.total_volume == pytest.approx(16 * 4 * 2.0)
+
+
+def test_halo2d_nowrap_boundary():
+    g = halo2d(3, 3, wrap=False)
+    m = g.to_matrix(dense=True)
+    assert (m > 0).sum(axis=1)[4] == 4  # center
+    assert (m > 0).sum(axis=1)[0] == 2  # corner
+
+
+def test_halo2d_wrap_arity2_merges_edges():
+    g = halo2d(2, 2)
+    # on a 2-wide wrapped grid, +1 and -1 reach the same neighbor
+    m = g.to_matrix(dense=True)
+    assert m[0, 1] == pytest.approx(2.0)  # both directions merged
+
+
+def test_halo_diagonal_volume():
+    g = halo2d(4, 4, volume=1.0, diagonal_volume=0.5)
+    m = g.to_matrix(dense=True)
+    assert ((m > 0).sum(axis=1) == 8).all()
+
+
+def test_halo3d_degree():
+    g = halo3d(3, 3, 3)
+    m = g.to_matrix(dense=True)
+    assert ((m > 0).sum(axis=1) == 6).all()
+
+
+def test_halo_nd_validates():
+    with pytest.raises(WorkloadError):
+        halo_nd((1,))
+
+
+def test_sweep_is_acyclic_downstream():
+    g = sweep2d(3, 3)
+    assert (g.srcs < g.dsts).all()  # strictly increasing C-order ids
+
+
+def test_random_uniform_no_self_loops():
+    g = random_uniform(10, 100, seed=0)
+    assert (g.srcs != g.dsts).all()
+    g2 = random_uniform(10, 100, seed=0)
+    assert g == g2  # deterministic under a seed
+
+
+def test_random_permutation_one_partner():
+    g = random_permutation(16, seed=1)
+    assert (g.srcs != g.dsts).all()
+    out_deg = np.bincount(g.srcs, minlength=16)
+    assert (out_deg == 1).all()
+
+
+def test_transpose2d():
+    g = transpose2d(3)
+    m = g.to_matrix(dense=True)
+    assert m[1, 3] > 0 and m[3, 1] > 0  # (0,1) <-> (1,0)
+    assert m[0, 0] == 0  # diagonal tasks silent
+
+
+def test_bisection_stress():
+    g = bisection_stress(8)
+    assert (np.abs(g.srcs - g.dsts) == 4).all()
+    with pytest.raises(WorkloadError):
+        bisection_stress(7)
+
+
+def test_ring_degrees():
+    g = ring(8)
+    m = g.to_matrix(dense=True)
+    assert ((m > 0).sum(axis=1) == 2).all()
+    g1 = ring(8, bidirectional=False)
+    assert ((g1.to_matrix(dense=True) > 0).sum(axis=1) == 1).all()
+
+
+def test_butterfly_xor_structure():
+    g = butterfly(8)
+    for s, d in zip(g.srcs, g.dsts):
+        x = int(s) ^ int(d)
+        assert x & (x - 1) == 0 and x > 0
+    with pytest.raises(WorkloadError):
+        butterfly(6)
+
+
+@pytest.mark.parametrize("name", sorted(SUPPORTED_COLLECTIVES))
+def test_collectives_produce_edges(name):
+    g = collective_pattern(name, 8, volume=2.0)
+    assert g.num_edges > 0
+    assert (g.srcs != g.dsts).all()
+
+
+def test_recursive_doubling_allgather_volume_doubles():
+    g = collective_pattern("allgather-recursive-doubling", 8, volume=1.0)
+    m = g.to_matrix(dense=True)
+    assert m[0, 1] == pytest.approx(1.0)   # step 0
+    assert m[0, 2] == pytest.approx(2.0)   # step 1
+    assert m[0, 4] == pytest.approx(4.0)   # step 2
+
+
+def test_bcast_binomial_reaches_everyone():
+    g = collective_pattern("bcast-binomial", 8, root=3)
+    import networkx as nx
+
+    nxg = g.to_networkx()
+    reachable = nx.descendants(nxg, 3) | {3}
+    assert reachable == set(range(8))
+
+
+def test_reduce_binomial_is_reversed_bcast():
+    b = collective_pattern("bcast-binomial", 8)
+    r = collective_pattern("reduce-binomial", 8)
+    assert np.allclose(b.to_matrix(dense=True), r.to_matrix(dense=True).T)
+
+
+def test_collective_errors():
+    with pytest.raises(WorkloadError):
+        collective_pattern("allgather-recursive-doubling", 6)
+    with pytest.raises(WorkloadError):
+        collective_pattern("nope", 8)
+    with pytest.raises(WorkloadError):
+        collective_pattern("allgather-ring", 1)

@@ -1,0 +1,82 @@
+"""Spectral/wavefront/27-point workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import fft_pencils, stencil27, wavefront3d
+
+
+def test_fft_pencils_degrees():
+    g = fft_pencils(4, 4, volume=2.0)
+    m = g.to_matrix(dense=True)
+    # each process talks to its 3 row peers and 3 column peers
+    assert ((m > 0).sum(axis=1) == 6).all()
+    assert g.total_volume == pytest.approx(16 * 6 * 2.0)
+    assert g.grid_shape == (4, 4)
+
+
+def test_fft_pencils_row_column_structure():
+    g = fft_pencils(3, 4)
+    m = g.to_matrix(dense=True)
+    # same-row pair
+    assert m[0, 3] > 0
+    # same-column pair
+    assert m[0, 4] > 0
+    # diagonal pair never communicates
+    assert m[0, 5] == 0
+
+
+def test_fft_pencils_validation():
+    with pytest.raises(WorkloadError):
+        fft_pencils(1, 1)
+
+
+def test_wavefront_no_wraparound():
+    g = wavefront3d(4, 4)
+    m = g.to_matrix(dense=True)
+    # corner has 2 neighbours, interior 4
+    assert (m[0] > 0).sum() == 2
+    assert (m[5] > 0).sum() == 4
+    # no edge between opposite boundary processes
+    assert m[0, 3] == 0
+
+
+def test_wavefront_symmetric():
+    g = wavefront3d(3, 5)
+    m = g.to_matrix(dense=True)
+    assert np.allclose(m, m.T)
+
+
+def test_stencil27_degree_and_volume_hierarchy():
+    g = stencil27(3, 3, 3, cell_side=10, bytes_per_point=1.0)
+    m = g.to_matrix(dense=True)
+    assert ((m > 0).sum(axis=1) == 26).all()
+    center = 1 * 9 + 1 * 3 + 1
+    face = 1 * 9 + 1 * 3 + 2
+    edge = 1 * 9 + 2 * 3 + 2
+    corner = 2 * 9 + 2 * 3 + 2
+    assert m[center, face] == pytest.approx(100.0)
+    assert m[center, edge] == pytest.approx(10.0)
+    assert m[center, corner] == pytest.approx(1.0)
+
+
+def test_stencil27_nowrap_boundary():
+    g = stencil27(3, 3, 3, wrap=False)
+    m = g.to_matrix(dense=True)
+    assert (m[0] > 0).sum() == 7  # corner process: 3 faces + 3 edges + 1 corner
+
+
+def test_stencil27_arity2_merges():
+    # wrap on a 2-long dimension merges +1/-1 neighbours
+    g = stencil27(2, 3, 3)
+    assert g.num_edges > 0
+    m = g.to_matrix(dense=True)
+    assert np.allclose(m, m.T)
+
+
+def test_spectral_validation():
+    with pytest.raises(WorkloadError):
+        wavefront3d(1, 1)
+    with pytest.raises(WorkloadError):
+        stencil27(1, 1, 1)
