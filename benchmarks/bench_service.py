@@ -1,0 +1,71 @@
+"""Service-layer benchmarks: cold vs. warm engine runs, batch overhead.
+
+Quantifies the two wins the job engine buys: parallel fan-out of the
+mapper x workload grid and warm-cache reruns that skip mapper work
+entirely. The warm path should be orders of magnitude faster than cold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    MapperConfig,
+    MappingEngine,
+    MappingJob,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+MAPPER_CONFIGS = [
+    MapperConfig.make("dimorder", order="ABT"),
+    MapperConfig.make("dimorder", order="TAB"),
+    MapperConfig.make("hilbert"),
+    MapperConfig.make("rubik"),
+]
+WORKLOADS = ["halo2d:8x8", "ring:64", "transpose:8", "bisection:64"]
+
+
+def _grid_jobs():
+    return [
+        MappingJob(TopologySpec((8, 8)), WorkloadSpec(workload), config)
+        for workload in WORKLOADS
+        for config in MAPPER_CONFIGS
+    ]
+
+
+def test_bench_engine_cold(benchmark):
+    """Uncached serial engine pass over the 4x4 job grid."""
+
+    def cold():
+        engine = MappingEngine(jobs=1)
+        outcomes = engine.run(_grid_jobs())
+        assert all(o.ok for o in outcomes)
+        return engine.stats.executed
+
+    assert benchmark(cold) == len(WORKLOADS) * len(MAPPER_CONFIGS)
+
+
+def test_bench_engine_warm(benchmark, tmp_path):
+    """Warm-cache pass: every job answered from the result store."""
+    cache = tmp_path / "cache"
+    MappingEngine(cache_dir=cache).run(_grid_jobs())
+
+    def warm():
+        engine = MappingEngine(cache_dir=cache)
+        outcomes = engine.run(_grid_jobs())
+        assert all(o.result.from_cache for o in outcomes)
+        return engine.stats.cache_hits
+
+    assert benchmark(warm) == len(WORKLOADS) * len(MAPPER_CONFIGS)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_bench_engine_fanout(benchmark, jobs):
+    """Pool fan-out vs. serial on the same uncached grid."""
+
+    def run():
+        outcomes = MappingEngine(jobs=jobs).run(_grid_jobs())
+        assert all(o.ok for o in outcomes)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

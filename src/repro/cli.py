@@ -20,31 +20,35 @@ Workload specs: ``bt:TASKS[:CLASS]``, ``sp:...``, ``cg:...``,
 Mapper specs: ``rahtm``, ``default``, ``dimorder:ORDER`` (e.g.
 ``dimorder:TABC``), ``hilbert``, ``rubik``, ``rcb`` (recursive
 bisection), ``anneal-hopbytes``, ``anneal-mcl``, ``random``.
+
+``map``, ``compare`` and ``experiment`` run through the service engine
+(``repro.service``): ``--jobs N`` fans independent cells out over worker
+processes, ``--cache-dir DIR`` (or ``$REPRO_CACHE_DIR``) enables the
+content-addressed result store, ``--no-cache`` bypasses it, and
+``--job-timeout S`` bounds each job's wall clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.baselines import (
-    DimOrderMapper,
-    HilbertMapper,
-    HopBytesMapper,
-    RandomMapper,
-    RubikTilingMapper,
-)
-from repro.commgraph import CommGraph, load_commgraph, save_commgraph
-from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.commgraph import save_commgraph
 from repro.errors import ConfigError, ReproError
-from repro.mapping import Mapping
 from repro.metrics import evaluate_mapping
-from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
+from repro.service import (
+    MappingEngine,
+    MappingJob,
+    TopologySpec,
+    WorkloadSpec,
+    mapper_config_from_spec,
+)
+from repro.service.jobs import build_router
 from repro.topology import CartesianTopology
 from repro.utils.logconf import enable_console_logging
+from repro.workloads.registry import parse_workload
 
 __all__ = ["main", "parse_topology", "parse_workload", "build_mapper"]
 
@@ -59,97 +63,33 @@ def parse_topology(spec: str, mesh: bool = False) -> CartesianTopology:
     return CartesianTopology(shape, wrap=not mesh)
 
 
-def parse_workload(spec: str, seed: int = 0) -> CommGraph:
-    """Parse a workload spec or load a graph file."""
-    path = Path(spec)
-    if path.suffix in (".npz", ".json") and path.exists():
-        return load_commgraph(path)
-    parts = spec.split(":")
-    kind = parts[0].lower()
-    from repro import workloads as wl
-
-    try:
-        if kind in ("bt", "sp", "cg"):
-            tasks = int(parts[1])
-            cls = parts[2].upper() if len(parts) > 2 else "C"
-            return {"bt": wl.nas_bt, "sp": wl.nas_sp, "cg": wl.nas_cg}[kind](
-                tasks, cls
-            )
-        if kind in ("halo2d", "halo3d"):
-            dims = tuple(int(x) for x in parts[1].lower().split("x"))
-            vol = float(parts[2]) if len(parts) > 2 else 1.0
-            return wl.halo_nd(dims, volume=vol)
-        if kind == "random":
-            return wl.random_uniform(int(parts[1]), int(parts[2]), seed=seed)
-        if kind == "butterfly":
-            return wl.butterfly(int(parts[1]))
-        if kind == "transpose":
-            return wl.transpose2d(int(parts[1]))
-        if kind == "ring":
-            return wl.ring(int(parts[1]))
-        if kind == "bisection":
-            return wl.bisection_stress(int(parts[1]))
-        if kind == "fft":
-            rows, cols = (int(x) for x in parts[1].lower().split("x"))
-            return wl.fft_pencils(rows, cols,
-                                  float(parts[2]) if len(parts) > 2 else 1.0)
-        if kind == "wavefront":
-            rows, cols = (int(x) for x in parts[1].lower().split("x"))
-            return wl.wavefront3d(rows, cols)
-        if kind == "stencil27":
-            nx, ny, nz = (int(x) for x in parts[1].lower().split("x"))
-            return wl.stencil27(nx, ny, nz)
-        if kind == "collective":
-            return wl.collective_pattern(parts[1], int(parts[2]))
-        if kind == "amr":
-            return wl.amr_quadtree(int(parts[1]), seed=seed)
-    except (IndexError, ValueError) as exc:
-        raise ConfigError(f"bad workload spec {spec!r}: {exc}") from exc
-    raise ConfigError(f"unknown workload kind {kind!r} in {spec!r}")
+def build_mapper(spec: str, topology: CartesianTopology, args=None) -> object:
+    """Instantiate a mapper from its CLI spec (via the job-spec codec)."""
+    return mapper_config_from_spec(spec, args).build(topology)
 
 
-def build_mapper(spec: str, topology: CartesianTopology, args) -> object:
-    """Instantiate a mapper from its CLI spec."""
-    kind, _, arg = spec.partition(":")
-    kind = kind.lower()
-    if kind == "rahtm":
-        cfg = RAHTMConfig(
-            beam_width=args.beam_width,
-            max_orientations=args.max_orientations,
-            milp_time_limit=args.milp_time_limit,
-            milp_rel_gap=args.milp_gap,
-            reposition=args.reposition,
-            refine_iterations=args.refine,
-            seed=args.seed,
-        )
-        return RAHTMMapper(topology, cfg)
-    if kind == "default":
-        return DimOrderMapper(topology)
-    if kind == "dimorder":
-        return DimOrderMapper(topology, arg or None)
-    if kind == "hilbert":
-        return HilbertMapper(topology)
-    if kind == "rubik":
-        return RubikTilingMapper(topology)
-    if kind in ("rcb", "bisection"):
-        from repro.baselines import RecursiveBisectionMapper
+def _engine_from_args(args) -> MappingEngine:
+    """Build the mapping engine the subcommand submits through.
 
-        return RecursiveBisectionMapper(topology, seed=args.seed)
-    if kind == "anneal-hopbytes":
-        return HopBytesMapper(topology, "hopbytes", iterations=args.anneal_iters,
-                              seed=args.seed)
-    if kind == "anneal-mcl":
-        return HopBytesMapper(topology, "mcl", iterations=args.anneal_iters,
-                              seed=args.seed)
-    if kind == "random":
-        return RandomMapper(topology, seed=args.seed)
-    raise ConfigError(f"unknown mapper {spec!r}")
+    Caching is on when ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) names a
+    directory and ``--no-cache`` is absent.
+    """
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if args.no_cache:
+        cache_dir = None
+    return MappingEngine(
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+        job_timeout=args.job_timeout,
+    )
 
 
-def _router(name: str, topology: CartesianTopology):
-    if name == "dor":
-        return DimensionOrderRouter(topology)
-    return MinimalAdaptiveRouter(topology)
+def _engine_kwargs(args) -> dict:
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if args.no_cache:
+        cache_dir = None
+    return {"jobs": args.jobs, "cache_dir": cache_dir,
+            "job_timeout": args.job_timeout}
 
 
 from repro.mapping import load_mapping as _load_mapping
@@ -164,19 +104,26 @@ def cmd_workload(args) -> int:
     return 0
 
 
+def _mapping_job(args, topology: CartesianTopology, mapper_spec: str) -> MappingJob:
+    return MappingJob(
+        topology=TopologySpec.from_topology(topology),
+        workload=WorkloadSpec(args.workload, seed=args.seed),
+        mapper=mapper_config_from_spec(mapper_spec, args),
+        router=args.router,
+    )
+
+
 def cmd_map(args) -> int:
     topology = parse_topology(args.topology, mesh=args.mesh)
+    engine = _engine_from_args(args)
+    result = engine.run_one(_mapping_job(args, topology, args.mapper))
     graph = parse_workload(args.workload, seed=args.seed)
-    mapper = build_mapper(args.mapper, topology, args)
-    mapping = mapper.map(graph)
-    router = _router(args.router, topology)
-    report = evaluate_mapping(router, mapping, graph)
     print(f"topology: {topology.describe()}")
     print(f"workload: {graph}")
-    print(f"mapper:   {getattr(mapper, 'name', args.mapper)}")
-    print(f"quality:  {report}")
+    print(f"mapper:   {result.mapper_name}")
+    print(f"quality:  {result.report}")
     if args.out:
-        _save_mapping(Path(args.out), mapping)
+        _save_mapping(Path(args.out), result.mapping)
         print(f"mapping saved to {args.out}")
     return 0
 
@@ -185,27 +132,33 @@ def cmd_evaluate(args) -> int:
     topology = parse_topology(args.topology, mesh=args.mesh)
     graph = parse_workload(args.workload, seed=args.seed)
     mapping = _load_mapping(Path(args.mapping), topology)
-    router = _router(args.router, topology)
+    router = build_router(args.router, topology)
     print(evaluate_mapping(router, mapping, graph))
     return 0
 
 
 def cmd_compare(args) -> int:
     topology = parse_topology(args.topology, mesh=args.mesh)
-    graph = parse_workload(args.workload, seed=args.seed)
-    router = _router(args.router, topology)
+    engine = _engine_from_args(args)
+    specs = [s.strip() for s in args.mappers.split(",") if s.strip()]
+    jobs = [_mapping_job(args, topology, spec) for spec in specs]
+    outcomes = engine.run(jobs)
     from repro.experiments.report import Table
 
     table = Table(f"mapper comparison on {args.workload} @ {args.topology}")
-    for spec in args.mappers.split(","):
-        mapper = build_mapper(spec.strip(), topology, args)
-        mapping = mapper.map(graph)
-        report = evaluate_mapping(router, mapping, graph)
-        label = getattr(mapper, "name", spec)
-        table.set(label, "MCL", report.mcl)
-        table.set(label, "hop_bytes", report.hop_bytes)
-        table.set(label, "imbalance", report.load_imbalance)
+    failures = []
+    for spec, outcome in zip(specs, outcomes):
+        if not outcome.ok:
+            failures.append(f"{spec}: {outcome.error}")
+            continue
+        result = outcome.result
+        table.set(result.mapper_name, "MCL", result.report.mcl)
+        table.set(result.mapper_name, "hop_bytes", result.report.hop_bytes)
+        table.set(result.mapper_name, "imbalance",
+                  result.report.load_imbalance)
     print(table.to_text())
+    if failures:
+        raise ReproError("mapper(s) failed: " + "; ".join(failures))
     return 0
 
 
@@ -215,15 +168,16 @@ def cmd_experiment(args) -> int:
         table1, table2,
     )
 
+    engine_kwargs = _engine_kwargs(args)
     modules = {
         "fig1": lambda: fig1.run(),
         "fig234": lambda: fig234.run(),
         "fig7": lambda: fig7.run(),
         "table1": lambda: table1.run(args.scale),
         "table2": lambda: table2.run(),
-        "fig8": lambda: fig8.run(args.scale),
-        "fig9": lambda: fig9.run(args.scale),
-        "fig10": lambda: fig10.run(args.scale),
+        "fig8": lambda: fig8.run(args.scale, **engine_kwargs),
+        "fig9": lambda: fig9.run(args.scale, **engine_kwargs),
+        "fig10": lambda: fig10.run(args.scale, **engine_kwargs),
         "opt_time": lambda: opt_time.run(args.scale),
         "scaling": lambda: scaling.run(),
     }
@@ -245,6 +199,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable console logging")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def engine_opts(p):
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+        p.add_argument("--cache-dir",
+                       help="content-addressed result cache directory "
+                            "(default: $REPRO_CACHE_DIR if set)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="bypass the result cache entirely")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+
     def common(p):
         p.add_argument("--topology", required=True,
                        help="torus shape, e.g. 4x4x4")
@@ -262,6 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--refine", type=int, default=0,
                        help="post-merge refinement proposals")
         p.add_argument("--anneal-iters", type=int, default=5000)
+        engine_opts(p)
 
     p = sub.add_parser("workload", help="generate and save a workload")
     p.add_argument("--spec", required=True)
@@ -289,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", help="fig1|fig234|fig7|fig8|fig9|fig10|"
                                 "table1|table2|opt_time")
     p.add_argument("--scale", default="tiny")
+    engine_opts(p)
     p.set_defaults(func=cmd_experiment)
     return parser
 

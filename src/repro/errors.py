@@ -19,6 +19,8 @@ __all__ = [
     "InfeasibleError",
     "ConfigError",
     "SimulationError",
+    "ServiceError",
+    "JobTimeoutError",
 ]
 
 
@@ -60,3 +62,11 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """Network/application simulation failure."""
+
+
+class ServiceError(ReproError):
+    """Mapping-service failure (job spec, result store, executor, engine)."""
+
+
+class JobTimeoutError(ServiceError):
+    """A mapping job exceeded its configured time budget."""

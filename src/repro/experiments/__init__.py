@@ -9,7 +9,12 @@ pytest-benchmark targets.
 
 from repro.experiments.config import ExperimentScale, SCALES, get_scale
 from repro.experiments.report import Table
-from repro.experiments.runner import MapperSpec, run_comparison, default_mappers
+from repro.experiments.runner import (
+    MapperSpec,
+    default_mapper_configs,
+    default_mappers,
+    run_comparison,
+)
 
 __all__ = [
     "ExperimentScale",
@@ -19,4 +24,5 @@ __all__ = [
     "MapperSpec",
     "run_comparison",
     "default_mappers",
+    "default_mapper_configs",
 ]

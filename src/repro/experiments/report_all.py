@@ -37,8 +37,21 @@ def _code_block(table) -> str:
     return "```\n" + table.to_text() + "\n```\n"
 
 
-def generate_report(scale="tiny", include=_SECTIONS) -> str:
-    """Run the selected experiments and return a markdown report."""
+def generate_report(
+    scale="tiny",
+    include=_SECTIONS,
+    *,
+    jobs: int = 1,
+    cache_dir=None,
+    job_timeout: float | None = None,
+) -> str:
+    """Run the selected experiments and return a markdown report.
+
+    ``jobs``/``cache_dir``/``job_timeout`` are forwarded to the mapping
+    engine behind the comparison sweep: ``jobs > 1`` computes the
+    mapper x benchmark grid in parallel, and a ``cache_dir`` makes
+    repeated report generation a warm-cache no-op.
+    """
     scale = get_scale(scale)
     parts = [
         "# RAHTM reproduction report",
@@ -59,7 +72,8 @@ def generate_report(scale="tiny", include=_SECTIONS) -> str:
     if "table1" in include:
         parts += ["## Table I — benchmarks", _code_block(table1.run(scale))]
     if "comparison" in include:
-        result = run_comparison(scale)
+        result = run_comparison(scale, jobs=jobs, cache_dir=cache_dir,
+                                job_timeout=job_timeout)
         parts += [
             "## Figure 8 — overall execution time",
             _code_block(fig8.from_comparison(result)),
@@ -86,8 +100,18 @@ def main(argv=None) -> int:
         "--sections", default=",".join(_SECTIONS),
         help=f"comma list from {_SECTIONS}",
     )
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the comparison sweep")
+    parser.add_argument("--cache-dir",
+                        help="content-addressed mapping result cache")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
     args = parser.parse_args(argv)
-    report = generate_report(args.scale, tuple(args.sections.split(",")))
+    report = generate_report(
+        args.scale, tuple(args.sections.split(",")),
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+    )
     if args.out:
         Path(args.out).write_text(report)
         print(f"wrote {args.out}")

@@ -1,4 +1,14 @@
-"""Shared experiment runner: benchmarks x mappers -> timed comparison."""
+"""Shared experiment runner: benchmarks x mappers -> timed comparison.
+
+The mapper x benchmark grid is embarrassingly parallel and highly
+cacheable, so the default path submits every cell as a
+:class:`~repro.service.jobs.MappingJob` through a
+:class:`~repro.service.engine.MappingEngine` (``jobs``/``cache_dir``/
+``job_timeout`` control parallelism and the content-addressed warm
+cache). Callers that pass live mapper/app objects (``mappers=``/
+``apps=``) take the in-process serial path instead — those objects are
+not expressible as job specs.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +19,8 @@ from dataclasses import dataclass, field
 from repro.baselines.dimorder import DimOrderMapper
 from repro.baselines.hilbert import HilbertMapper
 from repro.baselines.rubik import RubikTilingMapper
-from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.core.rahtm import RAHTMMapper
+from repro.errors import ServiceError
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.report import Table
 from repro.metrics.core import evaluate_mapping
@@ -25,7 +36,8 @@ from repro.simulator.network import NetworkModel, NetworkParams
 from repro.utils.logconf import get_logger
 
 __all__ = ["MapperSpec", "ComparisonResult", "default_mappers",
-           "benchmark_apps", "run_comparison"]
+           "default_mapper_configs", "benchmark_apps",
+           "benchmark_workload_specs", "run_comparison"]
 
 log = get_logger("experiments.runner")
 
@@ -59,6 +71,20 @@ def default_mappers(scale: ExperimentScale) -> list[MapperSpec]:
     return specs
 
 
+def default_mapper_configs(scale: ExperimentScale):
+    """The same Figure 8/10 line-up as declarative (label, config) pairs."""
+    from repro.service.jobs import MapperConfig
+
+    configs = [
+        (order, MapperConfig.make("dimorder", order=order))
+        for order in scale.dim_orders
+    ]
+    configs.append(("Hilbert", MapperConfig.make("hilbert")))
+    configs.append(("RHT", MapperConfig.make("rubik")))
+    configs.append(("RAHTM", MapperConfig.from_rahtm(scale.rahtm)))
+    return configs
+
+
 def benchmark_apps(scale: ExperimentScale) -> dict[str, ApplicationModel]:
     """The paper's three communication-heavy benchmarks (Table I)."""
     n = scale.num_tasks
@@ -68,6 +94,12 @@ def benchmark_apps(scale: ExperimentScale) -> dict[str, ApplicationModel]:
         "SP": sp_application(n, cls),
         "CG": cg_application(n, cls),
     }
+
+
+def benchmark_workload_specs(scale: ExperimentScale) -> dict[str, str]:
+    """The Table I benchmarks as workload spec strings (job currency)."""
+    n, cls = scale.num_tasks, scale.problem_class
+    return {"BT": f"bt:{n}:{cls}", "SP": f"sp:{n}:{cls}", "CG": f"cg:{n}:{cls}"}
 
 
 @dataclass
@@ -98,25 +130,8 @@ class ComparisonResult:
         return out
 
 
-def run_comparison(
-    scale="small",
-    mappers: list[MapperSpec] | None = None,
-    apps: dict[str, ApplicationModel] | None = None,
-    network_params: NetworkParams | None = None,
-) -> ComparisonResult:
-    """Run every benchmark under every mapper and collect all metrics.
-
-    The first mapper is the platform default: applications are calibrated
-    so its communication fraction matches the paper's Figure 9 values.
-    """
-    scale = get_scale(scale)
-    topo = scale.topology()
-    router = MinimalAdaptiveRouter(topo)
-    network = NetworkModel(router, network_params)
-    mappers = mappers or default_mappers(scale)
-    apps = apps or benchmark_apps(scale)
-
-    result = ComparisonResult(
+def _empty_result(scale: ExperimentScale) -> ComparisonResult:
+    return ComparisonResult(
         scale=scale,
         exec_seconds=Table("execution time (s)"),
         comm_seconds=Table("communication time (s)"),
@@ -124,11 +139,135 @@ def run_comparison(
         hop_bytes=Table("hop-bytes"),
         mapping_seconds=Table("offline mapping time (s)"),
     )
+
+
+def run_comparison(
+    scale="small",
+    mappers: list[MapperSpec] | None = None,
+    apps: dict[str, ApplicationModel] | None = None,
+    network_params: NetworkParams | None = None,
+    *,
+    mapper_configs=None,
+    engine=None,
+    jobs: int = 1,
+    cache_dir=None,
+    job_timeout: float | None = None,
+) -> ComparisonResult:
+    """Run every benchmark under every mapper and collect all metrics.
+
+    The first mapper is the platform default: applications are calibrated
+    so its communication fraction matches the paper's Figure 9 values.
+
+    With the default declarative line-up (no ``mappers``/``apps``
+    objects), each cell is submitted as a job through a mapping engine;
+    ``jobs > 1`` computes cells in parallel and ``cache_dir`` makes
+    reruns warm-cache no-ops. Passing live ``mappers``/``apps`` objects
+    keeps the legacy in-process serial path.
+    """
+    scale = get_scale(scale)
+    if mappers is None and apps is None:
+        if engine is None:
+            from repro.service.engine import MappingEngine
+
+            engine = MappingEngine(cache_dir=cache_dir, jobs=jobs,
+                                   job_timeout=job_timeout)
+        return _run_comparison_engine(
+            scale, network_params, engine,
+            mapper_configs or default_mapper_configs(scale),
+        )
+    return _run_comparison_serial(scale, mappers, apps, network_params)
+
+
+# -- engine path -----------------------------------------------------------------------
+def _run_comparison_engine(
+    scale: ExperimentScale, network_params, engine, mapper_configs,
+) -> ComparisonResult:
+    from repro.service.jobs import (
+        MappingJob,
+        NetworkSpec,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    topo_spec = TopologySpec.from_topology(scale.topology())
+    net_spec = NetworkSpec.from_params(network_params)
+    app_specs = benchmark_workload_specs(scale)
+    grid, job_list = [], []
+    for bench_name, workload in app_specs.items():
+        for label, config in mapper_configs:
+            grid.append((bench_name, label))
+            job_list.append(MappingJob(
+                topology=topo_spec, workload=WorkloadSpec(workload),
+                mapper=config, router="mar", network=net_spec,
+            ))
+    outcomes = engine.run(job_list)
+    failures = [
+        f"{bench}/{label}: {outcome.error}"
+        for (bench, label), outcome in zip(grid, outcomes)
+        if not outcome.ok
+    ]
+    if failures:
+        raise ServiceError(
+            "comparison cells failed: " + "; ".join(failures)
+        )
+    cells = {
+        cell: outcome.result for cell, outcome in zip(grid, outcomes)
+    }
+
+    result = _empty_result(scale)
+    labels = [label for label, _ in mapper_configs]
+    default_label = labels[0]
+    for bench_name in app_specs:
+        default_cell = cells[(bench_name, default_label)]
+        target = PAPER_COMM_FRACTIONS.get(bench_name, 0.5)
+        # Same arithmetic as calibrate_compute + ApplicationModel.simulate,
+        # factored over per-cell iteration communication times.
+        compute_per_iter = (
+            default_cell.iter_comm_seconds * (1.0 - target) / target
+        )
+        log.info("%s calibrated: comm fraction %.0f%% under %s",
+                 bench_name, 100 * target, default_label)
+        for label in labels:
+            cell = cells[(bench_name, label)]
+            comm = cell.iterations * cell.iter_comm_seconds
+            compute = cell.iterations * compute_per_iter
+            total = comm + compute
+            result.exec_seconds.set(bench_name, label, total)
+            result.comm_seconds.set(bench_name, label, comm)
+            result.mcl.set(bench_name, label, cell.report.mcl)
+            result.hop_bytes.set(bench_name, label, cell.report.hop_bytes)
+            result.mapping_seconds.set(bench_name, label, cell.map_seconds)
+            if label == default_label:
+                result.comm_fraction[bench_name] = (
+                    comm / total if total else 0.0
+                )
+            log.info(
+                "%s/%s: exec %.3fs comm %.3fs mcl %.3g "
+                "(mapped in %.1fs%s)",
+                bench_name, label, total, comm, cell.report.mcl,
+                cell.map_seconds, ", cached" if cell.from_cache else "",
+            )
+    return result
+
+
+# -- legacy in-process path ------------------------------------------------------------
+def _run_comparison_serial(
+    scale: ExperimentScale, mappers, apps, network_params,
+) -> ComparisonResult:
+    topo = scale.topology()
+    router = MinimalAdaptiveRouter(topo)
+    network = NetworkModel(router, network_params)
+    mappers = mappers or default_mappers(scale)
+    apps = apps or benchmark_apps(scale)
+    # One mapper instance per (mapper, topology), reused across benchmarks
+    # (every mapper resets its per-call state inside map()).
+    built = [spec.build(topo) for spec in mappers]
+
+    result = _empty_result(scale)
     for bench_name, app in apps.items():
         graph = app.comm_graph()
-        default_mapper = mappers[0].build(topo)
         t0 = time.perf_counter()
-        default_mapping = default_mapper.map(graph)
+        default_mapping = built[0].map(graph)
         default_map_secs = time.perf_counter() - t0
         target = PAPER_COMM_FRACTIONS.get(app.name, 0.5)
         app = calibrate_compute(app, default_mapping, network, target)
@@ -138,9 +277,8 @@ def run_comparison(
             if i == 0:
                 mapping, map_secs = default_mapping, default_map_secs
             else:
-                mapper = spec.build(topo)
                 t0 = time.perf_counter()
-                mapping = mapper.map(graph)
+                mapping = built[i].map(graph)
                 map_secs = time.perf_counter() - t0
             sim = app.simulate(mapping, network)
             rep = evaluate_mapping(router, mapping, graph)

@@ -1,13 +1,22 @@
-"""Generic mapping persistence (.npz).
+"""Generic mapping persistence (.npz and JSON-ready dicts).
 
 BG/Q mapfiles (:mod:`repro.mapping.mapfile`) are the machine-facing
 format; this module is the library-facing one — it round-trips the
 topology shape and concentration so a mapping can be validated against
 the topology it is later applied to.
+
+Besides the original ``.npz`` pair there is a JSON-safe dict codec used
+by the service layer's content-addressed result store: mappings,
+:class:`~repro.metrics.core.MappingReport` and
+:class:`~repro.simulator.app.SimResult` round-trip exactly through
+:func:`dumps`/:func:`loads` (JSON preserves Python floats bit-for-bit
+via shortest-repr, and all integer payloads are exact).
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
@@ -16,7 +25,18 @@ from repro.errors import MappingError
 from repro.mapping.mapping import Mapping
 from repro.topology.cartesian import CartesianTopology
 
-__all__ = ["save_mapping", "load_mapping"]
+__all__ = [
+    "save_mapping",
+    "load_mapping",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "report_to_dict",
+    "report_from_dict",
+    "simresult_to_dict",
+    "simresult_from_dict",
+    "dumps",
+    "loads",
+]
 
 
 def save_mapping(path, mapping: Mapping) -> None:
@@ -55,3 +75,99 @@ def load_mapping(path, topology: CartesianTopology | None = None) -> Mapping:
         return Mapping(
             topology, data["task_to_node"], int(data["tasks_per_node"])
         )
+
+
+# -- JSON-ready dict codec (service-layer artifacts) ---------------------------------
+def mapping_to_dict(mapping: Mapping) -> dict:
+    """A JSON-safe dict capturing the mapping and its topology."""
+    topo = mapping.topology
+    shape = getattr(topo, "shape", None)
+    if shape is None:
+        raise MappingError(
+            "mapping_to_dict requires a topology with a shape (Cartesian); "
+            "for other topologies persist task_to_node yourself"
+        )
+    return {
+        "shape": [int(s) for s in shape],
+        "wrap": [bool(w) for w in getattr(topo, "wrap", ())],
+        "tasks_per_node": int(mapping.tasks_per_node),
+        "task_to_node": [int(t) for t in mapping.task_to_node],
+    }
+
+
+def mapping_from_dict(data: dict, topology: CartesianTopology | None = None) -> Mapping:
+    """Inverse of :func:`mapping_to_dict`; validates a supplied topology."""
+    shape = tuple(int(s) for s in data["shape"])
+    wrap = tuple(bool(w) for w in data["wrap"])
+    if topology is None:
+        topology = CartesianTopology(shape, wrap=wrap or True)
+    elif tuple(topology.shape) != shape:
+        raise MappingError(
+            f"mapping was computed for shape {shape}, "
+            f"given topology is {tuple(topology.shape)}"
+        )
+    return Mapping(
+        topology,
+        np.asarray(data["task_to_node"], dtype=np.int64),
+        int(data["tasks_per_node"]),
+    )
+
+
+def report_to_dict(report) -> dict:
+    """A :class:`~repro.metrics.core.MappingReport` as a JSON-safe dict."""
+    return asdict(report)
+
+
+def report_from_dict(data: dict):
+    from repro.metrics.core import MappingReport
+
+    return MappingReport(**{
+        **{k: float(v) for k, v in data.items()},
+        "max_dilation": int(data["max_dilation"]),
+        "num_network_flows": int(data["num_network_flows"]),
+    })
+
+
+def simresult_to_dict(result) -> dict:
+    """A :class:`~repro.simulator.app.SimResult` as a JSON-safe dict."""
+    return asdict(result)
+
+
+def simresult_from_dict(data: dict):
+    from repro.simulator.app import SimResult
+
+    return SimResult(**{k: float(v) for k, v in data.items()})
+
+
+def _lazy_codecs():
+    # Imported here to keep repro.mapping free of metrics/simulator imports
+    # at module load (they import Mapping themselves).
+    from repro.metrics.core import MappingReport
+    from repro.simulator.app import SimResult
+
+    return {
+        "mapping": (Mapping, mapping_to_dict, mapping_from_dict),
+        "report": (MappingReport, report_to_dict, report_from_dict),
+        "simresult": (SimResult, simresult_to_dict, simresult_from_dict),
+    }
+
+
+def dumps(obj) -> str:
+    """Serialize a Mapping / MappingReport / SimResult to a JSON string."""
+    for kind, (cls, encode, _) in _lazy_codecs().items():
+        if isinstance(obj, cls):
+            return json.dumps({"kind": kind, "data": encode(obj)})
+    raise MappingError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`."""
+    doc = json.loads(text)
+    try:
+        kind, data = doc["kind"], doc["data"]
+    except (TypeError, KeyError) as exc:
+        raise MappingError(f"malformed serialized object: {exc}") from exc
+    codecs = _lazy_codecs()
+    if kind not in codecs:
+        raise MappingError(f"unknown serialized kind {kind!r}")
+    return codecs[kind][2](data)

@@ -1,0 +1,40 @@
+"""The mapping-job service layer.
+
+Turns "compute a mapping / evaluate a mapping" into first-class batch
+jobs: declarative content-addressed specs (:mod:`repro.service.jobs`), a
+disk-backed result store (:mod:`repro.service.store`), a process-pool
+batch executor (:mod:`repro.service.executor`) and the engine façade
+composing them (:mod:`repro.service.engine`).
+"""
+
+from repro.service.engine import EngineStats, MappingEngine
+from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
+from repro.service.jobs import (
+    JobResult,
+    MapperConfig,
+    MappingJob,
+    NetworkSpec,
+    TopologySpec,
+    WorkloadSpec,
+    execute_mapping_job,
+    mapper_config_from_spec,
+)
+from repro.service.store import ResultStore, StoreStats
+
+__all__ = [
+    "MappingEngine",
+    "EngineStats",
+    "BatchExecutor",
+    "ExecutorConfig",
+    "JobOutcome",
+    "MappingJob",
+    "JobResult",
+    "MapperConfig",
+    "TopologySpec",
+    "WorkloadSpec",
+    "NetworkSpec",
+    "ResultStore",
+    "StoreStats",
+    "execute_mapping_job",
+    "mapper_config_from_spec",
+]

@@ -1,0 +1,180 @@
+"""The mapping-job engine: content-addressed cache + batch executor.
+
+:class:`MappingEngine` is the façade every traffic path goes through
+(CLI ``map``/``compare``, the experiment runner, ``report_all``):
+
+1. each submitted :class:`~repro.service.jobs.MappingJob` is looked up in
+   the :class:`~repro.service.store.ResultStore` by its content hash;
+2. misses fan out over the :class:`~repro.service.executor.BatchExecutor`
+   (process pool, per-job timeout, bounded retries);
+3. fresh results are persisted back to the store, so identical jobs —
+   across commands, sessions and scales that share cells — are never
+   solved twice.
+
+Per-job telemetry (queued / started / finished, wall seconds, cache
+hits) is emitted through :mod:`repro.utils.logconf` under
+``repro.service.engine`` and aggregated in :class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ServiceError
+from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
+from repro.service.jobs import JobResult, MappingJob, execute_mapping_job
+from repro.service.store import ResultStore
+from repro.utils.logconf import get_logger
+
+__all__ = ["EngineStats", "MappingEngine"]
+
+log = get_logger("service.engine")
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters over every batch this engine has run."""
+
+    submitted: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    retried: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "retried": self.retried,
+        }
+
+
+class MappingEngine:
+    """Compose store + executor into the one entry point for mapping work.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root of the content-addressed store; ``None`` disables caching.
+    jobs:
+        Worker processes (``1`` = serial in-process execution).
+    job_timeout:
+        Per-attempt wall-clock budget in seconds.
+    retries / backoff:
+        Transient-failure retry policy (see :class:`ExecutorConfig`).
+    store:
+        Pre-built :class:`ResultStore`, overriding ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        cache_dir=None,
+        jobs: int = 1,
+        job_timeout: float | None = None,
+        retries: int = 1,
+        backoff: float = 0.05,
+        store: ResultStore | None = None,
+    ):
+        if store is None and cache_dir is not None:
+            store = ResultStore(cache_dir)
+        self.store = store
+        self.executor = BatchExecutor(
+            ExecutorConfig(jobs=jobs, timeout=job_timeout,
+                           retries=retries, backoff=backoff),
+            on_event=self._on_executor_event,
+        )
+        self.stats = EngineStats()
+
+    # -- telemetry ------------------------------------------------------------------
+    def _on_executor_event(self, event: str, info: dict) -> None:
+        job = info.get("item")
+        label = job.describe() if isinstance(job, MappingJob) else job
+        if event == "queued":
+            log.debug("queued [%s] %s", info["index"], label)
+        elif event == "started":
+            if info.get("attempt", 1) > 1:
+                self.stats.retried += 1
+            log.info("started [%s] %s (attempt %d)",
+                     info["index"], label, info["attempt"])
+        elif event == "finished":
+            log.info(
+                "finished [%s] %s in %.3fs attempts=%d cache_hit=False "
+                "error=%s", info["index"], label, info["wall_seconds"],
+                info["attempts"], info["error"],
+            )
+
+    # -- execution ------------------------------------------------------------------
+    def run(self, jobs: Sequence[MappingJob]) -> list[JobOutcome]:
+        """Run a batch; outcomes align positionally with ``jobs``.
+
+        Successful outcomes carry a :class:`JobResult` in ``.result``
+        (``from_cache`` set on store hits); failures carry ``.error``.
+        """
+        jobs = list(jobs)
+        outcomes: list[JobOutcome | None] = [None] * len(jobs)
+        miss_indices: list[int] = []
+        t0 = time.perf_counter()
+        for i, job in enumerate(jobs):
+            self.stats.submitted += 1
+            key = job.cache_key()
+            log.debug("queued [%d] %s key=%s", i, job.describe(), key[:12])
+            payload = self.store.get(key) if self.store is not None else None
+            if payload is not None:
+                self.stats.cache_hits += 1
+                result = JobResult.from_payload(payload, from_cache=True)
+                outcomes[i] = JobOutcome(
+                    index=i, item=job, result=result, error=None,
+                    attempts=0, wall_seconds=0.0,
+                )
+                log.info("finished [%d] %s in 0.000s attempts=0 "
+                         "cache_hit=True error=None", i, job.describe())
+            else:
+                miss_indices.append(i)
+        if miss_indices:
+            raw = self.executor.run(
+                execute_mapping_job, [jobs[i] for i in miss_indices]
+            )
+            for outcome, i in zip(raw, miss_indices):
+                job = jobs[i]
+                if outcome.ok:
+                    payload = outcome.result
+                    if self.store is not None:
+                        self.store.put(payload["key"], payload)
+                    self.stats.executed += 1
+                    result = JobResult.from_payload(payload)
+                else:
+                    self.stats.failed += 1
+                    if outcome.timed_out:
+                        self.stats.timed_out += 1
+                    result = None
+                outcomes[i] = JobOutcome(
+                    index=i, item=job, result=result, error=outcome.error,
+                    attempts=outcome.attempts,
+                    wall_seconds=outcome.wall_seconds,
+                    timed_out=outcome.timed_out,
+                )
+        done = [o for o in outcomes if o is not None]
+        log.info(
+            "batch of %d done in %.3fs: %d cached, %d executed, %d failed",
+            len(jobs), time.perf_counter() - t0,
+            sum(1 for o in done if o.attempts == 0),
+            sum(1 for o in done if o.ok and o.attempts > 0),
+            sum(1 for o in done if not o.ok),
+        )
+        return outcomes  # type: ignore[return-value]
+
+    def run_one(self, job: MappingJob) -> JobResult:
+        """Run a single job; raises :class:`ServiceError` on failure."""
+        outcome = self.run([job])[0]
+        if not outcome.ok:
+            raise ServiceError(
+                f"mapping job {job.describe()} failed after "
+                f"{outcome.attempts} attempt(s): {outcome.error}"
+            )
+        return outcome.result

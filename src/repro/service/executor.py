@@ -1,0 +1,234 @@
+"""Batch execution of jobs over a process pool.
+
+The executor is deliberately generic: it runs ``fn(item)`` for a list of
+picklable items with
+
+- a configurable worker count (``jobs=1`` falls back to in-process
+  serial execution — no pool, no pickling, easy debugging);
+- a per-job wall-clock timeout, enforced *inside* the worker via
+  ``SIGALRM`` so a hung job is cancelled without poisoning the pool
+  (on platforms without ``SIGALRM`` the timeout is best-effort off);
+- bounded retry with exponential backoff for transient failures (any
+  exception except a timeout); a job that keeps failing is reported as a
+  failed :class:`JobOutcome` without killing the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, JobTimeoutError
+from repro.utils.logconf import get_logger
+
+__all__ = ["ExecutorConfig", "JobOutcome", "BatchExecutor"]
+
+log = get_logger("service.executor")
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Batch-execution knobs.
+
+    Attributes
+    ----------
+    jobs:
+        Worker processes; ``1`` executes serially in-process.
+    timeout:
+        Per-attempt wall-clock budget in seconds (None = unlimited).
+    retries:
+        Extra attempts after the first failure (timeouts never retry —
+        a job that blew its budget once will blow it again).
+    backoff:
+        Base of the exponential backoff slept before attempt ``k``:
+        ``backoff * 2**(k-2)`` seconds.
+    """
+
+    jobs: int = 1
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 0.05
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be > 0 (or None)")
+        if self.retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ConfigError("backoff must be >= 0")
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one item of a batch."""
+
+    index: int
+    item: object
+    result: object | None
+    error: str | None
+    attempts: int
+    wall_seconds: float
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`JobTimeoutError` in this thread after ``seconds``.
+
+    Signal-based, so it interrupts pure-Python *and* long native calls
+    that release the GIL between bytecodes; only armed when running in a
+    main thread on a platform with ``SIGALRM`` (ProcessPoolExecutor
+    workers always qualify).
+    """
+    usable = (
+        seconds is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise JobTimeoutError(f"job exceeded {seconds:.6g}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _invoke(fn, item, timeout):
+    """Worker-side wrapper applying the per-attempt deadline."""
+    with _deadline(timeout):
+        return fn(item)
+
+
+def _describe(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+class BatchExecutor:
+    """Run a batch of ``fn(item)`` calls per :class:`ExecutorConfig`.
+
+    ``on_event(event, info)`` (optional) receives ``"queued"``,
+    ``"started"`` (once per attempt) and ``"finished"`` telemetry.
+    """
+
+    def __init__(self, config: ExecutorConfig | None = None, on_event=None):
+        self.config = config or ExecutorConfig()
+        self.on_event = on_event
+
+    def _emit(self, event: str, **info) -> None:
+        if self.on_event is not None:
+            self.on_event(event, info)
+
+    def run(self, fn, items) -> list[JobOutcome]:
+        """Execute every item; outcomes are positionally aligned to items."""
+        items = list(items)
+        for i in range(len(items)):
+            self._emit("queued", index=i, item=items[i])
+        if self.config.jobs == 1 or len(items) <= 1:
+            return [self._run_serial(fn, i, item)
+                    for i, item in enumerate(items)]
+        return self._run_pool(fn, items)
+
+    # -- serial fallback -----------------------------------------------------------
+    def _run_serial(self, fn, index: int, item) -> JobOutcome:
+        start = time.perf_counter()
+        attempt = 0
+        while True:
+            attempt += 1
+            self._emit("started", index=index, item=item, attempt=attempt)
+            try:
+                result = _invoke(fn, item, self.config.timeout)
+            except JobTimeoutError as exc:
+                outcome = JobOutcome(index, item, None, _describe(exc),
+                                     attempt, time.perf_counter() - start,
+                                     timed_out=True)
+                break
+            except Exception as exc:
+                if attempt <= self.config.retries:
+                    log.warning("job %d attempt %d failed (%s); retrying",
+                                index, attempt, _describe(exc))
+                    time.sleep(self.config.backoff * 2 ** (attempt - 1))
+                    continue
+                outcome = JobOutcome(index, item, None, _describe(exc),
+                                     attempt, time.perf_counter() - start)
+                break
+            else:
+                outcome = JobOutcome(index, item, result, None, attempt,
+                                     time.perf_counter() - start)
+                break
+        self._emit("finished", index=index, item=item, attempts=outcome.attempts,
+                   wall_seconds=outcome.wall_seconds, error=outcome.error,
+                   timed_out=outcome.timed_out)
+        return outcome
+
+    # -- pooled path ---------------------------------------------------------------
+    def _run_pool(self, fn, items: list) -> list[JobOutcome]:
+        outcomes: list[JobOutcome | None] = [None] * len(items)
+        starts = [0.0] * len(items)
+        workers = min(self.config.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: dict = {}
+
+            def submit(index: int, attempt: int) -> None:
+                if attempt == 1:
+                    starts[index] = time.perf_counter()
+                self._emit("started", index=index, item=items[index],
+                           attempt=attempt)
+                future = pool.submit(_invoke, fn, items[index],
+                                     self.config.timeout)
+                pending[future] = (index, attempt)
+
+            for i in range(len(items)):
+                submit(i, 1)
+            while pending:
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, attempt = pending.pop(future)
+                    wall = time.perf_counter() - starts[index]
+                    try:
+                        result = future.result()
+                    except JobTimeoutError as exc:
+                        outcomes[index] = JobOutcome(
+                            index, items[index], None, _describe(exc),
+                            attempt, wall, timed_out=True,
+                        )
+                    except Exception as exc:
+                        if attempt <= self.config.retries:
+                            log.warning(
+                                "job %d attempt %d failed (%s); retrying",
+                                index, attempt, _describe(exc),
+                            )
+                            time.sleep(self.config.backoff * 2 ** (attempt - 1))
+                            submit(index, attempt + 1)
+                            continue
+                        outcomes[index] = JobOutcome(
+                            index, items[index], None, _describe(exc),
+                            attempt, wall,
+                        )
+                    else:
+                        outcomes[index] = JobOutcome(
+                            index, items[index], result, None, attempt, wall,
+                        )
+                    out = outcomes[index]
+                    self._emit("finished", index=index, item=items[index],
+                               attempts=out.attempts,
+                               wall_seconds=out.wall_seconds,
+                               error=out.error, timed_out=out.timed_out)
+        return outcomes  # type: ignore[return-value]

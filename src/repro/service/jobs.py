@@ -1,0 +1,349 @@
+"""Mapping jobs: declarative, hashable specs for one mapper x workload cell.
+
+A :class:`MappingJob` captures *everything* needed to recompute a mapping
+and its quality metrics — topology, workload, mapper configuration,
+router, and (optionally) the network model for simulated communication
+time — as plain data. Two properties follow:
+
+- jobs are picklable, so the executor can farm them out to worker
+  processes;
+- jobs are content-addressable: :meth:`MappingJob.cache_key` is a stable
+  SHA-256 over a canonical serialization (sorted keys, hex floats — see
+  :mod:`repro.utils.hashing`), so independently constructed but equal
+  specs hash equal and any field change changes the key.
+
+:func:`execute_mapping_job` is the worker-side entry point; it returns a
+JSON-ready payload that :class:`~repro.service.store.ResultStore` can
+persist verbatim and :class:`JobResult` can rehydrate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+
+from repro.core.rahtm import RAHTMConfig, RAHTMMapper
+from repro.errors import ConfigError, ServiceError
+from repro.mapping.mapping import Mapping
+from repro.mapping.serialize import (
+    mapping_from_dict,
+    mapping_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.metrics.core import MappingReport, evaluate_mapping
+from repro.routing.dor import DimensionOrderRouter
+from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+from repro.simulator.network import NetworkModel, NetworkParams
+from repro.topology.cartesian import CartesianTopology
+from repro.utils.hashing import stable_hash
+from repro.workloads.registry import is_workload_file, parse_application, parse_workload
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TopologySpec",
+    "WorkloadSpec",
+    "MapperConfig",
+    "NetworkSpec",
+    "MappingJob",
+    "JobResult",
+    "execute_mapping_job",
+    "mapper_config_from_spec",
+    "build_router",
+]
+
+#: Version of both the cache-key payload and the stored artifact schema.
+#: Bump whenever either changes shape — old artifacts then miss cleanly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A Cartesian topology as data: shape + per-dimension wraparound."""
+
+    shape: tuple[int, ...]
+    wrap: tuple[bool, ...] = ()
+
+    def __post_init__(self):
+        shape = tuple(int(s) for s in self.shape)
+        wrap = self.wrap
+        if isinstance(wrap, bool):
+            wrap = (wrap,) * len(shape)
+        wrap = tuple(bool(w) for w in wrap) or (True,) * len(shape)
+        if len(wrap) != len(shape):
+            raise ConfigError(
+                f"wrap has {len(wrap)} entries for {len(shape)} dimensions"
+            )
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "wrap", wrap)
+
+    @classmethod
+    def from_topology(cls, topology: CartesianTopology) -> "TopologySpec":
+        return cls(tuple(topology.shape), tuple(topology.wrap))
+
+    def build(self) -> CartesianTopology:
+        return CartesianTopology(self.shape, wrap=self.wrap)
+
+    def payload(self) -> dict:
+        return {"shape": list(self.shape), "wrap": list(self.wrap)}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload in the CLI spec grammar (or a graph-file path) + seed."""
+
+    spec: str
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "spec", str(self.spec))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def build_graph(self):
+        return parse_workload(self.spec, seed=self.seed)
+
+    def build_application(self):
+        return parse_application(self.spec, seed=self.seed)
+
+    def payload(self) -> dict:
+        out: dict = {"spec": self.spec, "seed": self.seed}
+        # File-backed workloads are addressed by *content*, not by path:
+        # editing the file must change the cache key.
+        if is_workload_file(self.spec):
+            digest = hashlib.sha256(Path(self.spec).read_bytes()).hexdigest()
+            out["spec"] = Path(self.spec).name
+            out["digest"] = digest
+        return out
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """A mapper as data: kind + sorted ``(name, value)`` parameter pairs."""
+
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "kind", str(self.kind).lower())
+        object.__setattr__(
+            self,
+            "params",
+            tuple(sorted((str(k), v) for k, v in self.params)),
+        )
+
+    @classmethod
+    def make(cls, kind: str, **params) -> "MapperConfig":
+        return cls(kind, tuple(params.items()))
+
+    @classmethod
+    def from_rahtm(cls, config: RAHTMConfig) -> "MapperConfig":
+        return cls.make("rahtm", **asdict(config))
+
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    def build(self, topology):
+        """Instantiate the configured mapper bound to ``topology``."""
+        kind, p = self.kind, self.param_dict()
+        if kind == "rahtm":
+            return RAHTMMapper(topology, RAHTMConfig(**p))
+        if kind in ("default", "dimorder"):
+            from repro.baselines.dimorder import DimOrderMapper
+
+            return DimOrderMapper(topology, p.get("order"))
+        if kind == "hilbert":
+            from repro.baselines.hilbert import HilbertMapper
+
+            return HilbertMapper(topology)
+        if kind == "rubik":
+            from repro.baselines.rubik import RubikTilingMapper
+
+            return RubikTilingMapper(topology)
+        if kind in ("rcb", "bisection"):
+            from repro.baselines.bisection import RecursiveBisectionMapper
+
+            return RecursiveBisectionMapper(topology, seed=p.get("seed", 0))
+        if kind in ("anneal-hopbytes", "anneal-mcl"):
+            from repro.baselines.hopbytes import HopBytesMapper
+
+            return HopBytesMapper(
+                topology, kind.split("-", 1)[1],
+                iterations=p.get("iterations", 5000), seed=p.get("seed", 0),
+            )
+        if kind == "random":
+            from repro.baselines.random_map import RandomMapper
+
+            return RandomMapper(topology, seed=p.get("seed", 0))
+        raise ConfigError(f"unknown mapper kind {self.kind!r}")
+
+    def payload(self) -> dict:
+        return {"kind": self.kind, "params": [list(kv) for kv in self.params]}
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The :class:`NetworkParams` constants as hashable job data."""
+
+    link_bandwidth: float = 1.8e9
+    hop_latency: float = 40e-9
+    phase_overhead: float = 2e-6
+    phase_overlap: float = 0.5
+
+    @classmethod
+    def from_params(cls, params: NetworkParams | None) -> "NetworkSpec":
+        if params is None:
+            return cls()
+        return cls(**{f.name: getattr(params, f.name) for f in fields(cls)})
+
+    def build(self) -> NetworkParams:
+        return NetworkParams(**asdict(self))
+
+    def payload(self) -> dict:
+        return {k: float(v) for k, v in asdict(self).items()}
+
+
+def build_router(name: str, topology):
+    """Router factory shared by the CLI and the job worker."""
+    if name == "dor":
+        return DimensionOrderRouter(topology)
+    if name == "mar":
+        return MinimalAdaptiveRouter(topology)
+    raise ConfigError(f"unknown router {name!r}; choose 'mar' or 'dor'")
+
+
+@dataclass(frozen=True)
+class MappingJob:
+    """One unit of work: map a workload onto a topology and score it.
+
+    When ``network`` is set the job additionally simulates one
+    iteration's communication time under the mapping (the quantity the
+    experiment runner aggregates into Figures 8-10); the mapper then maps
+    the application's aggregate graph, exactly as the serial runner did.
+    """
+
+    topology: TopologySpec
+    workload: WorkloadSpec
+    mapper: MapperConfig
+    router: str = "mar"
+    network: NetworkSpec | None = None
+
+    def payload(self) -> dict:
+        """The canonical content-addressed description of this job."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "topology": self.topology.payload(),
+            "workload": self.workload.payload(),
+            "mapper": self.mapper.payload(),
+            "router": self.router,
+            "network": None if self.network is None else self.network.payload(),
+        }
+
+    def cache_key(self) -> str:
+        return stable_hash(self.payload())
+
+    def describe(self) -> str:
+        return (f"{self.mapper.kind} on {self.workload.spec} @ "
+                f"{'x'.join(map(str, self.topology.shape))}")
+
+
+def execute_mapping_job(job: MappingJob) -> dict:
+    """Worker-side job body: build, map, evaluate; return a JSON payload."""
+    topology = job.topology.build()
+    if job.network is not None:
+        app = job.workload.build_application()
+        graph = app.comm_graph()
+    else:
+        app = None
+        graph = job.workload.build_graph()
+    mapper = job.mapper.build(topology)
+    t0 = time.perf_counter()
+    mapping = mapper.map(graph)
+    map_seconds = time.perf_counter() - t0
+    router = build_router(job.router, topology)
+    report = evaluate_mapping(router, mapping, graph)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "key": job.cache_key(),
+        "job": job.payload(),
+        "mapper_name": getattr(mapper, "name", job.mapper.kind),
+        "map_seconds": map_seconds,
+        "mapping": mapping_to_dict(mapping),
+        "report": report_to_dict(report),
+    }
+    if app is not None:
+        network = NetworkModel(router, job.network.build())
+        payload["iter_comm_seconds"] = app.iteration_comm_time(mapping, network)
+        payload["iterations"] = app.iterations
+    return payload
+
+
+@dataclass
+class JobResult:
+    """A rehydrated job payload (from a fresh run or the result store)."""
+
+    key: str
+    mapper_name: str
+    map_seconds: float
+    mapping: Mapping
+    report: MappingReport
+    iter_comm_seconds: float | None = None
+    iterations: int | None = None
+    from_cache: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: dict, from_cache: bool = False) -> "JobResult":
+        try:
+            return cls(
+                key=payload["key"],
+                mapper_name=payload["mapper_name"],
+                map_seconds=float(payload["map_seconds"]),
+                mapping=mapping_from_dict(payload["mapping"]),
+                report=report_from_dict(payload["report"]),
+                iter_comm_seconds=payload.get("iter_comm_seconds"),
+                iterations=payload.get("iterations"),
+                from_cache=from_cache,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed job payload: {exc}") from exc
+
+
+def mapper_config_from_spec(spec: str, args=None) -> MapperConfig:
+    """Translate a CLI mapper spec (``dimorder:TABC``...) into a config.
+
+    ``args`` is the CLI namespace carrying RAHTM/annealer tunables; any
+    object with the same attributes (or ``None`` for defaults) works.
+    """
+    kind, _, arg = spec.partition(":")
+    kind = kind.lower()
+
+    def opt(name, default):
+        return getattr(args, name, default) if args is not None else default
+
+    if kind == "rahtm":
+        return MapperConfig.from_rahtm(RAHTMConfig(
+            beam_width=opt("beam_width", 16),
+            max_orientations=opt("max_orientations", 24),
+            milp_time_limit=opt("milp_time_limit", 60.0),
+            milp_rel_gap=opt("milp_gap", 0.02),
+            reposition=opt("reposition", False),
+            refine_iterations=opt("refine", 0),
+            seed=opt("seed", 0),
+        ))
+    if kind == "default":
+        return MapperConfig.make("dimorder")
+    if kind == "dimorder":
+        return (MapperConfig.make("dimorder", order=arg) if arg
+                else MapperConfig.make("dimorder"))
+    if kind in ("hilbert", "rubik"):
+        return MapperConfig.make(kind)
+    if kind in ("rcb", "bisection"):
+        return MapperConfig.make("rcb", seed=opt("seed", 0))
+    if kind in ("anneal-hopbytes", "anneal-mcl"):
+        return MapperConfig.make(
+            kind, iterations=opt("anneal_iters", 5000), seed=opt("seed", 0)
+        )
+    if kind == "random":
+        return MapperConfig.make("random", seed=opt("seed", 0))
+    raise ConfigError(f"unknown mapper {spec!r}")

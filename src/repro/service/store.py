@@ -1,0 +1,137 @@
+"""Disk-backed content-addressed result store.
+
+Artifacts are JSON files named by their job's cache key, sharded by the
+key's first two hex digits (``<root>/ab/ab12....json``) so directories
+stay small at production scale. Writes are atomic: the payload lands in
+a temp file in the destination directory and is ``os.replace``d into
+place, so readers never observe a torn artifact and concurrent writers
+of the same key are last-writer-wins with either writer's file complete.
+
+Every artifact carries a ``schema`` version; a version mismatch (or a
+corrupt/unparseable file) is treated as a miss and the stale file is
+evicted, so schema bumps invalidate old caches transparently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ServiceError
+from repro.utils.logconf import get_logger
+
+__all__ = ["StoreStats", "ResultStore"]
+
+log = get_logger("service.store")
+
+#: Artifact schema version (see :data:`repro.service.jobs.SCHEMA_VERSION`).
+STORE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """hit/miss/write/evict counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "evictions": self.evictions}
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed JSON artifact store under ``root``."""
+
+    root: Path
+    schema_version: int = STORE_SCHEMA_VERSION
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3 or any(c not in "0123456789abcdef" for c in key):
+            raise ServiceError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read ---------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """Return the payload for ``key`` or None (counting hit/miss)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            log.warning("evicting corrupt artifact %s", path)
+            self._evict_path(path)
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != self.schema_version:
+            log.info("evicting artifact %s with stale schema %r", path,
+                     payload.get("schema") if isinstance(payload, dict) else None)
+            self._evict_path(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    # -- write --------------------------------------------------------------------
+    def put(self, key: str, payload: dict) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        payload = {**payload, "schema": self.schema_version}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    # -- eviction -----------------------------------------------------------------
+    def _evict_path(self, path: Path) -> bool:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        self.stats.evictions += 1
+        return True
+
+    def evict(self, key: str) -> bool:
+        """Drop one artifact; True if it existed."""
+        return self._evict_path(self.path_for(key))
+
+    def clear(self) -> int:
+        """Drop every artifact; returns the number evicted."""
+        count = 0
+        for path in list(self.root.glob("*/*.json")):
+            if self._evict_path(path):
+                count += 1
+        return count

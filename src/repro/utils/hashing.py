@@ -1,0 +1,52 @@
+"""Canonical serialization and stable content hashing.
+
+The service layer addresses cached mapping results by the SHA-256 of a
+*canonical* JSON rendering of the job spec. Canonical means:
+
+- dict keys are sorted, so insertion order never leaks into the hash;
+- floats are rendered via :meth:`float.hex` (wrapped in a one-key dict so
+  they cannot collide with genuine strings), so the hash never depends on
+  ``repr`` shortest-float heuristics and distinguishes ``1`` from ``1.0``;
+- only JSON-safe scalar types are accepted — anything else (numpy
+  scalars, objects) must be converted by the caller, which keeps the
+  hashed surface explicit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["canonical", "canonical_json", "stable_hash"]
+
+_FLOAT_KEY = "__float__"
+
+
+def canonical(obj):
+    """Recursively rewrite ``obj`` into its canonical JSON-safe form."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {_FLOAT_KEY: obj.hex()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical dict keys must be str, got {type(key).__name__}"
+                )
+            out[key] = canonical(value)
+        return out
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, hex floats."""
+    return json.dumps(canonical(obj), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(obj) -> str:
+    """Hex SHA-256 of the canonical JSON rendering of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

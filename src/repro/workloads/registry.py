@@ -1,0 +1,109 @@
+"""Workload-spec grammar shared by the CLI and the service layer.
+
+Specs: ``bt:TASKS[:CLASS]``, ``sp:...``, ``cg:...``,
+``halo2d:NXxNY[:VOL]``, ``halo3d:NXxNYxNZ[:VOL]``, ``random:TASKS:EDGES``,
+``butterfly:TASKS``, ``transpose:SIDE``, ``ring:TASKS``,
+``bisection:TASKS``, ``fft:RxC[:VOL]``, ``wavefront:RxC``,
+``stencil27:NXxNYxNZ``, ``collective:NAME:TASKS``, ``amr:TASKS``, or a
+path to a ``.npz``/``.json`` graph file.
+
+This used to live in :mod:`repro.cli`; it moved here so
+:mod:`repro.service` jobs can rebuild workloads inside worker processes
+without depending on the CLI layer.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.commgraph import CommGraph, load_commgraph
+from repro.errors import ConfigError
+
+__all__ = ["parse_workload", "parse_application", "is_workload_file"]
+
+
+def is_workload_file(spec: str) -> bool:
+    """True when ``spec`` names an existing on-disk graph file."""
+    path = Path(spec)
+    return path.suffix in (".npz", ".json") and path.exists()
+
+
+def parse_workload(spec: str, seed: int = 0) -> CommGraph:
+    """Parse a workload spec or load a graph file."""
+    if is_workload_file(spec):
+        return load_commgraph(Path(spec))
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    from repro import workloads as wl
+
+    try:
+        if kind in ("bt", "sp", "cg"):
+            tasks = int(parts[1])
+            cls = parts[2].upper() if len(parts) > 2 else "C"
+            return {"bt": wl.nas_bt, "sp": wl.nas_sp, "cg": wl.nas_cg}[kind](
+                tasks, cls
+            )
+        if kind in ("halo2d", "halo3d"):
+            dims = tuple(int(x) for x in parts[1].lower().split("x"))
+            vol = float(parts[2]) if len(parts) > 2 else 1.0
+            return wl.halo_nd(dims, volume=vol)
+        if kind == "random":
+            return wl.random_uniform(int(parts[1]), int(parts[2]), seed=seed)
+        if kind == "butterfly":
+            return wl.butterfly(int(parts[1]))
+        if kind == "transpose":
+            return wl.transpose2d(int(parts[1]))
+        if kind == "ring":
+            return wl.ring(int(parts[1]))
+        if kind == "bisection":
+            return wl.bisection_stress(int(parts[1]))
+        if kind == "fft":
+            rows, cols = (int(x) for x in parts[1].lower().split("x"))
+            return wl.fft_pencils(rows, cols,
+                                  float(parts[2]) if len(parts) > 2 else 1.0)
+        if kind == "wavefront":
+            rows, cols = (int(x) for x in parts[1].lower().split("x"))
+            return wl.wavefront3d(rows, cols)
+        if kind == "stencil27":
+            nx, ny, nz = (int(x) for x in parts[1].lower().split("x"))
+            return wl.stencil27(nx, ny, nz)
+        if kind == "collective":
+            return wl.collective_pattern(parts[1], int(parts[2]))
+        if kind == "amr":
+            return wl.amr_quadtree(int(parts[1]), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise ConfigError(f"bad workload spec {spec!r}: {exc}") from exc
+    raise ConfigError(f"unknown workload kind {kind!r} in {spec!r}")
+
+
+def parse_application(spec: str, seed: int = 0):
+    """Build an :class:`~repro.simulator.app.ApplicationModel` for a spec.
+
+    ``bt``/``sp``/``cg`` specs get the benchmark's full per-iteration
+    phase structure (what the simulator needs); every other spec is
+    wrapped as a single-phase, single-iteration application whose
+    aggregate graph equals :func:`parse_workload`'s output.
+    """
+    from repro.simulator.app import ApplicationModel
+    from repro.simulator.apps import (
+        bt_application,
+        cg_application,
+        sp_application,
+    )
+
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    if kind in ("bt", "sp", "cg") and not is_workload_file(spec):
+        try:
+            tasks = int(parts[1])
+        except (IndexError, ValueError) as exc:
+            raise ConfigError(f"bad workload spec {spec!r}: {exc}") from exc
+        cls = parts[2].upper() if len(parts) > 2 else "C"
+        builder = {"bt": bt_application, "sp": sp_application,
+                   "cg": cg_application}[kind]
+        return builder(tasks, cls)
+    graph = parse_workload(spec, seed=seed)
+    return ApplicationModel(
+        name=kind, phases=(graph,), iterations=1,
+        compute_seconds_per_iter=0.0,
+    )

@@ -1,0 +1,80 @@
+"""Round-trip guarantees for the JSON codec behind service artifacts."""
+
+import pytest
+
+from repro.cli import build_mapper, parse_topology, parse_workload
+from repro.errors import MappingError
+from repro.mapping.serialize import (
+    dumps,
+    loads,
+    mapping_from_dict,
+    mapping_to_dict,
+    report_from_dict,
+    report_to_dict,
+    simresult_from_dict,
+    simresult_to_dict,
+)
+from repro.metrics import evaluate_mapping
+from repro.routing import MinimalAdaptiveRouter
+from repro.simulator.app import SimResult
+
+ALL_MAPPER_SPECS = ("rahtm", "default", "dimorder:TAB", "hilbert", "rubik",
+                    "rcb", "anneal-hopbytes", "anneal-mcl", "random")
+
+
+class _Args:
+    beam_width = 4
+    max_orientations = 4
+    milp_time_limit = 5.0
+    milp_gap = 0.05
+    reposition = False
+    refine = 0
+    seed = 0
+    anneal_iters = 25
+
+
+@pytest.mark.parametrize("spec", ALL_MAPPER_SPECS)
+def test_every_mapper_output_roundtrips(spec):
+    topo = parse_topology("4x4")
+    graph = parse_workload("halo2d:4x4:3")
+    mapping = build_mapper(spec, topo, _Args()).map(graph)
+    assert loads(dumps(mapping)) == mapping
+
+
+def test_mapping_dict_roundtrip_with_supplied_topology():
+    topo = parse_topology("2x8")
+    mapping = build_mapper("random", topo, _Args()).map(parse_workload("ring:16"))
+    data = mapping_to_dict(mapping)
+    rebuilt = mapping_from_dict(data, topo)
+    assert rebuilt == mapping
+    assert rebuilt.tasks_per_node == mapping.tasks_per_node
+    with pytest.raises(MappingError):
+        mapping_from_dict(data, parse_topology("4x4"))
+
+
+def test_report_roundtrips_exactly():
+    topo = parse_topology("4x4")
+    graph = parse_workload("halo2d:4x4:2.5")
+    mapping = build_mapper("hilbert", topo, _Args()).map(graph)
+    report = evaluate_mapping(MinimalAdaptiveRouter(topo), mapping, graph)
+    assert report_from_dict(report_to_dict(report)) == report
+    assert loads(dumps(report)) == report
+
+
+def test_simresult_roundtrips_exactly():
+    result = SimResult(total_seconds=1.2345678901234567,
+                       comm_seconds=0.1, compute_seconds=1.1345678901234567)
+    assert simresult_from_dict(simresult_to_dict(result)) == result
+    assert loads(dumps(result)) == result
+
+
+def test_dumps_rejects_unknown_types():
+    with pytest.raises(MappingError):
+        dumps({"not": "a known artifact"})
+
+
+def test_loads_rejects_malformed_documents():
+    with pytest.raises(MappingError):
+        loads('{"kind": "martian", "data": {}}')
+    with pytest.raises(MappingError):
+        loads('[1, 2, 3]')

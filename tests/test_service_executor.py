@@ -1,0 +1,113 @@
+"""Executor robustness: retries, failures, timeouts, batch isolation.
+
+Worker functions live at module top level so the process pool can pickle
+them by reference.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service import BatchExecutor, ExecutorConfig
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _fail_until(arg):
+    """arg = (counter_path, succeed_on_attempt). Fails until that attempt."""
+    path, succeed_on = Path(arg[0]), arg[1]
+    count = int(path.read_text()) + 1 if path.exists() else 1
+    path.write_text(str(count))
+    if count < succeed_on:
+        raise RuntimeError(f"transient failure #{count}")
+    return f"ok after {count}"
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_batch_success(jobs):
+    outcomes = BatchExecutor(ExecutorConfig(jobs=jobs)).run(_double, [1, 2, 3])
+    assert [o.result for o in outcomes] == [2, 4, 6]
+    assert all(o.ok and o.attempts == 1 for o in outcomes)
+    assert [o.index for o in outcomes] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_persistent_failure_reported_without_killing_batch(jobs):
+    config = ExecutorConfig(jobs=jobs, retries=2, backoff=0.0)
+    outcomes = BatchExecutor(config).run(_boom_or_double, [("boom", 1),
+                                                          ("ok", 21)])
+    failed, succeeded = outcomes
+    assert not failed.ok
+    assert failed.attempts == 3  # initial + 2 retries
+    assert "boom" in failed.error
+    assert failed.result is None
+    assert succeeded.ok and succeeded.result == 42
+
+
+def _boom_or_double(arg):
+    kind, value = arg
+    if kind == "boom":
+        raise ValueError("boom")
+    return value * 2
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_transient_failure_retried_to_success(jobs, tmp_path):
+    counter = tmp_path / f"counter-{jobs}"
+    config = ExecutorConfig(jobs=jobs, retries=2, backoff=0.0)
+    outcome = BatchExecutor(config).run(_fail_until, [(str(counter), 2)])[0]
+    assert outcome.ok
+    assert outcome.result == "ok after 2"
+    assert outcome.attempts == 2
+
+
+def test_zero_retries_fails_fast():
+    config = ExecutorConfig(jobs=1, retries=0, backoff=0.0)
+    outcome = BatchExecutor(config).run(_boom, ["x"])[0]
+    assert not outcome.ok and outcome.attempts == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_timeout_cancels_and_reports(jobs):
+    config = ExecutorConfig(jobs=jobs, timeout=0.3, retries=2, backoff=0.0)
+    t0 = time.perf_counter()
+    outcomes = BatchExecutor(config).run(_sleepy, [30.0, 0.0])
+    elapsed = time.perf_counter() - t0
+    hung, quick = outcomes
+    assert hung.timed_out and not hung.ok
+    assert "timeout" in hung.error
+    assert hung.attempts == 1  # timeouts are not retried
+    assert quick.ok and quick.result == "done"
+    assert elapsed < 10.0  # the 30s job was actually cancelled
+
+
+def test_events_emitted_in_order():
+    events = []
+    exe = BatchExecutor(ExecutorConfig(jobs=1),
+                        on_event=lambda e, info: events.append(e))
+    exe.run(_double, [1])
+    assert events == ["queued", "started", "finished"]
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ExecutorConfig(jobs=0)
+    with pytest.raises(ConfigError):
+        ExecutorConfig(timeout=0.0)
+    with pytest.raises(ConfigError):
+        ExecutorConfig(retries=-1)
+    with pytest.raises(ConfigError):
+        ExecutorConfig(backoff=-0.1)

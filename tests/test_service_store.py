@@ -1,0 +1,85 @@
+"""Result-store behaviour: atomicity, schema versioning, counters."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ResultStore
+
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+def test_miss_then_hit_counters(store):
+    assert store.get(KEY) is None
+    assert store.stats.misses == 1 and store.stats.hits == 0
+    store.put(KEY, {"value": 42})
+    payload = store.get(KEY)
+    assert payload["value"] == 42
+    assert store.stats.hits == 1 and store.stats.writes == 1
+
+
+def test_put_is_atomic_and_sharded(store):
+    path = store.put(KEY, {"value": 1})
+    assert path.parent.name == KEY[:2]
+    # no temp droppings left behind
+    leftovers = [p for p in path.parent.iterdir() if p.suffix == ".tmp"]
+    assert leftovers == []
+    assert KEY in store
+    assert len(store) == 1
+
+
+def test_put_overwrites_last_writer_wins(store):
+    store.put(KEY, {"value": 1})
+    store.put(KEY, {"value": 2})
+    assert store.get(KEY)["value"] == 2
+    assert len(store) == 1
+
+
+def test_schema_mismatch_is_a_miss_and_evicts(store):
+    store.put(KEY, {"value": 1})
+    path = store.path_for(KEY)
+    doc = json.loads(path.read_text())
+    doc["schema"] = 999
+    path.write_text(json.dumps(doc))
+    assert store.get(KEY) is None
+    assert store.stats.misses == 1
+    assert store.stats.evictions == 1
+    assert not path.exists()
+
+
+def test_corrupt_artifact_is_a_miss_and_evicts(store):
+    store.put(KEY, {"value": 1})
+    store.path_for(KEY).write_text("{not json")
+    assert store.get(KEY) is None
+    assert store.stats.evictions == 1
+
+
+def test_evict_and_clear(store):
+    store.put(KEY, {"v": 1})
+    store.put(KEY2, {"v": 2})
+    assert store.evict(KEY) is True
+    assert store.evict(KEY) is False
+    assert len(store) == 1
+    assert store.clear() == 1
+    assert len(store) == 0
+    assert store.stats.evictions == 2
+
+
+def test_malformed_key_rejected(store):
+    with pytest.raises(ServiceError):
+        store.get("../../etc/passwd")
+    with pytest.raises(ServiceError):
+        store.put("ZZ" + "0" * 62, {})
+
+
+def test_schema_stamped_on_put(store):
+    store.put(KEY, {"value": 1})
+    doc = json.loads(store.path_for(KEY).read_text())
+    assert doc["schema"] == store.schema_version
