@@ -26,6 +26,11 @@ bisection), ``anneal-hopbytes``, ``anneal-mcl``, ``random``.
 processes, ``--cache-dir DIR`` (or ``$REPRO_CACHE_DIR``) enables the
 content-addressed result store, ``--no-cache`` bypasses it, and
 ``--job-timeout S`` bounds each job's wall clock.
+
+Resilience (``repro.resilience``): ``--deadline S`` gives each mapping a
+wall-clock budget RAHTM degrades gracefully under (``--on-deadline fail``
+raises instead), ``--checkpoint-dir DIR`` persists phase-level state and
+``--resume`` continues a killed run from it with zero repeat MILP solves.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.commgraph import save_commgraph
 from repro.errors import ConfigError, ReproError
 from repro.metrics import evaluate_mapping
 from repro.service import (
+    JobRuntime,
     MappingEngine,
     MappingJob,
     TopologySpec,
@@ -68,6 +74,37 @@ def build_mapper(spec: str, topology: CartesianTopology, args=None) -> object:
     return mapper_config_from_spec(spec, args).build(topology)
 
 
+def _runtime_from_args(args) -> JobRuntime | None:
+    """Translate ``--deadline/--on-deadline/--resume`` into a JobRuntime.
+
+    Checkpointing activates with ``--resume``: state goes under
+    ``--checkpoint-dir``, falling back to ``$REPRO_CHECKPOINT_DIR``, then
+    to ``<cache-dir>/checkpoints`` when a cache directory is in play.
+    """
+    deadline = getattr(args, "deadline", None)
+    on_deadline = getattr(args, "on_deadline", "degrade")
+    resume = getattr(args, "resume", False)
+    checkpoint_dir = (getattr(args, "checkpoint_dir", None)
+                      or os.environ.get("REPRO_CHECKPOINT_DIR"))
+    if checkpoint_dir is None and resume:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if cache_dir:
+            checkpoint_dir = str(Path(cache_dir) / "checkpoints")
+        else:
+            raise ConfigError(
+                "--resume needs --checkpoint-dir, $REPRO_CHECKPOINT_DIR "
+                "or a cache directory to derive one from"
+            )
+    if deadline is None and checkpoint_dir is None:
+        return None
+    return JobRuntime(
+        deadline_seconds=deadline,
+        on_deadline=on_deadline,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+
+
 def _engine_from_args(args) -> MappingEngine:
     """Build the mapping engine the subcommand submits through.
 
@@ -81,6 +118,7 @@ def _engine_from_args(args) -> MappingEngine:
         cache_dir=cache_dir,
         jobs=args.jobs,
         job_timeout=args.job_timeout,
+        runtime=_runtime_from_args(args),
     )
 
 
@@ -89,7 +127,8 @@ def _engine_kwargs(args) -> dict:
     if args.no_cache:
         cache_dir = None
     return {"jobs": args.jobs, "cache_dir": cache_dir,
-            "job_timeout": args.job_timeout}
+            "job_timeout": args.job_timeout,
+            "runtime": _runtime_from_args(args)}
 
 
 from repro.mapping import load_mapping as _load_mapping
@@ -122,6 +161,11 @@ def cmd_map(args) -> int:
     print(f"workload: {graph}")
     print(f"mapper:   {result.mapper_name}")
     print(f"quality:  {result.report}")
+    if result.degraded:
+        print("degraded: the deadline forced fallbacks —")
+        for event in result.degradation:
+            print(f"  - {event.get('phase')}: {event.get('action')} "
+                  f"({event.get('reason')})")
     if args.out:
         _save_mapping(Path(args.out), result.mapping)
         print(f"mapping saved to {args.out}")
@@ -209,6 +253,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the result cache entirely")
         p.add_argument("--job-timeout", type=float, default=None,
                        help="per-job wall-clock budget in seconds")
+        p.add_argument("--deadline", type=float, default=None,
+                       help="wall-clock budget per mapping in seconds; "
+                            "RAHTM degrades gracefully to always finish")
+        p.add_argument("--on-deadline", choices=("degrade", "fail"),
+                       default="degrade",
+                       help="exhausted deadline: fall down the "
+                            "degradation ladder (default) or fail the job")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from phase-level checkpoints of a "
+                            "previously killed run")
+        p.add_argument("--checkpoint-dir",
+                       help="phase-checkpoint directory (default: "
+                            "$REPRO_CHECKPOINT_DIR, else "
+                            "<cache-dir>/checkpoints)")
 
     def common(p):
         p.add_argument("--topology", required=True,

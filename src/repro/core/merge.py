@@ -44,7 +44,7 @@ from repro.utils.logconf import get_logger
 from repro.utils.rng import as_rng
 
 __all__ = ["MergeConfig", "MergeBlock", "MergeOutcome", "merge_blocks",
-           "hierarchical_merge"]
+           "hierarchical_merge", "first_fit_merge"]
 
 log = get_logger("core.merge")
 
@@ -386,6 +386,24 @@ def merge_blocks(
     ).run()
 
 
+def first_fit_merge(
+    topo: CartesianTopology, blocks: list[MergeBlock]
+) -> MergeOutcome:
+    """Place every block at its own slot with the identity orientation.
+
+    The bottom rung of the phase-3 degradation ladder: no orientation
+    search, no MCL evaluations — the phase-2 relative arrangement is kept
+    verbatim, which is always a valid (if unoptimized) placement.
+    """
+    positions: dict[int, int] = {}
+    for b in blocks:
+        coords = np.asarray(b.origin, dtype=np.int64)[None, :] + b.local_coords
+        nodes = topo.index(coords)
+        for c, node in zip(b.clusters, np.atleast_1d(nodes)):
+            positions[int(c)] = int(node)
+    return MergeOutcome(positions=positions, mcl=float("nan"), evaluations=0)
+
+
 def hierarchical_merge(
     topo: CartesianTopology,
     router: Router,
@@ -393,6 +411,8 @@ def hierarchical_merge(
     node_graph: CommGraph,
     assignment: np.ndarray,
     config: MergeConfig,
+    budget=None,
+    degradation=None,
 ) -> tuple[np.ndarray, dict]:
     """Run phase 3 over the whole hierarchy, bottom-up.
 
@@ -400,6 +420,12 @@ def hierarchical_merge(
     ----------
     assignment:
         Phase-2 placement (node-cluster -> node id); must be a bijection.
+    budget / degradation:
+        Optional :class:`~repro.resilience.Budget` and
+        :class:`~repro.resilience.DegradationLog`. When the budget runs
+        out mid-merge the remaining parent merges are skipped — the
+        incoming (phase-2) arrangement is kept for them, i.e. a first-fit
+        orientation — and one degradation event is recorded.
 
     Returns
     -------
@@ -412,11 +438,36 @@ def hierarchical_merge(
     stats = {"evaluations": 0, "cache_hits": 0, "levels": {}}
     cache: dict[tuple, dict[int, np.ndarray]] = {}
 
+    if budget is not None and budget.enforce("phase3"):
+        if degradation is not None:
+            degradation.record("phase3", "merge->first-fit",
+                               "budget-exhausted", level=2)
+        stats["degraded"] = True
+        return assignment, stats
+
     for level in range(2, cube_h.num_levels + 1):
+        if budget is not None and budget.enforce("phase3"):
+            if degradation is not None:
+                degradation.record("phase3", "merge->first-fit",
+                                   "budget-exhausted", level=level)
+            stats["degraded"] = True
+            break
         inv = np.empty(V, dtype=np.int64)
         inv[assignment] = np.arange(V)
         level_mcls = []
         for pb in range(cube_h.num_blocks(level)):
+            if budget is not None and pb and budget.enforce("phase3"):
+                # Mid-level exhaustion: the parents already merged keep
+                # their searched orientations, the rest keep phase-2's
+                # arrangement — still bijective (merges only permute
+                # within their own parent block).
+                if degradation is not None:
+                    degradation.record("phase3", "merge->first-fit",
+                                       "budget-exhausted",
+                                       level=level, parent=pb)
+                stats["degraded"] = True
+                stats["levels"][level] = level_mcls
+                return assignment, stats
             blocks, local_index = _parent_blocks(
                 topo, cube_h, level, pb, assignment, inv
             )

@@ -33,6 +33,7 @@ import numpy as np
 from repro.commgraph.graph import CommGraph
 from repro.errors import SolverError
 from repro.lp import Model, SolveStatus, lpsum
+from repro.resilience import faultinject
 from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
 from repro.topology.cartesian import CartesianTopology
 from repro.utils.logconf import get_logger
@@ -44,6 +45,7 @@ __all__ = [
     "solve_routing_lp",
     "brute_force_mapping",
     "greedy_assignment",
+    "static_assignment",
 ]
 
 log = get_logger("core.milp")
@@ -157,6 +159,8 @@ def solve_cluster_milp(
     V = cube.num_nodes
     if A > V:
         raise SolverError(f"{A} clusters exceed {V} cube vertices")
+    faultinject.inject("solver-fail")
+    faultinject.inject("solver-slow")
     srcs, dsts, vols = _network_flows(graph)
     m = len(srcs)
     if m == 0:
@@ -394,3 +398,25 @@ def greedy_assignment(
         free[best_v] = False
     ns, nd = assignment[srcs], assignment[dsts]
     return assignment, router.max_channel_load(ns, nd, vols)
+
+
+def static_assignment(
+    cube: CartesianTopology, graph: CommGraph
+) -> tuple[np.ndarray, float]:
+    """Dimension-order placement: cluster ``i`` on vertex ``i`` (C order).
+
+    The bottom rung of the phase-2 degradation ladder — O(A) with no MCL
+    evaluations at all, for when the budget cannot even afford the greedy
+    placer. Always a valid injective placement.
+    """
+    A = graph.num_tasks
+    if A > cube.num_nodes:
+        raise SolverError(f"{A} clusters exceed {cube.num_nodes} vertices")
+    assignment = np.arange(A, dtype=np.int64)
+    srcs, dsts, vols = _network_flows(graph)
+    if len(srcs) == 0:
+        return assignment, 0.0
+    router = MinimalAdaptiveRouter(cube)
+    return assignment, router.max_channel_load(
+        assignment[srcs], assignment[dsts], vols
+    )

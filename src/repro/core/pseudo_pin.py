@@ -16,8 +16,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.clustering import ClusterHierarchy
-from repro.core.milp import MILPResult, greedy_assignment, solve_cluster_milp
-from repro.errors import ConfigError
+from repro.core.milp import (
+    MILPResult,
+    greedy_assignment,
+    solve_cluster_milp,
+    static_assignment,
+)
+from repro.errors import ConfigError, SolverError
 from repro.topology.hierarchy import CubeHierarchy
 from repro.utils.logconf import get_logger
 
@@ -67,12 +72,22 @@ def pseudo_pin(
     enforce_minimal: bool = True,
     fix_first: bool = True,
     use_milp: bool = True,
+    budget=None,
+    degradation=None,
 ) -> PinResult:
     """Map every node-cluster to a topology node, top-down.
 
     Parameters mirror :func:`repro.core.milp.solve_cluster_milp`;
     ``use_milp=False`` swaps in the greedy placer (ablation of the paper's
     optimal-leaf-solve design decision).
+
+    ``budget`` (a :class:`~repro.resilience.Budget`) turns on the
+    degradation ladder: each MILP's ``time_limit`` shrinks to an even
+    share of the remaining wall clock over the outstanding levels; a
+    solver failure or an exhausted solver-call budget drops to the greedy
+    placer; an exhausted wall budget drops to the static dimension-order
+    placement. Every ladder step is appended to ``degradation`` (a
+    :class:`~repro.resilience.DegradationLog`).
     """
     q = cube_h.num_levels
     if len(hierarchy.levels) != q:
@@ -122,20 +137,63 @@ def pseudo_pin(
                 from repro.commgraph.graph import CommGraph
 
                 local = CommGraph.from_edges(branching, local_edges)
-                if use_milp:
-                    res = solve_cluster_milp(
-                        cube, local,
-                        time_limit=time_limit, mip_rel_gap=mip_rel_gap,
-                        enforce_minimal=enforce_minimal, fix_first=fix_first,
-                    )
-                    assignment = res.assignment
-                    stats.append(res)
-                else:
+                # Degradation ladder: MILP -> greedy -> static. The wall
+                # budget kills everything but the O(A) static placement;
+                # the solver-call budget and solver errors only demote the
+                # MILP rung.
+                mode = "milp" if use_milp else "greedy"
+                reason = None
+                if budget is not None:
+                    if budget.enforce("phase2"):
+                        mode, reason = "static", "budget-exhausted"
+                    elif mode == "milp" and not budget.take_solver_call():
+                        mode, reason = "greedy", "solver-budget-exhausted"
+                if mode == "milp":
+                    limit = time_limit
+                    if budget is not None:
+                        limit = budget.solver_slice(time_limit, parts=level)
+                    try:
+                        res = solve_cluster_milp(
+                            cube, local,
+                            time_limit=limit, mip_rel_gap=mip_rel_gap,
+                            enforce_minimal=enforce_minimal,
+                            fix_first=fix_first,
+                        )
+                    except SolverError as exc:
+                        mode, reason = "greedy", "solver-error"
+                        log.warning(
+                            "phase 2 MILP at level %d failed (%s); "
+                            "greedy fallback", level, exc,
+                        )
+                        if degradation is not None:
+                            degradation.record(
+                                "phase2", "milp->greedy", "solver-error",
+                                level=level, error=str(exc),
+                            )
+                    else:
+                        assignment = res.assignment
+                        stats.append(res)
+                if mode == "greedy":
                     assignment, mcl = greedy_assignment(cube, local)
                     stats.append(MILPResult(
                         assignment=assignment, mcl=mcl, optimal=False,
-                        status="greedy", method="greedy",
+                        status="greedy" if reason is None
+                        else f"degraded:{reason}",
+                        method="greedy",
                     ))
+                    if reason == "solver-budget-exhausted" \
+                            and degradation is not None:
+                        degradation.record("phase2", "milp->greedy", reason,
+                                           level=level)
+                elif mode == "static":
+                    assignment, mcl = static_assignment(cube, local)
+                    stats.append(MILPResult(
+                        assignment=assignment, mcl=mcl, optimal=False,
+                        status=f"degraded:{reason}", method="static",
+                    ))
+                    if degradation is not None:
+                        degradation.record("phase2", "milp->static", reason,
+                                           level=level)
                 cache[sig] = assignment
             else:
                 cache_hits += 1

@@ -27,12 +27,14 @@ from repro.core.clustering import build_cluster_hierarchy, cluster_fixed_size
 from repro.core.merge import (
     MergeBlock,
     MergeConfig,
+    first_fit_merge,
     hierarchical_merge,
     merge_blocks,
 )
 from repro.core.pseudo_pin import pseudo_pin
 from repro.errors import ConfigError
 from repro.mapping.mapping import Mapping
+from repro.resilience.degrade import DegradationLog
 from repro.routing.dor import DimensionOrderRouter
 from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
 from repro.topology.bgq import BGQTopology
@@ -102,6 +104,36 @@ class RAHTMConfig:
     seed: int = 0
 
     def __post_init__(self):
+        if self.beam_width < 1:
+            raise ConfigError(f"beam_width must be >= 1, got {self.beam_width}")
+        if self.max_orientations is not None and self.max_orientations < 1:
+            raise ConfigError(
+                f"max_orientations must be >= 1 or None, "
+                f"got {self.max_orientations}"
+            )
+        if self.order_mode not in ("identity", "sampled", "exhaustive"):
+            raise ConfigError(
+                f"order_mode must be 'identity', 'sampled' or 'exhaustive', "
+                f"got {self.order_mode!r}"
+            )
+        if self.order_samples < 1:
+            raise ConfigError(
+                f"order_samples must be >= 1, got {self.order_samples}"
+            )
+        if self.milp_time_limit is not None and self.milp_time_limit <= 0:
+            raise ConfigError(
+                f"milp_time_limit must be > 0 or None, "
+                f"got {self.milp_time_limit}"
+            )
+        if self.milp_rel_gap is not None and self.milp_rel_gap <= 0:
+            raise ConfigError(
+                f"milp_rel_gap must be > 0 or None, got {self.milp_rel_gap}"
+            )
+        if self.merge_evaluator not in ("uniform", "lp"):
+            raise ConfigError(
+                f"merge_evaluator must be 'uniform' or 'lp', "
+                f"got {self.merge_evaluator!r}"
+            )
         if self.routing not in ("mar", "dor"):
             raise ConfigError(f"routing must be 'mar' or 'dor', got {self.routing!r}")
         if self.refine_iterations < 0:
@@ -131,6 +163,9 @@ class RAHTMMapper:
     """
 
     name = "RAHTM"
+    #: Feature flag for the service layer: ``map()`` accepts ``budget``
+    #: and ``checkpoint`` keyword arguments.
+    supports_resilience = True
 
     def __init__(self, topology, config: RAHTMConfig | None = None):
         if isinstance(topology, BGQTopology):
@@ -143,6 +178,7 @@ class RAHTMMapper:
         self.config = config or RAHTMConfig()
         self.timer = PhaseTimer()
         self.stats: dict = {}
+        self.degradation = DegradationLog()
 
     def _router(self, topo: CartesianTopology):
         if self.config.routing == "dor":
@@ -150,8 +186,28 @@ class RAHTMMapper:
         return MinimalAdaptiveRouter(topo)
 
     # ------------------------------------------------------------------------------
-    def map(self, graph: CommGraph) -> Mapping:
-        """Map ``graph``'s tasks onto the topology; returns a :class:`Mapping`."""
+    def map(self, graph: CommGraph, *, budget=None, checkpoint=None) -> Mapping:
+        """Map ``graph``'s tasks onto the topology; returns a :class:`Mapping`.
+
+        Parameters
+        ----------
+        graph:
+            Communication graph with ``V * c`` tasks.
+        budget:
+            Optional :class:`~repro.resilience.Budget`. Phase 2 divides
+            the remaining wall clock across its MILP subproblems; on
+            exhaustion each phase degrades (MILP → greedy → static, full
+            merge → first-fit) but always returns a *valid* mapping —
+            unless the budget's policy is ``fail``, which raises
+            :class:`~repro.errors.DeadlineExceededError` instead.
+            Degradation events land in ``self.stats["degradation"]``.
+        checkpoint:
+            Optional :class:`~repro.resilience.MapperCheckpoint`. Each
+            completed phase (pseudo-pin, merge, each partition) is
+            persisted; a rerun of the same job resumes from the last
+            completed phase with zero repeat MILP solves. Checkpoints are
+            cleared once the mapping completes.
+        """
         topo = self.topology
         V = topo.num_nodes
         if graph.num_tasks % V:
@@ -161,6 +217,7 @@ class RAHTMMapper:
         concentration = graph.num_tasks // V
         self.timer = PhaseTimer()
         self.stats = {"concentration": concentration}
+        self.degradation = DegradationLog()
 
         # Phase 1a: concentration clustering.
         with self.timer.phase("phase1-concentration"):
@@ -170,63 +227,112 @@ class RAHTMMapper:
         # Partitioning for non-uniform topologies.
         parts = uniform_partitions(topo) if not _is_uniform_pow2(topo) else None
         if parts is None:
-            assignment = self._map_uniform(topo, node_graph, seed_offset=0)
+            assignment = self._map_uniform(
+                topo, node_graph, seed_offset=0,
+                budget=budget, checkpoint=checkpoint, ckpt_ns="",
+            )
         else:
-            assignment = self._map_partitioned(topo, node_graph, parts)
+            assignment = self._map_partitioned(
+                topo, node_graph, parts, budget=budget, checkpoint=checkpoint,
+            )
 
         if self.config.refine_iterations:
-            with self.timer.phase("phase4-refine"):
-                from repro.core.refine import refine_assignment
+            if budget is not None and budget.enforce("phase4"):
+                self.degradation.record("phase4", "refine->skipped",
+                                        "budget-exhausted")
+            else:
+                with self.timer.phase("phase4-refine"):
+                    from repro.core.refine import refine_assignment
 
-                assignment, refined_mcl = refine_assignment(
-                    self._router(topo), node_graph, assignment,
-                    self.config.refine_iterations, seed=self.config.seed,
-                )
-            self.stats["refined_mcl"] = refined_mcl
+                    assignment, refined_mcl = refine_assignment(
+                        self._router(topo), node_graph, assignment,
+                        self.config.refine_iterations, seed=self.config.seed,
+                    )
+                self.stats["refined_mcl"] = refined_mcl
 
         task_to_node = assignment[node_level.labels]
         mapping = Mapping(topo, task_to_node, tasks_per_node=concentration)
         self.stats["phase_seconds"] = dict(self.timer.totals)
+        self.stats["degradation"] = self.degradation.as_dicts()
+        if budget is not None:
+            self.stats["budget"] = budget.snapshot()
+        if checkpoint is not None:
+            self.stats["checkpoint"] = checkpoint.stats()
+            # The finished mapping supersedes its intermediate states.
+            checkpoint.clear()
+        if self.degradation:
+            log.warning("mapping degraded: %s", self.degradation.summary())
         return mapping
 
     # -- uniform path -----------------------------------------------------------------
     def _map_uniform(
-        self, topo: CartesianTopology, node_graph: CommGraph, seed_offset: int
+        self, topo: CartesianTopology, node_graph: CommGraph, seed_offset: int,
+        budget=None, checkpoint=None, ckpt_ns: str = "",
     ) -> np.ndarray:
         cube_h = CubeHierarchy(topo)
         with self.timer.phase("phase1-hierarchy"):
             hierarchy = build_cluster_hierarchy(
                 node_graph, topo.num_nodes, 2**cube_h.n, cube_h.num_levels
             )
-        with self.timer.phase("phase2-milp"):
-            pin = pseudo_pin(
-                hierarchy, cube_h,
-                time_limit=self.config.milp_time_limit,
-                mip_rel_gap=self.config.milp_rel_gap,
-                enforce_minimal=self.config.enforce_minimal,
-                fix_first=self.config.fix_first,
-                use_milp=self.config.use_milp,
+
+        cluster_to_node = None
+        if checkpoint is not None:
+            cluster_to_node = checkpoint.load_assignment(
+                f"{ckpt_ns}pin", expect_len=hierarchy.num_node_clusters
             )
-        self.stats.setdefault("milp", []).extend(
-            (r.status, r.mcl, r.solve_seconds) for r in pin.milp_stats
-        )
-        self.stats.setdefault("milp_cache_hits", 0)
-        self.stats["milp_cache_hits"] += pin.cache_hits
-        with self.timer.phase("phase3-merge"):
-            router = self._router(topo)
-            assignment, mstats = hierarchical_merge(
-                topo, router, cube_h, node_graph, pin.cluster_to_node,
-                self.config.merge_config(seed_offset),
+        if cluster_to_node is None:
+            degraded_before = len(self.degradation)
+            with self.timer.phase("phase2-milp"):
+                pin = pseudo_pin(
+                    hierarchy, cube_h,
+                    time_limit=self.config.milp_time_limit,
+                    mip_rel_gap=self.config.milp_rel_gap,
+                    enforce_minimal=self.config.enforce_minimal,
+                    fix_first=self.config.fix_first,
+                    use_milp=self.config.use_milp,
+                    budget=budget, degradation=self.degradation,
+                )
+            cluster_to_node = pin.cluster_to_node
+            self.stats.setdefault("milp", []).extend(
+                (r.status, r.mcl, r.solve_seconds) for r in pin.milp_stats
             )
-        self.stats.setdefault("merge_evaluations", 0)
-        self.stats["merge_evaluations"] += mstats["evaluations"]
-        self.stats.setdefault("merge_cache_hits", 0)
-        self.stats["merge_cache_hits"] += mstats["cache_hits"]
+            self.stats.setdefault("milp_cache_hits", 0)
+            self.stats["milp_cache_hits"] += pin.cache_hits
+            # Only checkpoint full-quality phase results: a degraded pin
+            # must not be trusted by a later resume with a fresh budget.
+            if checkpoint is not None \
+                    and len(self.degradation) == degraded_before:
+                checkpoint.save_assignment(f"{ckpt_ns}pin", cluster_to_node)
+
+        assignment = None
+        if checkpoint is not None:
+            assignment = checkpoint.load_assignment(
+                f"{ckpt_ns}merge", expect_len=topo.num_nodes
+            )
+        if assignment is None:
+            degraded_before = len(self.degradation)
+            with self.timer.phase("phase3-merge"):
+                router = self._router(topo)
+                assignment, mstats = hierarchical_merge(
+                    topo, router, cube_h, node_graph, cluster_to_node,
+                    self.config.merge_config(seed_offset),
+                    budget=budget, degradation=self.degradation,
+                )
+            self.stats.setdefault("merge_evaluations", 0)
+            self.stats["merge_evaluations"] += mstats["evaluations"]
+            self.stats.setdefault("merge_cache_hits", 0)
+            self.stats["merge_cache_hits"] += mstats["cache_hits"]
+            # A merge cut short by the deadline is valid but unoptimized;
+            # don't freeze it into a checkpoint a resumed run would trust.
+            if checkpoint is not None \
+                    and len(self.degradation) == degraded_before:
+                checkpoint.save_assignment(f"{ckpt_ns}merge", assignment)
         return assignment
 
     # -- partitioned path ----------------------------------------------------------------
     def _map_partitioned(
-        self, topo: CartesianTopology, node_graph: CommGraph, parts
+        self, topo: CartesianTopology, node_graph: CommGraph, parts,
+        budget=None, checkpoint=None,
     ) -> np.ndarray:
         nparts = len(parts)
         V = topo.num_nodes
@@ -246,9 +352,25 @@ class RAHTMMapper:
             members = np.flatnonzero(group_of == gi)
             sub = node_graph.subgraph(members)
             local_topo = part.local_topology(topo)
-            local_assignment = self._map_uniform(
-                local_topo, sub, seed_offset=17 * (gi + 1)
-            )
+            local_assignment = None
+            if checkpoint is not None:
+                local_assignment = checkpoint.load_assignment(
+                    f"part{gi}", expect_len=local_topo.num_nodes
+                )
+            if local_assignment is not None:
+                # The whole-partition checkpoint supersedes its sub-stages;
+                # mark them so clear() evicts any the killed run left behind.
+                checkpoint.mark(f"part{gi}-pin", f"part{gi}-merge")
+            else:
+                degraded_before = len(self.degradation)
+                local_assignment = self._map_uniform(
+                    local_topo, sub, seed_offset=17 * (gi + 1),
+                    budget=budget, checkpoint=checkpoint,
+                    ckpt_ns=f"part{gi}-",
+                )
+                if checkpoint is not None \
+                        and len(self.degradation) == degraded_before:
+                    checkpoint.save_assignment(f"part{gi}", local_assignment)
             # Record the partition as a rigid block for the stitch merge.
             local_coords = local_topo.coords(local_assignment)
             blocks.append(MergeBlock(
@@ -258,13 +380,20 @@ class RAHTMMapper:
                 local_coords=local_coords,
             ))
         with self.timer.phase("phase3-stitch"):
-            router = self._router(topo)
-            outcome = merge_blocks(
-                topo, router, blocks,
-                node_graph.srcs, node_graph.dsts, node_graph.vols,
-                self.config.merge_config(seed_offset=9999),
-                num_clusters=node_graph.num_tasks,
-            )
+            if budget is not None and budget.enforce("phase3-stitch"):
+                self.degradation.record(
+                    "phase3", "stitch->first-fit", "budget-exhausted",
+                    partitions=nparts,
+                )
+                outcome = first_fit_merge(topo, blocks)
+            else:
+                router = self._router(topo)
+                outcome = merge_blocks(
+                    topo, router, blocks,
+                    node_graph.srcs, node_graph.dsts, node_graph.vols,
+                    self.config.merge_config(seed_offset=9999),
+                    num_clusters=node_graph.num_tasks,
+                )
         self.stats.setdefault("merge_evaluations", 0)
         self.stats["merge_evaluations"] += outcome.evaluations
         self.stats["stitch_mcl"] = outcome.mcl

@@ -21,6 +21,9 @@ __all__ = [
     "SimulationError",
     "ServiceError",
     "JobTimeoutError",
+    "DeadlineExceededError",
+    "CheckpointError",
+    "FaultInjectionError",
 ]
 
 
@@ -70,3 +73,20 @@ class ServiceError(ReproError):
 
 class JobTimeoutError(ServiceError):
     """A mapping job exceeded its configured time budget."""
+
+
+class DeadlineExceededError(ReproError):
+    """A deadline budget was exhausted under the ``fail`` policy.
+
+    Under the default ``degrade`` policy budget exhaustion never raises —
+    each phase falls down its degradation ladder instead.
+    """
+
+
+class CheckpointError(ReproError):
+    """Phase-checkpoint persistence failure (malformed state, bad store)."""
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault from the chaos harness (never raised in production
+    unless fault injection was explicitly armed)."""

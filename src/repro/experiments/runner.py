@@ -152,6 +152,7 @@ def run_comparison(
     jobs: int = 1,
     cache_dir=None,
     job_timeout: float | None = None,
+    runtime=None,
 ) -> ComparisonResult:
     """Run every benchmark under every mapper and collect all metrics.
 
@@ -161,8 +162,10 @@ def run_comparison(
     With the default declarative line-up (no ``mappers``/``apps``
     objects), each cell is submitted as a job through a mapping engine;
     ``jobs > 1`` computes cells in parallel and ``cache_dir`` makes
-    reruns warm-cache no-ops. Passing live ``mappers``/``apps`` objects
-    keeps the legacy in-process serial path.
+    reruns warm-cache no-ops. ``runtime`` (a
+    :class:`~repro.service.jobs.JobRuntime`) adds per-cell deadlines and
+    checkpoint/resume. Passing live ``mappers``/``apps`` objects keeps
+    the legacy in-process serial path.
     """
     scale = get_scale(scale)
     if mappers is None and apps is None:
@@ -170,7 +173,7 @@ def run_comparison(
             from repro.service.engine import MappingEngine
 
             engine = MappingEngine(cache_dir=cache_dir, jobs=jobs,
-                                   job_timeout=job_timeout)
+                                   job_timeout=job_timeout, runtime=runtime)
         return _run_comparison_engine(
             scale, network_params, engine,
             mapper_configs or default_mapper_configs(scale),

@@ -11,6 +11,7 @@ from repro.service.engine import EngineStats, MappingEngine
 from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
 from repro.service.jobs import (
     JobResult,
+    JobRuntime,
     MapperConfig,
     MappingJob,
     NetworkSpec,
@@ -28,6 +29,7 @@ __all__ = [
     "ExecutorConfig",
     "JobOutcome",
     "MappingJob",
+    "JobRuntime",
     "JobResult",
     "MapperConfig",
     "TopologySpec",

@@ -20,11 +20,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from functools import partial
 from typing import Sequence
 
 from repro.errors import ServiceError
 from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
-from repro.service.jobs import JobResult, MappingJob, execute_mapping_job
+from repro.service.jobs import (
+    JobResult,
+    JobRuntime,
+    MappingJob,
+    execute_mapping_job,
+)
 from repro.service.store import ResultStore
 from repro.utils.logconf import get_logger
 
@@ -43,6 +49,7 @@ class EngineStats:
     failed: int = 0
     timed_out: int = 0
     retried: int = 0
+    degraded: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -52,6 +59,7 @@ class EngineStats:
             "failed": self.failed,
             "timed_out": self.timed_out,
             "retried": self.retried,
+            "degraded": self.degraded,
         }
 
 
@@ -70,6 +78,10 @@ class MappingEngine:
         Transient-failure retry policy (see :class:`ExecutorConfig`).
     store:
         Pre-built :class:`ResultStore`, overriding ``cache_dir``.
+    runtime:
+        Optional :class:`~repro.service.jobs.JobRuntime` resilience
+        policy (deadline, degradation, checkpoint/resume) applied to
+        every executed job. Never part of the cache key.
     """
 
     def __init__(
@@ -80,10 +92,12 @@ class MappingEngine:
         retries: int = 1,
         backoff: float = 0.05,
         store: ResultStore | None = None,
+        runtime: JobRuntime | None = None,
     ):
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.store = store
+        self.runtime = runtime
         self.executor = BatchExecutor(
             ExecutorConfig(jobs=jobs, timeout=job_timeout,
                            retries=retries, backoff=backoff),
@@ -137,14 +151,30 @@ class MappingEngine:
             else:
                 miss_indices.append(i)
         if miss_indices:
-            raw = self.executor.run(
-                execute_mapping_job, [jobs[i] for i in miss_indices]
-            )
+            body = execute_mapping_job
+            if self.runtime is not None and self.runtime.active:
+                body = partial(execute_mapping_job, runtime=self.runtime)
+            raw = self.executor.run(body, [jobs[i] for i in miss_indices])
             for outcome, i in zip(raw, miss_indices):
                 job = jobs[i]
                 if outcome.ok:
                     payload = outcome.result
-                    if self.store is not None:
+                    degraded = bool(payload.get("degraded"))
+                    if degraded:
+                        self.stats.degraded += 1
+                        log.warning(
+                            "job [%d] %s degraded: %s", i, job.describe(),
+                            "; ".join(
+                                f"{e.get('phase')} {e.get('action')} "
+                                f"({e.get('reason')})"
+                                for e in payload.get("degradation", [])
+                            ) or "unknown",
+                        )
+                    if self.store is not None and not degraded:
+                        # A degraded mapping is valid but below the
+                        # mapper's quality bar — caching it would pin the
+                        # deadline's collateral damage into every future
+                        # run of this job.
                         self.store.put(payload["key"], payload)
                     self.stats.executed += 1
                     result = JobResult.from_payload(payload)

@@ -11,6 +11,12 @@ picklable items with
 - bounded retry with exponential backoff for transient failures (any
   exception except a timeout); a job that keeps failing is reported as a
   failed :class:`JobOutcome` without killing the rest of the batch.
+  Backoff never blocks the dispatch loop: retries are parked on a
+  due-time queue while completed futures keep being harvested;
+- hard worker deaths (segfault, OOM-kill, ``os._exit``) surface as
+  ``BrokenProcessPool``; the pool is rebuilt once per batch and every
+  in-flight job is either rescheduled (within its retry budget) or
+  reported failed — one crashing job cannot sink the batch.
 """
 
 from __future__ import annotations
@@ -19,10 +25,12 @@ import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, JobTimeoutError
+from repro.resilience import faultinject
 from repro.utils.logconf import get_logger
 
 __all__ = ["ExecutorConfig", "JobOutcome", "BatchExecutor"]
@@ -113,6 +121,7 @@ def _deadline(seconds: float | None):
 
 def _invoke(fn, item, timeout):
     """Worker-side wrapper applying the per-attempt deadline."""
+    faultinject.inject("worker-crash")
     with _deadline(timeout):
         return fn(item)
 
@@ -131,6 +140,8 @@ class BatchExecutor:
     def __init__(self, config: ExecutorConfig | None = None, on_event=None):
         self.config = config or ExecutorConfig()
         self.on_event = on_event
+        #: Times a broken process pool was rebuilt (reset per batch).
+        self.pool_rebuilds = 0
 
     def _emit(self, event: str, **info) -> None:
         if self.on_event is not None:
@@ -183,52 +194,100 @@ class BatchExecutor:
         outcomes: list[JobOutcome | None] = [None] * len(items)
         starts = [0.0] * len(items)
         workers = min(self.config.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: dict = {}
+        self.pool_rebuilds = 0
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pending: dict = {}                       # future -> (index, attempt)
+        retries: list[tuple[float, int, int]] = []  # (due, index, attempt)
 
-            def submit(index: int, attempt: int) -> None:
-                if attempt == 1:
-                    starts[index] = time.perf_counter()
-                self._emit("started", index=index, item=items[index],
-                           attempt=attempt)
-                future = pool.submit(_invoke, fn, items[index],
-                                     self.config.timeout)
-                pending[future] = (index, attempt)
+        def submit(index: int, attempt: int) -> None:
+            if attempt == 1:
+                starts[index] = time.perf_counter()
+            self._emit("started", index=index, item=items[index],
+                       attempt=attempt)
+            future = pool.submit(_invoke, fn, items[index],
+                                 self.config.timeout)
+            pending[future] = (index, attempt)
 
+        def finish(index: int, attempt: int, result, error,
+                   timed_out: bool = False) -> None:
+            outcomes[index] = JobOutcome(
+                index, items[index], result, error, attempt,
+                time.perf_counter() - starts[index], timed_out=timed_out,
+            )
+            self._emit("finished", index=index, item=items[index],
+                       attempts=attempt,
+                       wall_seconds=outcomes[index].wall_seconds,
+                       error=error, timed_out=timed_out)
+
+        def reschedule(index: int, attempt: int, exc: BaseException) -> None:
+            """Park a retry on the due-time queue, or fail the job."""
+            if attempt <= self.config.retries:
+                delay = self.config.backoff * 2 ** (attempt - 1)
+                log.warning("job %d attempt %d failed (%s); retry in %.3fs",
+                            index, attempt, _describe(exc), delay)
+                retries.append((time.perf_counter() + delay, index,
+                                attempt + 1))
+            else:
+                finish(index, attempt, None, _describe(exc))
+
+        try:
             for i in range(len(items)):
                 submit(i, 1)
-            while pending:
-                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            while pending or retries:
+                now = time.perf_counter()
+                due = [r for r in retries if r[0] <= now]
+                retries = [r for r in retries if r[0] > now]
+                for _, index, attempt in due:
+                    submit(index, attempt)
+                if not pending:
+                    # Only future-dated retries left; sleep until the
+                    # earliest one (nothing else can make progress).
+                    time.sleep(max(0.0, min(r[0] for r in retries)
+                                   - time.perf_counter()))
+                    continue
+                # Harvest completions, but wake for the next retry due-time
+                # instead of blocking on the slowest in-flight job.
+                wake = (max(0.0, min(r[0] for r in retries) - now)
+                        if retries else None)
+                done, _ = wait(set(pending), timeout=wake,
+                               return_when=FIRST_COMPLETED)
+                broken: BrokenProcessPool | None = None
                 for future in done:
-                    index, attempt = pending.pop(future)
-                    wall = time.perf_counter() - starts[index]
+                    entry = pending.pop(future, None)
+                    if entry is None:
+                        continue
+                    index, attempt = entry
                     try:
                         result = future.result()
                     except JobTimeoutError as exc:
-                        outcomes[index] = JobOutcome(
-                            index, items[index], None, _describe(exc),
-                            attempt, wall, timed_out=True,
-                        )
+                        finish(index, attempt, None, _describe(exc),
+                               timed_out=True)
+                    except BrokenProcessPool as exc:
+                        # A worker died hard; every in-flight future is
+                        # lost with it. Handle the whole pool below.
+                        broken = exc
+                        reschedule(index, attempt, exc)
                     except Exception as exc:
-                        if attempt <= self.config.retries:
-                            log.warning(
-                                "job %d attempt %d failed (%s); retrying",
-                                index, attempt, _describe(exc),
-                            )
-                            time.sleep(self.config.backoff * 2 ** (attempt - 1))
-                            submit(index, attempt + 1)
-                            continue
-                        outcomes[index] = JobOutcome(
-                            index, items[index], None, _describe(exc),
-                            attempt, wall,
-                        )
+                        reschedule(index, attempt, exc)
                     else:
-                        outcomes[index] = JobOutcome(
-                            index, items[index], result, None, attempt, wall,
-                        )
-                    out = outcomes[index]
-                    self._emit("finished", index=index, item=items[index],
-                               attempts=out.attempts,
-                               wall_seconds=out.wall_seconds,
-                               error=out.error, timed_out=out.timed_out)
+                        finish(index, attempt, result, None)
+                if broken is not None:
+                    for index, attempt in pending.values():
+                        reschedule(index, attempt, broken)
+                    pending.clear()
+                    pool.shutdown(wait=False)
+                    if self.pool_rebuilds or not retries:
+                        # Second crash (or nothing left to rerun): give up
+                        # on the pool and fail any queued retries.
+                        for _, index, attempt in retries:
+                            finish(index, attempt - 1, None,
+                                   _describe(broken))
+                        retries = []
+                    else:
+                        self.pool_rebuilds += 1
+                        log.warning("process pool broke (%s); rebuilding",
+                                    _describe(broken))
+                        pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return outcomes  # type: ignore[return-value]

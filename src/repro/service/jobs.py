@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.core.rahtm import RAHTMConfig, RAHTMMapper
 from repro.errors import ConfigError, ServiceError
 from repro.mapping.mapping import Mapping
+from repro.resilience import Budget, MapperCheckpoint
 from repro.mapping.serialize import (
     mapping_from_dict,
     mapping_to_dict,
@@ -48,6 +49,7 @@ __all__ = [
     "MapperConfig",
     "NetworkSpec",
     "MappingJob",
+    "JobRuntime",
     "JobResult",
     "execute_mapping_job",
     "mapper_config_from_spec",
@@ -248,8 +250,81 @@ class MappingJob:
                 f"{'x'.join(map(str, self.topology.shape))}")
 
 
-def execute_mapping_job(job: MappingJob) -> dict:
-    """Worker-side job body: build, map, evaluate; return a JSON payload."""
+@dataclass(frozen=True)
+class JobRuntime:
+    """*How* to run jobs, as opposed to *what* to compute.
+
+    Execution policy — deadlines, degradation, resume — deliberately
+    lives outside :class:`MappingJob` so it never leaks into
+    :meth:`MappingJob.cache_key`: a job computed under a tight deadline
+    must still hash equal to the same job computed at leisure.
+
+    Attributes
+    ----------
+    deadline_seconds:
+        Wall-clock budget for one job's ``map()`` call (None = no limit).
+    solver_call_budget:
+        Cap on phase-2 MILP solves per job (None = no cap).
+    on_deadline:
+        ``"degrade"`` falls down the fallback ladder and still returns a
+        valid mapping; ``"fail"`` raises
+        :class:`~repro.errors.DeadlineExceededError`.
+    checkpoint_dir:
+        Root of a :class:`~repro.service.store.ResultStore` for
+        phase-level checkpoints (None disables checkpointing).
+    resume:
+        Load existing checkpoints before computing (saving is always on
+        when ``checkpoint_dir`` is set).
+    """
+
+    deadline_seconds: float | None = None
+    solver_call_budget: int | None = None
+    on_deadline: str = "degrade"
+    checkpoint_dir: str | None = None
+    resume: bool = True
+
+    def __post_init__(self):
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigError("deadline_seconds must be > 0 (or None)")
+        if self.solver_call_budget is not None and self.solver_call_budget < 0:
+            raise ConfigError("solver_call_budget must be >= 0 (or None)")
+        if self.on_deadline not in ("degrade", "fail"):
+            raise ConfigError(
+                f"on_deadline must be 'degrade' or 'fail', "
+                f"got {self.on_deadline!r}"
+            )
+        if self.checkpoint_dir is not None:
+            object.__setattr__(self, "checkpoint_dir", str(self.checkpoint_dir))
+
+    @property
+    def active(self) -> bool:
+        return (self.deadline_seconds is not None
+                or self.solver_call_budget is not None
+                or self.checkpoint_dir is not None)
+
+    def budget(self) -> Budget | None:
+        if self.deadline_seconds is None and self.solver_call_budget is None:
+            return None
+        return Budget(wall_seconds=self.deadline_seconds,
+                      solver_calls=self.solver_call_budget,
+                      on_exhausted=self.on_deadline)
+
+    def checkpoint(self, job_key: str) -> MapperCheckpoint | None:
+        if self.checkpoint_dir is None:
+            return None
+        from repro.service.store import ResultStore
+
+        return MapperCheckpoint(ResultStore(self.checkpoint_dir),
+                                job_key=job_key, resume=self.resume)
+
+
+def execute_mapping_job(job: MappingJob, runtime: JobRuntime | None = None) -> dict:
+    """Worker-side job body: build, map, evaluate; return a JSON payload.
+
+    ``runtime`` (optional) carries the resilience policy; it is applied
+    only when the configured mapper advertises ``supports_resilience``
+    (baseline mappers run exactly as before).
+    """
     topology = job.topology.build()
     if job.network is not None:
         app = job.workload.build_application()
@@ -258,11 +333,22 @@ def execute_mapping_job(job: MappingJob) -> dict:
         app = None
         graph = job.workload.build_graph()
     mapper = job.mapper.build(topology)
+    map_kwargs = {}
+    if runtime is not None and runtime.active \
+            and getattr(mapper, "supports_resilience", False):
+        budget = runtime.budget()
+        checkpoint = runtime.checkpoint(job.cache_key())
+        if budget is not None:
+            map_kwargs["budget"] = budget
+        if checkpoint is not None:
+            map_kwargs["checkpoint"] = checkpoint
     t0 = time.perf_counter()
-    mapping = mapper.map(graph)
+    mapping = mapper.map(graph, **map_kwargs)
     map_seconds = time.perf_counter() - t0
     router = build_router(job.router, topology)
     report = evaluate_mapping(router, mapping, graph)
+    stats = getattr(mapper, "stats", {}) or {}
+    degradation = list(stats.get("degradation", []))
     payload = {
         "schema": SCHEMA_VERSION,
         "key": job.cache_key(),
@@ -271,7 +357,15 @@ def execute_mapping_job(job: MappingJob) -> dict:
         "map_seconds": map_seconds,
         "mapping": mapping_to_dict(mapping),
         "report": report_to_dict(report),
+        "degradation": degradation,
+        "degraded": bool(degradation),
     }
+    if map_kwargs:
+        payload["resilience"] = {
+            "budget": stats.get("budget"),
+            "checkpoint": stats.get("checkpoint"),
+            "milp_solves": len(stats.get("milp", [])),
+        }
     if app is not None:
         network = NetworkModel(router, job.network.build())
         payload["iter_comm_seconds"] = app.iteration_comm_time(mapping, network)
@@ -291,6 +385,8 @@ class JobResult:
     iter_comm_seconds: float | None = None
     iterations: int | None = None
     from_cache: bool = False
+    degradation: list = None
+    degraded: bool = False
 
     @classmethod
     def from_payload(cls, payload: dict, from_cache: bool = False) -> "JobResult":
@@ -304,6 +400,8 @@ class JobResult:
                 iter_comm_seconds=payload.get("iter_comm_seconds"),
                 iterations=payload.get("iterations"),
                 from_cache=from_cache,
+                degradation=list(payload.get("degradation", [])),
+                degraded=bool(payload.get("degraded", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job payload: {exc}") from exc

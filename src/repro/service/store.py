@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ServiceError
+from repro.resilience import faultinject
 from repro.utils.logconf import get_logger
 
 __all__ = ["StoreStats", "ResultStore"]
@@ -104,7 +105,10 @@ class ResultStore:
         )
         try:
             with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+                if faultinject.fires("store-corrupt"):
+                    handle.write('{"schema": ')  # deliberately torn JSON
+                else:
+                    json.dump(payload, handle)
             os.replace(tmp, path)
         except BaseException:
             try:
