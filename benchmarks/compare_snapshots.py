@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Gate a benchmark snapshot against a committed baseline.
+
+Compares a fresh ``benchmarks/snapshot.py`` output to the checked-in
+baseline and exits non-zero when
+
+- any pipeline phase or per-cell ``map_seconds`` regressed by more than
+  ``--threshold`` (default 30%) — timings under ``--floor`` seconds in
+  *both* snapshots are skipped as noise;
+- any per-cell MCL changed at all (mapping quality is deterministic, so
+  any drift is a real behavior change, better or worse);
+- the snapshots' schema versions or scales differ.
+
+A missing baseline is a *skip with notice* (exit 0): the first PR that
+introduces the snapshot has nothing to compare against, and CI should
+not fail on it. Usage::
+
+    python benchmarks/compare_snapshots.py benchmarks/BENCH_PR3.json \
+        fresh.json --threshold 0.30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: str) -> dict | None:
+    p = Path(path)
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    threshold: float,
+    floor: float,
+) -> list[str]:
+    """Return a list of human-readable failures (empty = pass)."""
+    failures: list[str] = []
+    if baseline.get("schema") != current.get("schema"):
+        failures.append(
+            f"schema mismatch: baseline {baseline.get('schema')} "
+            f"vs current {current.get('schema')}"
+        )
+        return failures
+    if baseline.get("scale") != current.get("scale"):
+        failures.append(
+            f"scale mismatch: baseline {baseline.get('scale')!r} "
+            f"vs current {current.get('scale')!r}"
+        )
+        return failures
+
+    def check_timing(label: str, base: float, cur: float) -> None:
+        if base < floor and cur < floor:
+            return  # noise-floor territory; ratios are meaningless
+        if base <= 0:
+            return
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{label}: {base:.4g}s -> {cur:.4g}s "
+                f"({(ratio - 1.0) * 100:.0f}% slower, "
+                f"threshold {threshold * 100:.0f}%)"
+            )
+
+    for phase, base in baseline.get("phases", {}).items():
+        cur = current.get("phases", {}).get(phase)
+        if cur is None:
+            failures.append(f"phase {phase!r} missing from current snapshot")
+            continue
+        check_timing(f"phase {phase}", float(base), float(cur))
+
+    for bench, row in baseline.get("cells", {}).items():
+        for label, cell in row.items():
+            other = current.get("cells", {}).get(bench, {}).get(label)
+            if other is None:
+                failures.append(f"cell {bench}/{label} missing from current")
+                continue
+            if cell.get("mcl") != other.get("mcl"):
+                failures.append(
+                    f"cell {bench}/{label}: MCL changed "
+                    f"{cell.get('mcl')} -> {other.get('mcl')} "
+                    "(mapping quality must be deterministic)"
+                )
+            check_timing(
+                f"cell {bench}/{label} map_seconds",
+                float(cell.get("map_seconds", 0.0)),
+                float(other.get("map_seconds", 0.0)),
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("current", help="freshly produced snapshot")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed slowdown fraction (default: 0.30)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.05,
+        help="seconds below which timings are noise (default: 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load(args.baseline)
+    if baseline is None:
+        print(
+            f"NOTICE: no baseline at {args.baseline}; skipping the "
+            "perf gate (commit one via benchmarks/snapshot.py)"
+        )
+        return 0
+    current = load(args.current)
+    if current is None:
+        print(f"error: current snapshot {args.current} not found", file=sys.stderr)
+        return 2
+
+    failures = compare(baseline, current, args.threshold, args.floor)
+    if failures:
+        print(f"perf gate FAILED ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "perf gate passed: no phase regressed beyond "
+        f"{args.threshold * 100:.0f}%, MCLs unchanged"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

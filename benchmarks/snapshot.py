@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Emit a schema-versioned benchmark snapshot for the CI perf gate.
+
+Runs the standard mapper x benchmark grid (``repro.experiments.runner``)
+at one scale, collects per-cell mapping quality (MCL — deterministic)
+and timing (map seconds + RAHTM per-phase wall times — noisy), and
+writes one JSON document::
+
+    {
+      "schema": 1,
+      "scale": "tiny",
+      "repeats": 3,
+      "phases": {"phase1-concentration": 0.012, ...},   # min over repeats
+      "cells": {"BT": {"RAHTM": {"mcl": ..., "map_seconds": ...}, ...}}
+    }
+
+Timings take the *minimum* over ``--repeat`` runs, the standard
+noise-suppression trick for wall-clock benchmarks. The committed
+baseline lives at ``benchmarks/BENCH_PR3.json``;
+``benchmarks/compare_snapshots.py`` gates CI on it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot.py --scale tiny \
+        --out benchmarks/BENCH_PR3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def run_grid(scale_name: str) -> dict:
+    """One pass over the grid; returns phases + per-cell numbers."""
+    from repro.experiments.config import get_scale
+    from repro.experiments.runner import (
+        benchmark_workload_specs,
+        default_mapper_configs,
+    )
+    from repro.service.engine import MappingEngine
+    from repro.service.jobs import MappingJob, TopologySpec, WorkloadSpec
+
+    scale = get_scale(scale_name)
+    topo_spec = TopologySpec.from_topology(scale.topology())
+    cells: dict[str, dict] = {}
+    phases: dict[str, float] = {}
+    # No cache: a snapshot that hit the store would report 0s timings.
+    engine = MappingEngine(cache_dir=None)
+    for bench, workload in benchmark_workload_specs(scale).items():
+        cells[bench] = {}
+        for label, config in default_mapper_configs(scale):
+            job = MappingJob(
+                topology=topo_spec,
+                workload=WorkloadSpec(workload, seed=0),
+                mapper=config,
+            )
+            result = engine.run_one(job)
+            cells[bench][label] = {
+                "mcl": result.report.mcl,
+                "map_seconds": result.map_seconds,
+            }
+            for phase, seconds in (result.phase_seconds or {}).items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
+    return {"phases": phases, "cells": cells}
+
+
+def merge_min(runs: list[dict]) -> dict:
+    """Fold repeats: min for timings, first run's MCLs (deterministic)."""
+    out = {
+        "phases": dict(runs[0]["phases"]),
+        "cells": {
+            b: {m: dict(v) for m, v in row.items()}
+            for b, row in runs[0]["cells"].items()
+        },
+    }
+    for run in runs[1:]:
+        for phase, seconds in run["phases"].items():
+            out["phases"][phase] = min(out["phases"].get(phase, seconds), seconds)
+        for bench, row in run["cells"].items():
+            for label, cell in row.items():
+                mine = out["cells"][bench][label]
+                mine["map_seconds"] = min(mine["map_seconds"], cell["map_seconds"])
+                if mine["mcl"] != cell["mcl"]:
+                    raise SystemExit(
+                        f"non-deterministic MCL for {bench}/{label}: "
+                        f"{mine['mcl']} vs {cell['mcl']}"
+                    )
+    return out
+
+
+def take_snapshot(scale: str, repeats: int) -> dict:
+    runs = [run_grid(scale) for _ in range(max(repeats, 1))]
+    merged = merge_min(runs)
+    return {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "scale": scale,
+        "repeats": max(repeats, 1),
+        "phases": {k: merged["phases"][k] for k in sorted(merged["phases"])},
+        "cells": merged["cells"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        help="experiment scale (default: tiny)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="runs to min-fold timings over (default: 3)",
+    )
+    parser.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    args = parser.parse_args(argv)
+    snap = take_snapshot(args.scale, args.repeat)
+    text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.out).write_text(text)
+        print(f"snapshot written to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,13 @@ Resilience (``repro.resilience``): ``--deadline S`` gives each mapping a
 wall-clock budget RAHTM degrades gracefully under (``--on-deadline fail``
 raises instead), ``--checkpoint-dir DIR`` persists phase-level state and
 ``--resume`` continues a killed run from it with zero repeat MILP solves.
+
+Observability (``repro.observability``): ``--trace FILE`` records the
+pipeline's span tree; a ``.jsonl`` target also gets a sibling
+``.chrome.json`` loadable in ``chrome://tracing`` / Perfetto, any other
+target is written in Chrome format directly. ``--metrics`` prints the
+process-wide metrics registry (solver timings, cache traffic, beam
+widths, degradations) after the command finishes.
 """
 
 from __future__ import annotations
@@ -38,11 +45,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.commgraph import save_commgraph
 from repro.errors import ConfigError, ReproError
 from repro.metrics import evaluate_mapping
+from repro.observability import Tracer, activate, get_registry
 from repro.service import (
     JobRuntime,
     MappingEngine,
@@ -95,13 +104,15 @@ def _runtime_from_args(args) -> JobRuntime | None:
                 "--resume needs --checkpoint-dir, $REPRO_CHECKPOINT_DIR "
                 "or a cache directory to derive one from"
             )
-    if deadline is None and checkpoint_dir is None:
+    trace = bool(getattr(args, "trace", None))
+    if deadline is None and checkpoint_dir is None and not trace:
         return None
     return JobRuntime(
         deadline_seconds=deadline,
         on_deadline=on_deadline,
         checkpoint_dir=checkpoint_dir,
         resume=resume,
+        trace=trace,
     )
 
 
@@ -267,6 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="phase-checkpoint directory (default: "
                             "$REPRO_CHECKPOINT_DIR, else "
                             "<cache-dir>/checkpoints)")
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="record a pipeline trace; a .jsonl target "
+                            "also gets a sibling .chrome.json for "
+                            "chrome://tracing, other targets are written "
+                            "in Chrome trace-event format")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the process metrics registry after "
+                            "the command")
 
     def common(p):
         p.add_argument("--topology", required=True,
@@ -318,16 +337,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_trace(tracer: Tracer, target: str) -> None:
+    """Export ``tracer`` to ``target`` (JSONL + Chrome, or Chrome only)."""
+    path = Path(target)
+    if path.suffix == ".jsonl":
+        tracer.write_jsonl(path)
+        chrome = path.with_suffix(".chrome.json")
+        tracer.write_chrome(chrome)
+        print(f"trace written to {path} (chrome://tracing: {chrome})")
+    else:
+        tracer.write_chrome(path)
+        print(f"trace written to {path} (chrome trace-event format)")
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.verbose:
         enable_console_logging()
+    trace_target = getattr(args, "trace", None)
+    tracer = Tracer(run_id=args.command) if trace_target else None
     try:
-        return args.func(args)
+        with activate(tracer) if tracer is not None else nullcontext():
+            rc = args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        rc = 2
+    # Trace and metrics are flushed even when the command failed: a
+    # partial trace of a failing run is exactly what you debug with.
+    if tracer is not None:
+        _write_trace(tracer, trace_target)
+    if getattr(args, "metrics", False):
+        print(get_registry().report())
+    return rc
 
 
 if __name__ == "__main__":

@@ -37,6 +37,8 @@ from repro.core.orientation import (
     sample_orientations,
 )
 from repro.errors import ConfigError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import span
 from repro.routing.base import Router
 from repro.topology.cartesian import CartesianTopology
 from repro.topology.hierarchy import CubeHierarchy
@@ -336,6 +338,7 @@ class _MergeEngine:
         order = self.merge_order()
         placed: list[int] = []
         states = [self.empty_state()]
+        beam_hist = get_registry().histogram("merge.beam_candidates")
         # Keeping *all* first-block orientations (no pruning at step 0)
         # reproduces the paper's exhaustive first-pair exploration: the
         # first block's orientations all tie on MCL, so pruning there would
@@ -353,6 +356,7 @@ class _MergeEngine:
                     # top-N selection commutes with chunking; this only
                     # bounds memory, never changes the result.
                     new_states = self.top_n(new_states)
+            beam_hist.record(len(new_states))
             states = self.top_n(new_states) if prune else new_states
             placed.append(bi)
         states = self.top_n(states)
@@ -381,9 +385,11 @@ def merge_blocks(
     inside the union of the blocks are evaluated (the rest belong to outer
     levels of the hierarchy).
     """
-    return _MergeEngine(
+    outcome = _MergeEngine(
         topo, router, blocks, srcs, dsts, vols, config, num_clusters
     ).run()
+    get_registry().counter("merge.evaluations").inc(outcome.evaluations)
+    return outcome
 
 
 def first_fit_merge(
@@ -478,6 +484,7 @@ def hierarchical_merge(
             parent_origin = _parent_origin(topo, cube_h, level, pb)
             if cached is not None:
                 stats["cache_hits"] += 1
+                get_registry().counter("merge.cache_hits").inc()
                 for local, rel in cached.items():
                     cluster = local_index[local]
                     assignment[cluster] = int(topo.index(parent_origin + rel))
@@ -491,10 +498,12 @@ def hierarchical_merge(
                 evaluator=config.evaluator,
                 seed=config.seed + 1009 * level + pb,
             )
-            outcome = merge_blocks(
-                topo, router, blocks, srcs, dsts, vols, cfg,
-                num_clusters=node_graph.num_tasks,
-            )
+            with span("rahtm.merge.block", level=level, parent=pb) as msp:
+                outcome = merge_blocks(
+                    topo, router, blocks, srcs, dsts, vols, cfg,
+                    num_clusters=node_graph.num_tasks,
+                )
+                msp.set(mcl=outcome.mcl, evaluations=outcome.evaluations)
             stats["evaluations"] += outcome.evaluations
             level_mcls.append(outcome.mcl)
             rel_by_local = {}

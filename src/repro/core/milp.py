@@ -33,6 +33,8 @@ import numpy as np
 from repro.commgraph.graph import CommGraph
 from repro.errors import SolverError
 from repro.lp import Model, SolveStatus, lpsum
+from repro.observability.metrics import get_registry
+from repro.observability.trace import span
 from repro.resilience import faultinject
 from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
 from repro.topology.cartesian import CartesianTopology
@@ -227,7 +229,15 @@ def solve_cluster_milp(
         model.add_constraint(g[heaviest][0] == 1, name="symbreak")
     model.set_objective(z, sense="min")
 
-    sol = model.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+    registry = get_registry()
+    registry.histogram("milp.lp_rows").record(model.num_constraints)
+    registry.histogram("milp.lp_cols").record(model.num_vars)
+    with span("milp.solve", clusters=A, vertices=V,
+              rows=model.num_constraints, cols=model.num_vars) as solve_span:
+        sol = model.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+        solve_span.set(status=sol.status.value)
+    registry.counter("milp.solves").inc()
+    registry.histogram("milp.solve_seconds").record(sol.solve_seconds)
     if not sol.has_solution:
         log.warning("MILP found no incumbent (%s); greedy fallback", sol.status)
         assignment, mcl = greedy_assignment(cube, graph)
@@ -312,7 +322,12 @@ def solve_routing_lp(
         if terms:
             model.add_constraint(lpsum(terms) <= float(arcs.mults[e]) * z)
     model.set_objective(z, sense="min")
+    registry = get_registry()
+    registry.counter("lp.routing_solves").inc()
+    registry.histogram("lp.lp_rows").record(model.num_constraints)
+    registry.histogram("lp.lp_cols").record(model.num_vars)
     sol = model.solve(time_limit=time_limit, raise_on_infeasible=True)
+    registry.histogram("lp.solve_seconds").record(sol.solve_seconds)
     if not sol.has_solution:
         raise SolverError(f"routing LP failed: {sol.status}")
     return float(sol.objective)

@@ -23,6 +23,8 @@ from repro.core.milp import (
     static_assignment,
 )
 from repro.errors import ConfigError, SolverError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import span
 from repro.topology.hierarchy import CubeHierarchy
 from repro.utils.logconf import get_logger
 
@@ -107,103 +109,108 @@ def pseudo_pin(
     cache_hits = 0
 
     for level in range(q, 0, -1):
-        child_graph = hierarchy.graph_at(level - 1)
-        parents = hierarchy.graph_at(level).num_tasks
-        cube = cube_h.child_cube(level)
-        child_blocks = np.empty(child_graph.num_tasks, dtype=np.int64)
-        for parent in range(parents):
-            children = hierarchy.children_of(level, parent)
-            if len(children) != branching:
-                raise ConfigError(
-                    f"cluster {parent} at level {level} has {len(children)} "
-                    f"children, expected {branching}"
+        with span("rahtm.pseudo_pin.level", level=level,
+                  parents=hierarchy.graph_at(level).num_tasks) as level_span:
+            solved_before, hits_before = len(stats), cache_hits
+            child_graph = hierarchy.graph_at(level - 1)
+            parents = hierarchy.graph_at(level).num_tasks
+            cube = cube_h.child_cube(level)
+            child_blocks = np.empty(child_graph.num_tasks, dtype=np.int64)
+            for parent in range(parents):
+                children = hierarchy.children_of(level, parent)
+                if len(children) != branching:
+                    raise ConfigError(
+                        f"cluster {parent} at level {level} has "
+                        f"{len(children)} children, expected {branching}"
+                    )
+                # Local intra-parent subgraph (children relabeled 0..2^n-1).
+                lookup = {int(c): i for i, c in enumerate(children)}
+                mask = np.isin(child_graph.srcs, children) & np.isin(
+                    child_graph.dsts, children
                 )
-            # Local intra-parent subgraph (children relabeled 0..2^n-1).
-            lookup = {int(c): i for i, c in enumerate(children)}
-            mask = np.isin(child_graph.srcs, children) & np.isin(
-                child_graph.dsts, children
-            )
-            local_edges = [
-                (lookup[int(s)], lookup[int(d)], float(v))
-                for s, d, v in zip(
-                    child_graph.srcs[mask],
-                    child_graph.dsts[mask],
-                    child_graph.vols[mask],
-                )
-            ]
-            sig = _signature(local_edges, branching, cube)
-            assignment = cache.get(sig)
-            if assignment is None:
-                from repro.commgraph.graph import CommGraph
+                local_edges = [
+                    (lookup[int(s)], lookup[int(d)], float(v))
+                    for s, d, v in zip(
+                        child_graph.srcs[mask],
+                        child_graph.dsts[mask],
+                        child_graph.vols[mask],
+                    )
+                ]
+                sig = _signature(local_edges, branching, cube)
+                assignment = cache.get(sig)
+                if assignment is None:
+                    from repro.commgraph.graph import CommGraph
 
-                local = CommGraph.from_edges(branching, local_edges)
-                # Degradation ladder: MILP -> greedy -> static. The wall
-                # budget kills everything but the O(A) static placement;
-                # the solver-call budget and solver errors only demote the
-                # MILP rung.
-                mode = "milp" if use_milp else "greedy"
-                reason = None
-                if budget is not None:
-                    if budget.enforce("phase2"):
-                        mode, reason = "static", "budget-exhausted"
-                    elif mode == "milp" and not budget.take_solver_call():
-                        mode, reason = "greedy", "solver-budget-exhausted"
-                if mode == "milp":
-                    limit = time_limit
+                    local = CommGraph.from_edges(branching, local_edges)
+                    # Degradation ladder: MILP -> greedy -> static. The wall
+                    # budget kills everything but the O(A) static placement;
+                    # the solver-call budget and solver errors only demote
+                    # the MILP rung.
+                    mode = "milp" if use_milp else "greedy"
+                    reason = None
                     if budget is not None:
-                        limit = budget.solver_slice(time_limit, parts=level)
-                    try:
-                        res = solve_cluster_milp(
-                            cube, local,
-                            time_limit=limit, mip_rel_gap=mip_rel_gap,
-                            enforce_minimal=enforce_minimal,
-                            fix_first=fix_first,
-                        )
-                    except SolverError as exc:
-                        mode, reason = "greedy", "solver-error"
-                        log.warning(
-                            "phase 2 MILP at level %d failed (%s); "
-                            "greedy fallback", level, exc,
-                        )
-                        if degradation is not None:
-                            degradation.record(
-                                "phase2", "milp->greedy", "solver-error",
-                                level=level, error=str(exc),
+                        if budget.enforce("phase2"):
+                            mode, reason = "static", "budget-exhausted"
+                        elif mode == "milp" and not budget.take_solver_call():
+                            mode, reason = "greedy", "solver-budget-exhausted"
+                    if mode == "milp":
+                        limit = time_limit
+                        if budget is not None:
+                            limit = budget.solver_slice(time_limit, parts=level)
+                        try:
+                            res = solve_cluster_milp(
+                                cube, local,
+                                time_limit=limit, mip_rel_gap=mip_rel_gap,
+                                enforce_minimal=enforce_minimal,
+                                fix_first=fix_first,
                             )
-                    else:
-                        assignment = res.assignment
-                        stats.append(res)
-                if mode == "greedy":
-                    assignment, mcl = greedy_assignment(cube, local)
-                    stats.append(MILPResult(
-                        assignment=assignment, mcl=mcl, optimal=False,
-                        status="greedy" if reason is None
-                        else f"degraded:{reason}",
-                        method="greedy",
-                    ))
-                    if reason == "solver-budget-exhausted" \
-                            and degradation is not None:
-                        degradation.record("phase2", "milp->greedy", reason,
-                                           level=level)
-                elif mode == "static":
-                    assignment, mcl = static_assignment(cube, local)
-                    stats.append(MILPResult(
-                        assignment=assignment, mcl=mcl, optimal=False,
-                        status=f"degraded:{reason}", method="static",
-                    ))
-                    if degradation is not None:
-                        degradation.record("phase2", "milp->static", reason,
-                                           level=level)
-                cache[sig] = assignment
-            else:
-                cache_hits += 1
-            parent_block = int(block_at[level][parent])
-            for i, child in enumerate(children):
-                corner = int(assignment[i])
-                origin = cube_h.corner_origin(level, parent_block, corner)
-                node = int(cube_h.topology.index(origin))
-                child_blocks[int(child)] = cube_h.block_of(node, level - 1)
-        block_at[level - 1] = child_blocks
+                        except SolverError as exc:
+                            mode, reason = "greedy", "solver-error"
+                            log.warning(
+                                "phase 2 MILP at level %d failed (%s); "
+                                "greedy fallback", level, exc,
+                            )
+                            if degradation is not None:
+                                degradation.record(
+                                    "phase2", "milp->greedy", "solver-error",
+                                    level=level, error=str(exc),
+                                )
+                        else:
+                            assignment = res.assignment
+                            stats.append(res)
+                    if mode == "greedy":
+                        assignment, mcl = greedy_assignment(cube, local)
+                        stats.append(MILPResult(
+                            assignment=assignment, mcl=mcl, optimal=False,
+                            status="greedy" if reason is None
+                            else f"degraded:{reason}",
+                            method="greedy",
+                        ))
+                        if reason == "solver-budget-exhausted" \
+                                and degradation is not None:
+                            degradation.record("phase2", "milp->greedy",
+                                               reason, level=level)
+                    elif mode == "static":
+                        assignment, mcl = static_assignment(cube, local)
+                        stats.append(MILPResult(
+                            assignment=assignment, mcl=mcl, optimal=False,
+                            status=f"degraded:{reason}", method="static",
+                        ))
+                        if degradation is not None:
+                            degradation.record("phase2", "milp->static",
+                                               reason, level=level)
+                    cache[sig] = assignment
+                else:
+                    cache_hits += 1
+                parent_block = int(block_at[level][parent])
+                for i, child in enumerate(children):
+                    corner = int(assignment[i])
+                    origin = cube_h.corner_origin(level, parent_block, corner)
+                    node = int(cube_h.topology.index(origin))
+                    child_blocks[int(child)] = cube_h.block_of(node, level - 1)
+            block_at[level - 1] = child_blocks
+            level_span.set(solved=len(stats) - solved_before,
+                           cache_hits=cache_hits - hits_before)
 
     # Level-0 blocks are single nodes.
     cluster_to_node = np.empty(hierarchy.num_node_clusters, dtype=np.int64)
@@ -217,6 +224,9 @@ def pseudo_pin(
         cluster_to_node[c] = nodes[0]
     if len(np.unique(cluster_to_node)) != len(cluster_to_node):
         raise ConfigError("pseudo-pinning produced a non-injective placement")
+    registry = get_registry()
+    registry.counter("pin.subproblems").inc(len(stats))
+    registry.counter("pin.cache_hits").inc(cache_hits)
     log.info(
         "phase 2: %d subproblems solved, %d cache hits",
         len(stats), cache_hits,

@@ -34,6 +34,7 @@ from repro.core.merge import (
 from repro.core.pseudo_pin import pseudo_pin
 from repro.errors import ConfigError
 from repro.mapping.mapping import Mapping
+from repro.observability.trace import span
 from repro.resilience.degrade import DegradationLog
 from repro.routing.dor import DimensionOrderRouter
 from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
@@ -219,36 +220,44 @@ class RAHTMMapper:
         self.stats = {"concentration": concentration}
         self.degradation = DegradationLog()
 
-        # Phase 1a: concentration clustering.
-        with self.timer.phase("phase1-concentration"):
-            node_level = cluster_fixed_size(graph, concentration)
-        node_graph = node_level.graph
+        with span("rahtm.map", tasks=graph.num_tasks, nodes=V,
+                  concentration=concentration):
+            # Phase 1a: concentration clustering.
+            with self.timer.phase("phase1-concentration"), \
+                    span("rahtm.cluster", tasks=graph.num_tasks):
+                node_level = cluster_fixed_size(graph, concentration)
+            node_graph = node_level.graph
 
-        # Partitioning for non-uniform topologies.
-        parts = uniform_partitions(topo) if not _is_uniform_pow2(topo) else None
-        if parts is None:
-            assignment = self._map_uniform(
-                topo, node_graph, seed_offset=0,
-                budget=budget, checkpoint=checkpoint, ckpt_ns="",
-            )
-        else:
-            assignment = self._map_partitioned(
-                topo, node_graph, parts, budget=budget, checkpoint=checkpoint,
-            )
-
-        if self.config.refine_iterations:
-            if budget is not None and budget.enforce("phase4"):
-                self.degradation.record("phase4", "refine->skipped",
-                                        "budget-exhausted")
+            # Partitioning for non-uniform topologies.
+            parts = (uniform_partitions(topo)
+                     if not _is_uniform_pow2(topo) else None)
+            if parts is None:
+                assignment = self._map_uniform(
+                    topo, node_graph, seed_offset=0,
+                    budget=budget, checkpoint=checkpoint, ckpt_ns="",
+                )
             else:
-                with self.timer.phase("phase4-refine"):
-                    from repro.core.refine import refine_assignment
+                assignment = self._map_partitioned(
+                    topo, node_graph, parts,
+                    budget=budget, checkpoint=checkpoint,
+                )
 
-                    assignment, refined_mcl = refine_assignment(
-                        self._router(topo), node_graph, assignment,
-                        self.config.refine_iterations, seed=self.config.seed,
-                    )
-                self.stats["refined_mcl"] = refined_mcl
+            if self.config.refine_iterations:
+                if budget is not None and budget.enforce("phase4"):
+                    self.degradation.record("phase4", "refine->skipped",
+                                            "budget-exhausted")
+                else:
+                    with self.timer.phase("phase4-refine"), \
+                            span("rahtm.refine",
+                                 iterations=self.config.refine_iterations):
+                        from repro.core.refine import refine_assignment
+
+                        assignment, refined_mcl = refine_assignment(
+                            self._router(topo), node_graph, assignment,
+                            self.config.refine_iterations,
+                            seed=self.config.seed,
+                        )
+                    self.stats["refined_mcl"] = refined_mcl
 
         task_to_node = assignment[node_level.labels]
         mapping = Mapping(topo, task_to_node, tasks_per_node=concentration)
@@ -270,7 +279,8 @@ class RAHTMMapper:
         budget=None, checkpoint=None, ckpt_ns: str = "",
     ) -> np.ndarray:
         cube_h = CubeHierarchy(topo)
-        with self.timer.phase("phase1-hierarchy"):
+        with self.timer.phase("phase1-hierarchy"), \
+                span("rahtm.hierarchy", levels=cube_h.num_levels):
             hierarchy = build_cluster_hierarchy(
                 node_graph, topo.num_nodes, 2**cube_h.n, cube_h.num_levels
             )
@@ -282,7 +292,8 @@ class RAHTMMapper:
             )
         if cluster_to_node is None:
             degraded_before = len(self.degradation)
-            with self.timer.phase("phase2-milp"):
+            with self.timer.phase("phase2-milp"), \
+                    span("rahtm.pseudo_pin", levels=cube_h.num_levels):
                 pin = pseudo_pin(
                     hierarchy, cube_h,
                     time_limit=self.config.milp_time_limit,
@@ -311,7 +322,8 @@ class RAHTMMapper:
             )
         if assignment is None:
             degraded_before = len(self.degradation)
-            with self.timer.phase("phase3-merge"):
+            with self.timer.phase("phase3-merge"), \
+                    span("rahtm.merge", beam_width=self.config.beam_width):
                 router = self._router(topo)
                 assignment, mstats = hierarchical_merge(
                     topo, router, cube_h, node_graph, cluster_to_node,
@@ -342,7 +354,8 @@ class RAHTMMapper:
 
         # Split node-clusters into one group per partition (phase-1 tiling
         # again, at partition granularity).
-        with self.timer.phase("phase1-partition"):
+        with self.timer.phase("phase1-partition"), \
+                span("rahtm.partition", partitions=nparts):
             part_level = cluster_fixed_size(node_graph, part_size)
         group_of = part_level.labels  # node-cluster -> partition group
 
@@ -363,11 +376,13 @@ class RAHTMMapper:
                 checkpoint.mark(f"part{gi}-pin", f"part{gi}-merge")
             else:
                 degraded_before = len(self.degradation)
-                local_assignment = self._map_uniform(
-                    local_topo, sub, seed_offset=17 * (gi + 1),
-                    budget=budget, checkpoint=checkpoint,
-                    ckpt_ns=f"part{gi}-",
-                )
+                with span("rahtm.map_partition", index=gi,
+                          nodes=local_topo.num_nodes):
+                    local_assignment = self._map_uniform(
+                        local_topo, sub, seed_offset=17 * (gi + 1),
+                        budget=budget, checkpoint=checkpoint,
+                        ckpt_ns=f"part{gi}-",
+                    )
                 if checkpoint is not None \
                         and len(self.degradation) == degraded_before:
                     checkpoint.save_assignment(f"part{gi}", local_assignment)
@@ -379,7 +394,8 @@ class RAHTMMapper:
                 clusters=members,
                 local_coords=local_coords,
             ))
-        with self.timer.phase("phase3-stitch"):
+        with self.timer.phase("phase3-stitch"), \
+                span("rahtm.stitch", partitions=nparts):
             if budget is not None and budget.enforce("phase3-stitch"):
                 self.degradation.record(
                     "phase3", "stitch->first-fit", "budget-exhausted",

@@ -1,0 +1,43 @@
+"""Observability: pipeline tracing + process-wide metrics.
+
+- :mod:`repro.observability.trace` — nestable spans recorded into a
+  per-run tree, exportable as JSONL and Chrome trace-event JSON. Off by
+  default: a disabled :func:`span` is a shared no-op.
+- :mod:`repro.observability.metrics` — counters, gauges and log-scale
+  histograms in one process-wide :class:`MetricsRegistry` with a
+  snapshot API.
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.observability.trace import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    event,
+    span,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "event",
+    "get_registry",
+    "span",
+]

@@ -1,0 +1,365 @@
+"""Zero-dependency pipeline tracing: nestable spans, JSONL + Chrome export.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s — one per pipeline
+phase — each carrying wall time, CPU time, and arbitrary attributes::
+
+    tracer = Tracer(run_id="map-bgq")
+    with activate(tracer):
+        with span("phase2.milp", level=3) as sp:
+            solve()
+            sp.set(status="optimal")
+    tracer.write_jsonl("out.jsonl")
+    tracer.write_chrome("out.chrome.json")
+
+Design constraints (the hot path runs with tracing *off* by default):
+
+- :func:`span`/:func:`event` are module-level and consult one global; with
+  no active tracer they return a shared no-op handle, so a disabled span
+  costs one attribute load and one identity check — no allocation beyond
+  the caller's kwargs.
+- Span content is deterministic apart from the timing fields
+  (``start_unix``/``wall_s``/``cpu_s``): ids are assigned depth-first at
+  export time, so traces produced by pooled workers can be grafted into a
+  parent trace (see :meth:`Tracer.graft`) and re-exported without id
+  collisions.
+- Exports are schema-versioned (:data:`TRACE_SCHEMA_VERSION`). The JSONL
+  file opens with a meta row; the Chrome file is a standard
+  ``chrome://tracing`` / Perfetto "trace event" JSON object.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "activate",
+    "active_tracer",
+    "event",
+    "span",
+]
+
+#: Version of the JSONL row schema and the span-dict payload shape.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One node of the trace tree.
+
+    Attributes
+    ----------
+    name:
+        Dotted phase label (``"rahtm.pseudo_pin.level"``).
+    attrs:
+        Arbitrary JSON-able key/value attributes.
+    start_unix:
+        Wall-clock start (``time.time()``); 0.0 for grafted spans whose
+        producer did not record one.
+    wall_s / cpu_s:
+        Durations filled in when the span closes (events keep 0.0).
+    is_event:
+        True for zero-duration instant events (degradations, cache hits).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_unix",
+        "wall_s",
+        "cpu_s",
+        "children",
+        "is_event",
+    )
+
+    def __init__(self, name: str, attrs: dict | None = None, is_event: bool = False):
+        self.name = str(name)
+        self.attrs = dict(attrs) if attrs else {}
+        self.start_unix = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: list[Span] = []
+        self.is_event = is_event
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to an open (or closed) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "attrs": self.attrs,
+            "start_unix": self.start_unix,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.is_event:
+            out["event"] = True
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        sp = cls(
+            doc.get("name", "?"),
+            doc.get("attrs"),
+            is_event=bool(doc.get("event")),
+        )
+        sp.start_unix = float(doc.get("start_unix", 0.0))
+        sp.wall_s = float(doc.get("wall_s", 0.0))
+        sp.cpu_s = float(doc.get("cpu_s", 0.0))
+        sp.children = [cls.from_dict(c) for c in doc.get("children", ())]
+        return sp
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant (including self) whose name matches."""
+        hits = [self] if self.name == name else []
+        for child in self.children:
+            hits.extend(child.find(name))
+        return hits
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, wall={self.wall_s:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanHandle:
+    """Context manager opening/closing one real span."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", sp: Span):
+        self._tracer = tracer
+        self._span = sp
+
+    def __enter__(self) -> Span:
+        sp = self._span
+        sp.start_unix = time.time()
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        self._tracer._push(sp)
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sp = self._span
+        sp.wall_s = time.perf_counter() - self._t0
+        sp.cpu_s = time.process_time() - self._c0
+        if exc_type is not None:
+            sp.attrs["error"] = exc_type.__name__
+        self._tracer._pop(sp)
+        return False  # never swallow exceptions
+
+
+class _NullSpan:
+    """Shared no-op handle returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects one run's span tree.
+
+    The tracer keeps an open-span stack; :meth:`span` attaches new spans
+    under the innermost open one (or as a root). Spans left open by an
+    exception are closed by their handle's ``__exit__`` on unwind, so the
+    stack can never leak.
+    """
+
+    def __init__(self, run_id: str = ""):
+        self.run_id = str(run_id)
+        #: Owning process: a forked pool worker inherits the parent's
+        #: active tracer, whose recordings would die with the fork's
+        #: address space. Workers compare pids to decide whether the
+        #: active tracer is actually theirs (see execute_mapping_job).
+        self.pid = os.getpid()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording ----------------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        return _SpanHandle(self, Span(name, attrs))
+
+    def event(self, name: str, **attrs) -> Span:
+        """Record a zero-duration instant event under the open span."""
+        sp = Span(name, attrs, is_event=True)
+        sp.start_unix = time.time()
+        self._attach(sp)
+        return sp
+
+    def graft(self, span_dicts, **extra_attrs) -> list[Span]:
+        """Attach serialized subtrees (e.g. from a pooled worker's payload)
+        under the currently open span; ``extra_attrs`` are merged into each
+        grafted root so merged traces stay attributable to their job."""
+        grafted = []
+        for doc in span_dicts or ():
+            sp = Span.from_dict(doc)
+            sp.attrs.update(extra_attrs)
+            self._attach(sp)
+            grafted.append(sp)
+        return grafted
+
+    def _attach(self, sp: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(sp)
+        else:
+            self.roots.append(sp)
+
+    def _push(self, sp: Span) -> None:
+        self._attach(sp)
+        self._stack.append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        # Tolerate out-of-order pops (a handle closed twice): unwind to sp.
+        while self._stack:
+            top = self._stack.pop()
+            if top is sp:
+                break
+
+    # -- export -------------------------------------------------------------------
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.roots]
+
+    def rows(self) -> list[dict]:
+        """Flatten the tree depth-first into JSONL-ready rows.
+
+        Ids are assigned during the walk, so they are unique within one
+        export by construction — including across grafted worker subtrees.
+        """
+        out: list[dict] = []
+
+        def visit(sp: Span, parent: int | None, depth: int) -> None:
+            row = {
+                "id": len(out) + 1,
+                "parent": parent,
+                "depth": depth,
+                "name": sp.name,
+                "attrs": sp.attrs,
+                "start_unix": sp.start_unix,
+                "wall_s": sp.wall_s,
+                "cpu_s": sp.cpu_s,
+                "event": sp.is_event,
+            }
+            out.append(row)
+            my_id = row["id"]
+            for child in sp.children:
+                visit(child, my_id, depth + 1)
+
+        for root in self.roots:
+            visit(root, None, 0)
+        return out
+
+    def write_jsonl(self, path) -> Path:
+        """One meta row, then one row per span, depth-first."""
+        path = Path(path)
+        rows = self.rows()
+        meta = {
+            "trace_schema": TRACE_SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "spans": len(rows),
+        }
+        with path.open("w") as fh:
+            fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+        return path
+
+    def write_chrome(self, path) -> Path:
+        """A ``chrome://tracing`` / Perfetto-loadable trace event file."""
+        path = Path(path)
+        rows = self.rows()
+        starts = [r["start_unix"] for r in rows if r["start_unix"] > 0]
+        base = min(starts) if starts else 0.0
+        pid = os.getpid()
+        events = []
+        for row in rows:
+            ts = max(row["start_unix"] - base, 0.0) * 1e6
+            ev = {
+                "name": row["name"],
+                "ph": "i" if row["event"] else "X",
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "args": {str(k): v for k, v in row["attrs"].items()},
+            }
+            if row["event"]:
+                ev["s"] = "t"  # thread-scoped instant marker
+            else:
+                ev["dur"] = row["wall_s"] * 1e6
+                ev["args"]["cpu_s"] = row["cpu_s"]
+            events.append(ev)
+        doc = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"run_id": self.run_id, "trace_schema": TRACE_SCHEMA_VERSION},
+        }
+        with path.open("w") as fh:
+            json.dump(doc, fh, default=str)
+        return path
+
+
+# -- module-level current tracer -------------------------------------------------------
+_ACTIVE: Tracer | None = None
+
+
+class _Activation:
+    """Context manager installing a tracer as the process-wide current one."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer | None):
+        self._tracer = tracer
+
+    def __enter__(self) -> Tracer | None:
+        global _ACTIVE
+        self._previous = _ACTIVE
+        _ACTIVE = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE
+        _ACTIVE = self._previous
+        return False
+
+
+def activate(tracer: Tracer | None) -> _Activation:
+    """``with activate(tracer): ...`` — spans inside record into it."""
+    return _Activation(tracer)
+
+
+def active_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer; a cheap no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instant event on the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.event(name, **attrs)

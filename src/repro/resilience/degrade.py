@@ -12,6 +12,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.observability import trace
+from repro.observability.metrics import get_registry
+
 __all__ = ["DegradationEvent", "DegradationLog"]
 
 
@@ -54,6 +57,10 @@ class DegradationLog:
 
     def record(self, phase: str, action: str, reason: str, **detail) -> None:
         self.events.append(DegradationEvent(phase, action, reason, detail))
+        # Degradations double as observability signals: an instant event
+        # in any active trace, and a process-wide counter.
+        trace.event("degradation", phase=phase, action=action, reason=reason)
+        get_registry().counter("resilience.degradations").inc()
 
     def as_dicts(self) -> list[dict]:
         return [e.to_dict() for e in self.events]

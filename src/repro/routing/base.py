@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import RoutingError
+from repro.observability.metrics import get_registry
 from repro.topology.cartesian import CartesianTopology
 
 __all__ = ["Stencil", "Router"]
@@ -66,6 +67,11 @@ class Router(abc.ABC):
     def __init__(self, topology: CartesianTopology):
         self.topology = topology
         self._stencils: dict[tuple[int, ...], Stencil] = {}
+        # Bound once: stencil cache traffic is hot-path telemetry.
+        registry = get_registry()
+        self._m_stencil_hits = registry.counter("router.stencil_hits")
+        self._m_stencil_misses = registry.counter("router.stencil_misses")
+        self._m_load_calls = registry.counter("router.link_load_calls")
 
     # -- stencils -----------------------------------------------------------------
     def stencil(self, delta) -> Stencil:
@@ -77,8 +83,11 @@ class Router(abc.ABC):
             )
         st = self._stencils.get(key)
         if st is None:
+            self._m_stencil_misses.inc()
             st = self._build_stencil(key)
             self._stencils[key] = st
+        else:
+            self._m_stencil_hits.inc()
         return st
 
     @abc.abstractmethod
@@ -101,6 +110,7 @@ class Router(abc.ABC):
             ``topology.num_channel_slots``; loads are *added* into it.
         """
         topo = self.topology
+        self._m_load_calls.inc()
         srcs = np.asarray(srcs, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
         vols = np.asarray(vols, dtype=np.float64)

@@ -19,11 +19,13 @@ hits) is emitted through :mod:`repro.utils.logconf` under
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 from typing import Sequence
 
 from repro.errors import ServiceError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import active_tracer, event as trace_event, span
 from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
 from repro.service.jobs import (
     JobResult,
@@ -41,7 +43,12 @@ log = get_logger("service.engine")
 
 @dataclass
 class EngineStats:
-    """Aggregate counters over every batch this engine has run."""
+    """Aggregate counters over every batch this engine has run.
+
+    Every bump is mirrored into the process-wide metrics registry
+    (``engine.submitted`` etc.), so registry snapshots cover engine
+    traffic without consumers having to hold an engine reference.
+    """
 
     submitted: int = 0
     cache_hits: int = 0
@@ -50,6 +57,10 @@ class EngineStats:
     timed_out: int = 0
     retried: int = 0
     degraded: int = 0
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        setattr(self, field_name, getattr(self, field_name) + n)
+        get_registry().counter(f"engine.{field_name}").inc(n)
 
     def as_dict(self) -> dict:
         return {
@@ -113,7 +124,7 @@ class MappingEngine:
             log.debug("queued [%s] %s", info["index"], label)
         elif event == "started":
             if info.get("attempt", 1) > 1:
-                self.stats.retried += 1
+                self.stats.bump("retried")
             log.info("started [%s] %s (attempt %d)",
                      info["index"], label, info["attempt"])
         elif event == "finished":
@@ -134,62 +145,93 @@ class MappingEngine:
         outcomes: list[JobOutcome | None] = [None] * len(jobs)
         miss_indices: list[int] = []
         t0 = time.perf_counter()
-        for i, job in enumerate(jobs):
-            self.stats.submitted += 1
-            key = job.cache_key()
-            log.debug("queued [%d] %s key=%s", i, job.describe(), key[:12])
-            payload = self.store.get(key) if self.store is not None else None
-            if payload is not None:
-                self.stats.cache_hits += 1
-                result = JobResult.from_payload(payload, from_cache=True)
-                outcomes[i] = JobOutcome(
-                    index=i, item=job, result=result, error=None,
-                    attempts=0, wall_seconds=0.0,
-                )
-                log.info("finished [%d] %s in 0.000s attempts=0 "
-                         "cache_hit=True error=None", i, job.describe())
-            else:
-                miss_indices.append(i)
-        if miss_indices:
-            body = execute_mapping_job
-            if self.runtime is not None and self.runtime.active:
-                body = partial(execute_mapping_job, runtime=self.runtime)
-            raw = self.executor.run(body, [jobs[i] for i in miss_indices])
-            for outcome, i in zip(raw, miss_indices):
-                job = jobs[i]
-                if outcome.ok:
-                    payload = outcome.result
-                    degraded = bool(payload.get("degraded"))
-                    if degraded:
-                        self.stats.degraded += 1
-                        log.warning(
-                            "job [%d] %s degraded: %s", i, job.describe(),
-                            "; ".join(
-                                f"{e.get('phase')} {e.get('action')} "
-                                f"({e.get('reason')})"
-                                for e in payload.get("degradation", [])
-                            ) or "unknown",
-                        )
-                    if self.store is not None and not degraded:
-                        # A degraded mapping is valid but below the
-                        # mapper's quality bar — caching it would pin the
-                        # deadline's collateral damage into every future
-                        # run of this job.
-                        self.store.put(payload["key"], payload)
-                    self.stats.executed += 1
-                    result = JobResult.from_payload(payload)
+        tracer = active_tracer()
+        registry = get_registry()
+        with span("engine.batch", jobs=len(jobs)) as batch_span:
+            for i, job in enumerate(jobs):
+                self.stats.bump("submitted")
+                key = job.cache_key()
+                log.debug("queued [%d] %s key=%s", i, job.describe(), key[:12])
+                payload = self.store.get(key) if self.store is not None else None
+                if payload is not None:
+                    self.stats.bump("cache_hits")
+                    # A hit skips the mapper entirely: the saved-time gauge
+                    # accumulates the original run's map_seconds, and the
+                    # outcome reports wall_seconds=0.0 explicitly — the hit
+                    # itself did no mapping work.
+                    registry.gauge("engine.cache_hit_saved_seconds").add(
+                        float(payload.get("map_seconds", 0.0))
+                    )
+                    trace_event("engine.cache_hit", index=i, key=key[:12],
+                                saved_s=float(payload.get("map_seconds", 0.0)))
+                    result = JobResult.from_payload(payload, from_cache=True)
+                    outcomes[i] = JobOutcome(
+                        index=i, item=job, result=result, error=None,
+                        attempts=0, wall_seconds=0.0,
+                    )
+                    log.info("finished [%d] %s in 0.000s attempts=0 "
+                             "cache_hit=True error=None", i, job.describe())
                 else:
-                    self.stats.failed += 1
-                    if outcome.timed_out:
-                        self.stats.timed_out += 1
-                    result = None
-                outcomes[i] = JobOutcome(
-                    index=i, item=job, result=result, error=outcome.error,
-                    attempts=outcome.attempts,
-                    wall_seconds=outcome.wall_seconds,
-                    timed_out=outcome.timed_out,
-                )
-        done = [o for o in outcomes if o is not None]
+                    miss_indices.append(i)
+            if miss_indices:
+                runtime = self.runtime
+                if tracer is not None:
+                    # An active tracer means the caller wants this batch
+                    # traced; pooled workers then record locally and ship
+                    # their span trees back for grafting.
+                    runtime = (replace(runtime, trace=True)
+                               if runtime is not None else JobRuntime(trace=True))
+                body = execute_mapping_job
+                if runtime is not None and runtime.active:
+                    body = partial(execute_mapping_job, runtime=runtime)
+                raw = self.executor.run(body, [jobs[i] for i in miss_indices])
+                for outcome, i in zip(raw, miss_indices):
+                    job = jobs[i]
+                    if outcome.ok:
+                        payload = outcome.result
+                        # Worker span trees never reach the store: traces
+                        # are timing-nondeterministic and would bloat the
+                        # content-addressed artifacts.
+                        trace_docs = payload.pop("trace", None)
+                        if trace_docs and tracer is not None:
+                            tracer.graft(trace_docs, job_index=i,
+                                         job_key=payload["key"][:12])
+                        degraded = bool(payload.get("degraded"))
+                        if degraded:
+                            self.stats.bump("degraded")
+                            log.warning(
+                                "job [%d] %s degraded: %s", i, job.describe(),
+                                "; ".join(
+                                    f"{e.get('phase')} {e.get('action')} "
+                                    f"({e.get('reason')})"
+                                    for e in payload.get("degradation", [])
+                                ) or "unknown",
+                            )
+                        if self.store is not None and not degraded:
+                            # A degraded mapping is valid but below the
+                            # mapper's quality bar — caching it would pin the
+                            # deadline's collateral damage into every future
+                            # run of this job.
+                            self.store.put(payload["key"], payload)
+                        self.stats.bump("executed")
+                        result = JobResult.from_payload(payload)
+                    else:
+                        self.stats.bump("failed")
+                        if outcome.timed_out:
+                            self.stats.bump("timed_out")
+                        result = None
+                    outcomes[i] = JobOutcome(
+                        index=i, item=job, result=result, error=outcome.error,
+                        attempts=outcome.attempts,
+                        wall_seconds=outcome.wall_seconds,
+                        timed_out=outcome.timed_out,
+                    )
+            done = [o for o in outcomes if o is not None]
+            batch_span.set(
+                cached=sum(1 for o in done if o.attempts == 0),
+                executed=sum(1 for o in done if o.ok and o.attempts > 0),
+                failed=sum(1 for o in done if not o.ok),
+            )
         log.info(
             "batch of %d done in %.3fs: %d cached, %d executed, %d failed",
             len(jobs), time.perf_counter() - t0,

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.errors import ConfigError, JobTimeoutError
+from repro.observability.metrics import get_registry
 from repro.resilience import faultinject
 from repro.utils.logconf import get_logger
 
@@ -167,12 +168,14 @@ class BatchExecutor:
             try:
                 result = _invoke(fn, item, self.config.timeout)
             except JobTimeoutError as exc:
+                get_registry().counter("executor.timeouts").inc()
                 outcome = JobOutcome(index, item, None, _describe(exc),
                                      attempt, time.perf_counter() - start,
                                      timed_out=True)
                 break
             except Exception as exc:
                 if attempt <= self.config.retries:
+                    get_registry().counter("executor.retries").inc()
                     log.warning("job %d attempt %d failed (%s); retrying",
                                 index, attempt, _describe(exc))
                     time.sleep(self.config.backoff * 2 ** (attempt - 1))
@@ -222,6 +225,7 @@ class BatchExecutor:
         def reschedule(index: int, attempt: int, exc: BaseException) -> None:
             """Park a retry on the due-time queue, or fail the job."""
             if attempt <= self.config.retries:
+                get_registry().counter("executor.retries").inc()
                 delay = self.config.backoff * 2 ** (attempt - 1)
                 log.warning("job %d attempt %d failed (%s); retry in %.3fs",
                             index, attempt, _describe(exc), delay)
@@ -260,6 +264,7 @@ class BatchExecutor:
                     try:
                         result = future.result()
                     except JobTimeoutError as exc:
+                        get_registry().counter("executor.timeouts").inc()
                         finish(index, attempt, None, _describe(exc),
                                timed_out=True)
                     except BrokenProcessPool as exc:
@@ -285,6 +290,7 @@ class BatchExecutor:
                         retries = []
                     else:
                         self.pool_rebuilds += 1
+                        get_registry().counter("executor.pool_rebuilds").inc()
                         log.warning("process pool broke (%s); rebuilding",
                                     _describe(broken))
                         pool = ProcessPoolExecutor(max_workers=workers)

@@ -20,7 +20,9 @@ persist verbatim and :class:`JobResult` can rehydrate.
 from __future__ import annotations
 
 import hashlib
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, fields
 from pathlib import Path
 
@@ -35,6 +37,7 @@ from repro.mapping.serialize import (
     report_to_dict,
 )
 from repro.metrics.core import MappingReport, evaluate_mapping
+from repro.observability.trace import Tracer, activate, active_tracer, span
 from repro.routing.dor import DimensionOrderRouter
 from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
 from repro.simulator.network import NetworkModel, NetworkParams
@@ -58,7 +61,8 @@ __all__ = [
 
 #: Version of both the cache-key payload and the stored artifact schema.
 #: Bump whenever either changes shape — old artifacts then miss cleanly.
-SCHEMA_VERSION = 1
+#: v2: payloads carry ``phase_seconds`` (per-phase wall-time breakdown).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -275,6 +279,12 @@ class JobRuntime:
     resume:
         Load existing checkpoints before computing (saving is always on
         when ``checkpoint_dir`` is set).
+    trace:
+        Record a span tree for the job. In-process execution records into
+        the caller's active tracer; pooled workers build a local tracer
+        and ship the serialized tree back in the payload's ``trace`` key
+        for the engine to graft (see
+        :meth:`repro.observability.trace.Tracer.graft`).
     """
 
     deadline_seconds: float | None = None
@@ -282,6 +292,7 @@ class JobRuntime:
     on_deadline: str = "degrade"
     checkpoint_dir: str | None = None
     resume: bool = True
+    trace: bool = False
 
     def __post_init__(self):
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
@@ -300,7 +311,8 @@ class JobRuntime:
     def active(self) -> bool:
         return (self.deadline_seconds is not None
                 or self.solver_call_budget is not None
-                or self.checkpoint_dir is not None)
+                or self.checkpoint_dir is not None
+                or self.trace)
 
     def budget(self) -> Budget | None:
         if self.deadline_seconds is None and self.solver_call_budget is None:
@@ -323,53 +335,85 @@ def execute_mapping_job(job: MappingJob, runtime: JobRuntime | None = None) -> d
 
     ``runtime`` (optional) carries the resilience policy; it is applied
     only when the configured mapper advertises ``supports_resilience``
-    (baseline mappers run exactly as before).
+    (baseline mappers run exactly as before). With ``runtime.trace`` set
+    and no tracer already active (i.e. in a pooled worker process), a
+    local tracer records the job's span tree into the payload's
+    ``trace`` key; the engine strips it before caching and grafts it
+    into the batch trace.
     """
-    topology = job.topology.build()
-    if job.network is not None:
-        app = job.workload.build_application()
-        graph = app.comm_graph()
-    else:
-        app = None
-        graph = job.workload.build_graph()
-    mapper = job.mapper.build(topology)
-    map_kwargs = {}
-    if runtime is not None and runtime.active \
-            and getattr(mapper, "supports_resilience", False):
-        budget = runtime.budget()
-        checkpoint = runtime.checkpoint(job.cache_key())
-        if budget is not None:
-            map_kwargs["budget"] = budget
-        if checkpoint is not None:
-            map_kwargs["checkpoint"] = checkpoint
-    t0 = time.perf_counter()
-    mapping = mapper.map(graph, **map_kwargs)
-    map_seconds = time.perf_counter() - t0
-    router = build_router(job.router, topology)
-    report = evaluate_mapping(router, mapping, graph)
-    stats = getattr(mapper, "stats", {}) or {}
-    degradation = list(stats.get("degradation", []))
-    payload = {
-        "schema": SCHEMA_VERSION,
-        "key": job.cache_key(),
-        "job": job.payload(),
-        "mapper_name": getattr(mapper, "name", job.mapper.kind),
-        "map_seconds": map_seconds,
-        "mapping": mapping_to_dict(mapping),
-        "report": report_to_dict(report),
-        "degradation": degradation,
-        "degraded": bool(degradation),
-    }
-    if map_kwargs:
-        payload["resilience"] = {
-            "budget": stats.get("budget"),
-            "checkpoint": stats.get("checkpoint"),
-            "milp_solves": len(stats.get("milp", [])),
+    key = job.cache_key()
+    local_tracer: Tracer | None = None
+    if runtime is not None and runtime.trace:
+        active = active_tracer()
+        # No tracer, or a fork-inherited one owned by the parent process
+        # (its spans would never make it home): record locally and ship
+        # the tree back in the payload.
+        if active is None or active.pid != os.getpid():
+            local_tracer = Tracer(run_id=key[:12])
+    ctx = activate(local_tracer) if local_tracer is not None else nullcontext()
+    with ctx:
+        payload = _execute_mapping_job(job, runtime, key)
+    if local_tracer is not None:
+        payload["trace"] = local_tracer.to_dicts()
+    return payload
+
+
+def _execute_mapping_job(job: MappingJob, runtime: JobRuntime | None,
+                         key: str) -> dict:
+    with span("job.execute", key=key[:12], mapper=job.mapper.kind,
+              workload=job.workload.spec):
+        with span("job.build"):
+            topology = job.topology.build()
+            if job.network is not None:
+                app = job.workload.build_application()
+                graph = app.comm_graph()
+            else:
+                app = None
+                graph = job.workload.build_graph()
+            mapper = job.mapper.build(topology)
+        map_kwargs = {}
+        if runtime is not None and runtime.active \
+                and getattr(mapper, "supports_resilience", False):
+            budget = runtime.budget()
+            checkpoint = runtime.checkpoint(key)
+            if budget is not None:
+                map_kwargs["budget"] = budget
+            if checkpoint is not None:
+                map_kwargs["checkpoint"] = checkpoint
+        t0 = time.perf_counter()
+        with span("job.map", mapper=getattr(mapper, "name", job.mapper.kind)):
+            mapping = mapper.map(graph, **map_kwargs)
+        map_seconds = time.perf_counter() - t0
+        with span("job.metrics", router=job.router):
+            router = build_router(job.router, topology)
+            report = evaluate_mapping(router, mapping, graph)
+        stats = getattr(mapper, "stats", {}) or {}
+        degradation = list(stats.get("degradation", []))
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "job": job.payload(),
+            "mapper_name": getattr(mapper, "name", job.mapper.kind),
+            "map_seconds": map_seconds,
+            "phase_seconds": dict(stats.get("phase_seconds", {})),
+            "mapping": mapping_to_dict(mapping),
+            "report": report_to_dict(report),
+            "degradation": degradation,
+            "degraded": bool(degradation),
         }
-    if app is not None:
-        network = NetworkModel(router, job.network.build())
-        payload["iter_comm_seconds"] = app.iteration_comm_time(mapping, network)
-        payload["iterations"] = app.iterations
+        if map_kwargs:
+            payload["resilience"] = {
+                "budget": stats.get("budget"),
+                "checkpoint": stats.get("checkpoint"),
+                "milp_solves": len(stats.get("milp", [])),
+            }
+        if app is not None:
+            network = NetworkModel(router, job.network.build())
+            with span("job.simulate"):
+                payload["iter_comm_seconds"] = app.iteration_comm_time(
+                    mapping, network
+                )
+            payload["iterations"] = app.iterations
     return payload
 
 
@@ -387,6 +431,7 @@ class JobResult:
     from_cache: bool = False
     degradation: list = None
     degraded: bool = False
+    phase_seconds: dict = None
 
     @classmethod
     def from_payload(cls, payload: dict, from_cache: bool = False) -> "JobResult":
@@ -402,6 +447,7 @@ class JobResult:
                 from_cache=from_cache,
                 degradation=list(payload.get("degradation", [])),
                 degraded=bool(payload.get("degraded", False)),
+                phase_seconds=dict(payload.get("phase_seconds", {})),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ServiceError(f"malformed job payload: {exc}") from exc

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ServiceError
+from repro.observability.metrics import get_registry
 from repro.resilience import faultinject
 from repro.utils.logconf import get_logger
 
@@ -34,12 +35,21 @@ STORE_SCHEMA_VERSION = 1
 
 @dataclass
 class StoreStats:
-    """hit/miss/write/evict counters for one store instance."""
+    """hit/miss/write/evict counters for one store instance.
+
+    Every bump is mirrored into the process-wide metrics registry
+    (``store.hits`` etc.), so registry snapshots see cache traffic
+    aggregated over all stores in the process.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+
+    def bump(self, field_name: str, n: int = 1) -> None:
+        setattr(self, field_name, getattr(self, field_name) + n)
+        get_registry().counter(f"store.{field_name}").inc(n)
 
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
@@ -70,22 +80,22 @@ class ResultStore:
         try:
             text = path.read_text()
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         try:
             payload = json.loads(text)
         except ValueError:
             log.warning("evicting corrupt artifact %s", path)
             self._evict_path(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         if not isinstance(payload, dict) or payload.get("schema") != self.schema_version:
             log.info("evicting artifact %s with stale schema %r", path,
                      payload.get("schema") if isinstance(payload, dict) else None)
             self._evict_path(path)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return payload
 
     def __contains__(self, key: str) -> bool:
@@ -116,7 +126,7 @@ class ResultStore:
             except FileNotFoundError:
                 pass
             raise
-        self.stats.writes += 1
+        self.stats.bump("writes")
         return path
 
     # -- eviction -----------------------------------------------------------------
@@ -125,7 +135,7 @@ class ResultStore:
             path.unlink()
         except FileNotFoundError:
             return False
-        self.stats.evictions += 1
+        self.stats.bump("evictions")
         return True
 
     def evict(self, key: str) -> bool:

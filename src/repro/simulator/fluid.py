@@ -20,6 +20,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import SimulationError
+from repro.observability.metrics import get_registry
+from repro.observability.trace import span
 from repro.routing.base import Router
 
 __all__ = ["FluidPhaseSimulator", "max_min_fair_rates"]
@@ -122,26 +124,35 @@ class FluidPhaseSimulator:
         srcs, dsts, vols = srcs[offnode], dsts[offnode], vols[offnode]
         if len(srcs) == 0:
             return 0.0
-        usage = self._usage_matrix(srcs, dsts)
-        capacity = np.full(usage.shape[0], self.link_bandwidth)
-        remaining = vols.copy()
-        active = remaining > 0
-        t = 0.0
-        for _ in range(self.max_events):
-            if not active.any():
-                return t
-            rates = max_min_fair_rates(usage, capacity, active)
-            transmitting = active & (rates > _EPS)
-            if not transmitting.any():
-                raise SimulationError("fluid simulation stalled (zero rates)")
-            with np.errstate(divide="ignore"):
-                finish = np.where(
-                    transmitting, remaining / np.maximum(rates, _EPS), np.inf
-                )
-            dt = float(finish.min())
-            t += dt
-            remaining = np.maximum(remaining - rates * dt, 0.0)
-            active = remaining > 1e-9 * vols
-        raise SimulationError(
-            f"fluid simulation exceeded {self.max_events} events"
-        )
+        registry = get_registry()
+        with span("fluid.phase_time", flows=len(srcs)) as phase_span:
+            usage = self._usage_matrix(srcs, dsts)
+            capacity = np.full(usage.shape[0], self.link_bandwidth)
+            remaining = vols.copy()
+            active = remaining > 0
+            t = 0.0
+            for step in range(self.max_events):
+                if not active.any():
+                    phase_span.set(events=step, seconds=t)
+                    registry.counter("fluid.events").inc(step)
+                    registry.counter("fluid.phases").inc()
+                    return t
+                rates = max_min_fair_rates(usage, capacity, active)
+                transmitting = active & (rates > _EPS)
+                if not transmitting.any():
+                    raise SimulationError(
+                        "fluid simulation stalled (zero rates)"
+                    )
+                with np.errstate(divide="ignore"):
+                    finish = np.where(
+                        transmitting,
+                        remaining / np.maximum(rates, _EPS),
+                        np.inf,
+                    )
+                dt = float(finish.min())
+                t += dt
+                remaining = np.maximum(remaining - rates * dt, 0.0)
+                active = remaining > 1e-9 * vols
+            raise SimulationError(
+                f"fluid simulation exceeded {self.max_events} events"
+            )
