@@ -8,23 +8,35 @@ baseline and exits non-zero when
   ``--threshold`` (default 30%) — timings under ``--floor`` seconds in
   *both* snapshots are skipped as noise;
 - any per-cell MCL changed at all (mapping quality is deterministic, so
-  any drift is a real behavior change, better or worse);
+  any drift is a real behavior change, better or worse); when both
+  snapshots carry per-cell ``hotspot`` attributions the failure message
+  says *which link* the MCL moved to — drift is never unexplained;
 - the snapshots' schema versions or scales differ.
+
+The baseline argument may be a path or the literal ``latest``: the
+newest ``BENCH_PR<N>.json`` found at the repo root (falling back to
+``benchmarks/``) is used, so the gate follows the trajectory without CI
+edits per PR. ``--trend`` additionally prints the whole multi-PR
+trajectory as a table.
 
 A missing baseline is a *skip with notice* (exit 0): the first PR that
 introduces the snapshot has nothing to compare against, and CI should
 not fail on it. Usage::
 
-    python benchmarks/compare_snapshots.py benchmarks/BENCH_PR3.json \
-        fresh.json --threshold 0.30
+    python benchmarks/compare_snapshots.py latest fresh.json \
+        --threshold 0.30 --trend
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
+import re
 import sys
 from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def load(path: str) -> dict | None:
@@ -32,6 +44,55 @@ def load(path: str) -> dict | None:
     if not p.exists():
         return None
     return json.loads(p.read_text())
+
+
+def discover_baselines() -> list[Path]:
+    """Every committed ``BENCH_PR<N>.json``, oldest PR first.
+
+    Repo-root snapshots win name collisions with legacy ``benchmarks/``
+    ones (the trajectory moved to the root in PR 4).
+    """
+    found: dict[str, Path] = {}
+    for directory in (REPO_ROOT / "benchmarks", REPO_ROOT):
+        for p in sorted(directory.glob("BENCH_PR*.json")):
+            found[p.name] = p
+
+    def pr_number(p: Path) -> int:
+        m = re.search(r"BENCH_PR(\d+)", p.name)
+        return int(m.group(1)) if m else -1
+
+    return sorted(found.values(), key=pr_number)
+
+
+def latest_baseline() -> Path | None:
+    baselines = discover_baselines()
+    return baselines[-1] if baselines else None
+
+
+def trend_table(snapshots: list[tuple[str, dict]]) -> str:
+    """The bench trajectory: one row per snapshot, label -> aggregates."""
+    header = (
+        f"{'snapshot':<16}{'scale':<8}{'cells':>6}{'geomean MCL':>14}"
+        f"{'sum map_s':>11}{'phases_s':>10}"
+    )
+    lines = ["bench trajectory:", header, "-" * len(header)]
+    for label, snap in snapshots:
+        cells = [
+            cell
+            for row in snap.get("cells", {}).values()
+            for cell in row.values()
+        ]
+        mcls = [float(c["mcl"]) for c in cells if float(c.get("mcl", 0)) > 0]
+        geomean = (
+            math.exp(sum(math.log(m) for m in mcls) / len(mcls)) if mcls else 0.0
+        )
+        map_s = sum(float(c.get("map_seconds", 0.0)) for c in cells)
+        phase_s = sum(float(v) for v in snap.get("phases", {}).values())
+        lines.append(
+            f"{label:<16}{snap.get('scale', '?'):<8}{len(cells):>6}"
+            f"{geomean:>14.6g}{map_s:>11.3f}{phase_s:>10.3f}"
+        )
+    return "\n".join(lines)
 
 
 def compare(
@@ -82,11 +143,28 @@ def compare(
                 failures.append(f"cell {bench}/{label} missing from current")
                 continue
             if cell.get("mcl") != other.get("mcl"):
-                failures.append(
+                msg = (
                     f"cell {bench}/{label}: MCL changed "
                     f"{cell.get('mcl')} -> {other.get('mcl')} "
                     "(mapping quality must be deterministic)"
                 )
+                hot_a = cell.get("hotspot")
+                hot_b = other.get("hotspot")
+                if hot_a and hot_b:
+                    # Per-flow attribution turns bare drift into a story:
+                    # where the bottleneck was, where it went.
+                    if hot_a.get("slot") == hot_b.get("slot"):
+                        msg += (
+                            f"; hotspot stayed at {hot_a.get('label')} "
+                            f"(load {hot_a.get('load')} -> "
+                            f"{hot_b.get('load')})"
+                        )
+                    else:
+                        msg += (
+                            f"; hotspot moved {hot_a.get('label')} -> "
+                            f"{hot_b.get('label')}"
+                        )
+                failures.append(msg)
             check_timing(
                 f"cell {bench}/{label} map_seconds",
                 float(cell.get("map_seconds", 0.0)),
@@ -97,7 +175,11 @@ def compare(
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument(
+        "baseline",
+        help="committed baseline snapshot, or 'latest' to use the "
+             "newest BENCH_PR<N>.json in the repo",
+    )
     parser.add_argument("current", help="freshly produced snapshot")
     parser.add_argument(
         "--threshold",
@@ -111,12 +193,30 @@ def main(argv=None) -> int:
         default=0.05,
         help="seconds below which timings are noise (default: 0.05)",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="print the multi-PR bench trajectory before the verdict",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load(args.baseline)
+    baseline_path = args.baseline
+    if baseline_path == "latest":
+        found = latest_baseline()
+        if found is None:
+            print(
+                "NOTICE: no BENCH_PR*.json baseline committed yet; "
+                "skipping the perf gate (commit one via "
+                "benchmarks/snapshot.py)"
+            )
+            return 0
+        baseline_path = str(found)
+        print(f"latest committed baseline: {baseline_path}")
+
+    baseline = load(baseline_path)
     if baseline is None:
         print(
-            f"NOTICE: no baseline at {args.baseline}; skipping the "
+            f"NOTICE: no baseline at {baseline_path}; skipping the "
             "perf gate (commit one via benchmarks/snapshot.py)"
         )
         return 0
@@ -124,6 +224,14 @@ def main(argv=None) -> int:
     if current is None:
         print(f"error: current snapshot {args.current} not found", file=sys.stderr)
         return 2
+
+    if args.trend:
+        history = [
+            (p.name.replace(".json", ""), json.loads(p.read_text()))
+            for p in discover_baselines()
+        ]
+        history.append((current.get("pr") or "current", current))
+        print(trend_table(history))
 
     failures = compare(baseline, current, args.threshold, args.floor)
     if failures:

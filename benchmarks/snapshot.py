@@ -10,19 +10,26 @@ writes one JSON document::
       "schema": 1,
       "scale": "tiny",
       "repeats": 3,
+      "pr": "PR4",                                      # trajectory label
       "phases": {"phase1-concentration": 0.012, ...},   # min over repeats
-      "cells": {"BT": {"RAHTM": {"mcl": ..., "map_seconds": ...}, ...}}
+      "cells": {"BT": {"RAHTM": {"mcl": ..., "map_seconds": ...,
+                                 "hotspot": {"slot": ..., "label": ...,
+                                             "load": ...}}, ...}}
     }
 
 Timings take the *minimum* over ``--repeat`` runs, the standard
-noise-suppression trick for wall-clock benchmarks. The committed
-baseline lives at ``benchmarks/BENCH_PR3.json``;
-``benchmarks/compare_snapshots.py`` gates CI on it.
+noise-suppression trick for wall-clock benchmarks. The ``hotspot`` key
+(the netview top-1 link per cell) is optional and deterministic: the
+compare gate uses it to *explain* MCL drift when it happens. Committed
+baselines form a trajectory — ``BENCH_PR3.json``, ``BENCH_PR4.json``, …
+— at the repo root (legacy baselines live in ``benchmarks/``);
+``benchmarks/compare_snapshots.py latest`` gates CI on the newest one
+and can print the whole multi-PR trend.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/snapshot.py --scale tiny \
-        --out benchmarks/BENCH_PR3.json
+        --pr PR4 --out BENCH_PR4.json
 """
 
 from __future__ import annotations
@@ -35,22 +42,35 @@ from pathlib import Path
 SNAPSHOT_SCHEMA_VERSION = 1
 
 
-def run_grid(scale_name: str) -> dict:
-    """One pass over the grid; returns phases + per-cell numbers."""
+def run_grid(scale_name: str, explain: dict | None = None) -> dict:
+    """One pass over the grid; returns phases + per-cell numbers.
+
+    ``explain`` (optional dict) collects each cell's compact netview
+    summary — the full attribution picture behind the snapshot, written
+    separately via ``--explain-out`` so the committed baseline stays
+    small.
+    """
     from repro.experiments.config import get_scale
     from repro.experiments.runner import (
         benchmark_workload_specs,
         default_mapper_configs,
     )
     from repro.service.engine import MappingEngine
-    from repro.service.jobs import MappingJob, TopologySpec, WorkloadSpec
+    from repro.service.jobs import (
+        JobRuntime,
+        MappingJob,
+        TopologySpec,
+        WorkloadSpec,
+    )
 
     scale = get_scale(scale_name)
     topo_spec = TopologySpec.from_topology(scale.topology())
     cells: dict[str, dict] = {}
     phases: dict[str, float] = {}
     # No cache: a snapshot that hit the store would report 0s timings.
-    engine = MappingEngine(cache_dir=None)
+    # The netview flag attributes each cell's MCL to its hottest link so
+    # the compare gate can explain drift, not just detect it.
+    engine = MappingEngine(cache_dir=None, runtime=JobRuntime(netview=True))
     for bench, workload in benchmark_workload_specs(scale).items():
         cells[bench] = {}
         for label, config in default_mapper_configs(scale):
@@ -64,6 +84,15 @@ def run_grid(scale_name: str) -> dict:
                 "mcl": result.report.mcl,
                 "map_seconds": result.map_seconds,
             }
+            if result.netview and result.netview.get("top"):
+                top = result.netview["top"][0]
+                cells[bench][label]["hotspot"] = {
+                    "slot": top["slot"],
+                    "label": top["label"],
+                    "load": top["load"],
+                }
+            if explain is not None and result.netview:
+                explain.setdefault(bench, {})[label] = result.netview
             for phase, seconds in (result.phase_seconds or {}).items():
                 phases[phase] = phases.get(phase, 0.0) + seconds
     return {"phases": phases, "cells": cells}
@@ -93,16 +122,26 @@ def merge_min(runs: list[dict]) -> dict:
     return out
 
 
-def take_snapshot(scale: str, repeats: int) -> dict:
-    runs = [run_grid(scale) for _ in range(max(repeats, 1))]
+def take_snapshot(
+    scale: str, repeats: int, pr: str | None = None,
+    explain: dict | None = None,
+) -> dict:
+    runs = []
+    for i in range(max(repeats, 1)):
+        # The explain artifact is identical across repeats (netviews are
+        # deterministic): collect it on the first pass only.
+        runs.append(run_grid(scale, explain=explain if i == 0 else None))
     merged = merge_min(runs)
-    return {
+    snap = {
         "schema": SNAPSHOT_SCHEMA_VERSION,
         "scale": scale,
         "repeats": max(repeats, 1),
         "phases": {k: merged["phases"][k] for k in sorted(merged["phases"])},
         "cells": merged["cells"],
     }
+    if pr:
+        snap["pr"] = str(pr)
+    return snap
 
 
 def main(argv=None) -> int:
@@ -118,15 +157,38 @@ def main(argv=None) -> int:
         default=3,
         help="runs to min-fold timings over (default: 3)",
     )
+    parser.add_argument(
+        "--pr",
+        default=None,
+        help="trajectory label stored in the snapshot (e.g. PR4)",
+    )
+    parser.add_argument(
+        "--explain-out",
+        default=None,
+        help="also write the per-cell netview summaries (JSON) here",
+    )
     parser.add_argument("--out", default="-", help="output path ('-' = stdout)")
     args = parser.parse_args(argv)
-    snap = take_snapshot(args.scale, args.repeat)
+    explain: dict | None = {} if args.explain_out else None
+    snap = take_snapshot(args.scale, args.repeat, pr=args.pr, explain=explain)
     text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
     if args.out == "-":
         sys.stdout.write(text)
     else:
         Path(args.out).write_text(text)
         print(f"snapshot written to {args.out}", file=sys.stderr)
+    if args.explain_out:
+        doc = {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "kind": "bench_explain",
+            "scale": args.scale,
+            "pr": args.pr,
+            "cells": explain,
+        }
+        Path(args.explain_out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"explain artifact written to {args.explain_out}", file=sys.stderr)
     return 0
 
 

@@ -38,6 +38,15 @@ pipeline's span tree; a ``.jsonl`` target also gets a sibling
 target is written in Chrome format directly. ``--metrics`` prints the
 process-wide metrics registry (solver timings, cache traffic, beam
 widths, degradations) after the command finishes.
+
+Network introspection: ``repro explain`` decomposes a mapping's channel
+loads into per-flow contributions and prints hotspot tables, load
+statistics and text heatmaps (``--out`` writes the schema-versioned JSON
+artifact). ``map --explain FILE`` and ``compare --explain FILE`` write
+the same artifacts for the mappings they compute — ``compare`` includes
+link-by-link diffs of every mapper against the first one. All artifact
+flags (``--explain``/``--trace``/``--metrics``) flush even when the run
+degrades or fails.
 """
 
 from __future__ import annotations
@@ -163,6 +172,18 @@ def _mapping_job(args, topology: CartesianTopology, mapper_spec: str) -> Mapping
     )
 
 
+def _build_explain_view(args, topology, mapping, graph):
+    from repro.observability.netview import build_netview
+
+    router = build_router(args.router, topology)
+    return build_netview(
+        router, mapping, graph,
+        top_k=getattr(args, "top_k", 5),
+        flows_per_link=getattr(args, "flows_per_link", 5),
+        saturation=getattr(args, "saturation", False),
+    )
+
+
 def cmd_map(args) -> int:
     topology = parse_topology(args.topology, mesh=args.mesh)
     engine = _engine_from_args(args)
@@ -177,6 +198,10 @@ def cmd_map(args) -> int:
         for event in result.degradation:
             print(f"  - {event.get('phase')}: {event.get('action')} "
                   f"({event.get('reason')})")
+    if args.explain:
+        view = _build_explain_view(args, topology, result.mapping, graph)
+        view.write_json(args.explain)
+        print(f"explain artifact written to {args.explain}")
     if args.out:
         _save_mapping(Path(args.out), result.mapping)
         print(f"mapping saved to {args.out}")
@@ -201,19 +226,103 @@ def cmd_compare(args) -> int:
     from repro.experiments.report import Table
 
     table = Table(f"mapper comparison on {args.workload} @ {args.topology}")
-    failures = []
+    failures, succeeded = [], []
     for spec, outcome in zip(specs, outcomes):
         if not outcome.ok:
             failures.append(f"{spec}: {outcome.error}")
             continue
         result = outcome.result
+        succeeded.append(result)
         table.set(result.mapper_name, "MCL", result.report.mcl)
         table.set(result.mapper_name, "hop_bytes", result.report.hop_bytes)
         table.set(result.mapper_name, "imbalance",
                   result.report.load_imbalance)
     print(table.to_text())
+    if args.explain and succeeded:
+        # Written before any failure is raised: a partial explanation of
+        # a half-failed comparison is exactly what you debug with.
+        _write_compare_explain(args, topology, succeeded)
     if failures:
         raise ReproError("mapper(s) failed: " + "; ".join(failures))
+    return 0
+
+
+def _write_compare_explain(args, topology, results) -> None:
+    """One JSON artifact: a netview per mapper + diffs against the first."""
+    import json
+
+    from repro.observability.netview import (
+        NETVIEW_SCHEMA_VERSION,
+        diff_mappings,
+    )
+
+    graph = parse_workload(args.workload, seed=args.seed)
+    router = build_router(args.router, topology)
+    doc = {
+        "schema": NETVIEW_SCHEMA_VERSION,
+        "kind": "compare_explain",
+        "workload": args.workload,
+        "topology": {"shape": list(topology.shape),
+                     "wrap": list(topology.wrap)},
+        "router": args.router,
+        "netviews": {},
+        "diffs": [],
+    }
+    for result in results:
+        view = _build_explain_view(args, topology, result.mapping, graph)
+        doc["netviews"][result.mapper_name] = view.to_dict()
+    base = results[0]
+    for result in results[1:]:
+        diff = diff_mappings(
+            router, graph, base.mapping, result.mapping,
+            label_a=base.mapper_name, label_b=result.mapper_name,
+            phase_seconds_a=base.phase_seconds,
+            phase_seconds_b=result.phase_seconds,
+        )
+        doc["diffs"].append(diff.to_dict())
+        print(diff.summary_line())
+    Path(args.explain).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"explain artifact written to {args.explain}")
+
+
+def cmd_explain(args) -> int:
+    """Explain a mapping's MCL: hotspots, attribution, heatmaps."""
+    from repro.observability.netview import build_netview
+    from repro.visualize import (
+        link_heatmap_text,
+        load_histogram_text,
+        netview_text,
+    )
+
+    topology = parse_topology(args.topology, mesh=args.mesh)
+    graph = parse_workload(args.workload, seed=args.seed)
+    router = build_router(args.router, topology)
+    if args.mapping:
+        mapping = _load_mapping(Path(args.mapping), topology)
+        source = f"mapping file {args.mapping}"
+    else:
+        engine = _engine_from_args(args)
+        result = engine.run_one(_mapping_job(args, topology, args.mapper))
+        mapping = result.mapping
+        source = f"mapper {result.mapper_name}"
+    view = build_netview(
+        router, mapping, graph,
+        top_k=args.top_k,
+        flows_per_link=args.flows_per_link,
+        saturation=args.saturation,
+        link_bandwidth=args.link_bandwidth,
+    )
+    print(f"explaining {source} on {args.workload} @ {topology.describe()}")
+    print(netview_text(view))
+    loads = router.link_loads(*mapping.network_flows(graph))
+    if topology.ndim >= 2:
+        print(link_heatmap_text(topology, loads, dims=tuple(args.heatmap_dims)))
+    print(load_histogram_text(router, mapping, graph))
+    if args.out:
+        view.write_json(args.out)
+        print(f"explain artifact written to {args.out}")
     return 0
 
 
@@ -312,10 +421,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_workload)
 
+    def explain_opts(p):
+        p.add_argument("--top-k", type=int, default=5,
+                       help="hottest links to report")
+        p.add_argument("--flows-per-link", type=int, default=5,
+                       help="top contributing flows per hotspot")
+        p.add_argument("--saturation", action="store_true",
+                       help="cross-check hotspots against the fluid "
+                            "model's max-min fair link utilization")
+
     p = sub.add_parser("map", help="compute a mapping")
     common(p)
     p.add_argument("--mapper", default="rahtm")
     p.add_argument("--out", help="save mapping (.npz)")
+    p.add_argument("--explain", metavar="FILE", default=None,
+                   help="write the mapping's netview artifact (JSON)")
+    explain_opts(p)
     p.set_defaults(func=cmd_map)
 
     p = sub.add_parser("evaluate", help="evaluate a saved mapping")
@@ -326,7 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare several mappers")
     common(p)
     p.add_argument("--mappers", default="default,hilbert,rubik,rahtm")
+    p.add_argument("--explain", metavar="FILE", default=None,
+                   help="write per-mapper netviews + diffs vs the first "
+                        "mapper (JSON)")
+    explain_opts(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain a mapping's MCL: hotspots, per-flow attribution",
+    )
+    common(p)
+    p.add_argument("--mapper", default="rahtm",
+                   help="mapper to run (ignored with --mapping)")
+    p.add_argument("--mapping", default=None,
+                   help="explain a saved mapping (.npz) instead of mapping")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the netview artifact (JSON)")
+    p.add_argument("--link-bandwidth", type=float, default=1.8e9,
+                   help="bytes/s per link for the saturation cross-check")
+    p.add_argument("--heatmap-dims", type=int, nargs=2, default=(0, 1),
+                   metavar=("D0", "D1"),
+                   help="topology dims spanning the text heatmap")
+    explain_opts(p)
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name", help="fig1|fig234|fig7|fig8|fig9|fig10|"
@@ -358,17 +502,21 @@ def main(argv=None) -> int:
     trace_target = getattr(args, "trace", None)
     tracer = Tracer(run_id=args.command) if trace_target else None
     try:
-        with activate(tracer) if tracer is not None else nullcontext():
-            rc = args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        rc = 2
-    # Trace and metrics are flushed even when the command failed: a
-    # partial trace of a failing run is exactly what you debug with.
-    if tracer is not None:
-        _write_trace(tracer, trace_target)
-    if getattr(args, "metrics", False):
-        print(get_registry().report())
+        try:
+            with activate(tracer) if tracer is not None else nullcontext():
+                rc = args.func(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            rc = 2
+    finally:
+        # Trace and metrics flush in a finally block: even a command that
+        # degraded, blew its deadline, or died on an unexpected exception
+        # leaves its artifacts behind — a partial trace of a failing run
+        # is exactly what you debug with.
+        if tracer is not None:
+            _write_trace(tracer, trace_target)
+        if getattr(args, "metrics", False):
+            print(get_registry().report())
     return rc
 
 

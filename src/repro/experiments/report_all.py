@@ -37,6 +37,27 @@ def _code_block(table) -> str:
     return "```\n" + table.to_text() + "\n```\n"
 
 
+def _hotspot_block(netviews) -> str:
+    """Render the per-cell hotspot summaries as a fixed-width table.
+
+    One row per (benchmark, mapper) cell: the MCL, the hottest link and
+    its share of total traffic, plus the Gini coefficient of the channel
+    load distribution — the "where and why" behind Figure 10's MCLs.
+    """
+    header = (f"{'benchmark':<10} {'mapper':<10} {'MCL':>12} "
+              f"{'hotspot link':<24} {'share':>6} {'gini':>6}")
+    lines = [header, "-" * len(header)]
+    for (bench, mapper), nv in sorted(netviews.items()):
+        top = nv["top"][0] if nv["top"] else None
+        label = top["label"] if top else "(idle)"
+        share = f"{top['share_of_total'] * 100:.1f}%" if top else "-"
+        lines.append(
+            f"{bench:<10} {mapper:<10} {nv['mcl']:>12.5g} "
+            f"{label:<24} {share:>6} {nv['gini']:>6.3f}"
+        )
+    return "```\n" + "\n".join(lines) + "\n```\n"
+
+
 def generate_report(
     scale="tiny",
     include=_SECTIONS,
@@ -73,7 +94,7 @@ def generate_report(
         parts += ["## Table I — benchmarks", _code_block(table1.run(scale))]
     if "comparison" in include:
         result = run_comparison(scale, jobs=jobs, cache_dir=cache_dir,
-                                job_timeout=job_timeout)
+                                job_timeout=job_timeout, netview=True)
         parts += [
             "## Figure 8 — overall execution time",
             _code_block(fig8.from_comparison(result)),
@@ -84,6 +105,11 @@ def generate_report(
             "## Section V-B — offline mapping time",
             _code_block(result.mapping_seconds),
         ]
+        if result.netviews:
+            parts += [
+                "## Network hotspots — which link carries each MCL",
+                _hotspot_block(result.netviews),
+            ]
     if "scaling" in include:
         parts += ["## Scaling", _code_block(scaling.run(scales=("tiny",)))]
     parts.append(

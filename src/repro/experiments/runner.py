@@ -113,6 +113,9 @@ class ComparisonResult:
     hop_bytes: Table
     mapping_seconds: Table
     comm_fraction: dict[str, float] = field(default_factory=dict)
+    #: Compact per-cell netview summaries keyed by ``(benchmark, mapper)``,
+    #: populated only on the engine path with ``netview=True``.
+    netviews: dict[tuple[str, str], dict] = field(default_factory=dict)
 
     @property
     def default_label(self) -> str:
@@ -153,6 +156,7 @@ def run_comparison(
     cache_dir=None,
     job_timeout: float | None = None,
     runtime=None,
+    netview: bool = False,
 ) -> ComparisonResult:
     """Run every benchmark under every mapper and collect all metrics.
 
@@ -164,14 +168,24 @@ def run_comparison(
     ``jobs > 1`` computes cells in parallel and ``cache_dir`` makes
     reruns warm-cache no-ops. ``runtime`` (a
     :class:`~repro.service.jobs.JobRuntime`) adds per-cell deadlines and
-    checkpoint/resume. Passing live ``mappers``/``apps`` objects keeps
-    the legacy in-process serial path.
+    checkpoint/resume. ``netview=True`` additionally collects a compact
+    per-cell network-introspection summary into
+    :attr:`ComparisonResult.netviews` (cache keys are unaffected).
+    Passing live ``mappers``/``apps`` objects keeps the legacy in-process
+    serial path.
     """
     scale = get_scale(scale)
     if mappers is None and apps is None:
         if engine is None:
             from repro.service.engine import MappingEngine
 
+            if netview:
+                from dataclasses import replace
+
+                from repro.service.jobs import JobRuntime
+
+                runtime = (replace(runtime, netview=True) if runtime
+                           is not None else JobRuntime(netview=True))
             engine = MappingEngine(cache_dir=cache_dir, jobs=jobs,
                                    job_timeout=job_timeout, runtime=runtime)
         return _run_comparison_engine(
@@ -240,6 +254,8 @@ def _run_comparison_engine(
             result.mcl.set(bench_name, label, cell.report.mcl)
             result.hop_bytes.set(bench_name, label, cell.report.hop_bytes)
             result.mapping_seconds.set(bench_name, label, cell.map_seconds)
+            if cell.netview is not None:
+                result.netviews[(bench_name, label)] = cell.netview
             if label == default_label:
                 result.comm_fraction[bench_name] = (
                     comm / total if total else 0.0

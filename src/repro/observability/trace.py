@@ -40,6 +40,7 @@ __all__ = [
     "Tracer",
     "activate",
     "active_tracer",
+    "clear_active_tracer",
     "event",
     "span",
 ]
@@ -348,6 +349,13 @@ def activate(tracer: Tracer | None) -> _Activation:
 
 def active_tracer() -> Tracer | None:
     return _ACTIVE
+
+
+def clear_active_tracer() -> None:
+    """Forcibly drop any active tracer (test isolation; not for pipelines —
+    they should exit their :func:`activate` context instead)."""
+    global _ACTIVE
+    _ACTIVE = None
 
 
 def span(name: str, **attrs):

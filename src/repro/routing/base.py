@@ -94,6 +94,46 @@ class Router(abc.ABC):
     def _build_stencil(self, delta: tuple[int, ...]) -> Stencil:
         """Compute the stencil for one offset; called once per distinct offset."""
 
+    def stencil_slots(self, st: Stencil, src_nodes) -> np.ndarray:
+        """Channel-slot ids ``st`` touches for each source node, shape (m, E).
+
+        Shared by :meth:`link_loads`, the fluid simulator's usage matrix
+        and the attribution engine so the three can never disagree on
+        which channels a flow crosses.
+        """
+        topo = self.topology
+        src_nodes = np.asarray(src_nodes, dtype=np.int64)
+        c = topo.coords_array[src_nodes][:, None, :] + st.offsets[None, :, :]
+        for d in range(topo.ndim):
+            if topo.wrap[d]:
+                c[..., d] %= topo.shape[d]
+        nodes = c @ topo.strides
+        return (nodes * topo.ndim + st.dims[None, :]) * 2 + st.dirs[None, :]
+
+    def group_flows_by_offset(self, srcs, dsts):
+        """Group flow indices by their routing offset.
+
+        Returns ``(deltas, groups)`` where ``deltas`` is the (m, ndim)
+        signed offset array and ``groups`` yields ``(rows, delta_row)``
+        index arrays — one per distinct offset, covering all flows.
+        Grouping uses a mixed-radix key (offsets are bounded by the
+        shape, so shifting into ``[0, 2k)`` per dim is collision-free).
+        """
+        topo = self.topology
+        deltas = topo.delta(srcs, dsts)
+        shape_arr = np.asarray(topo.shape, dtype=np.int64)
+        keys = np.zeros(len(srcs), dtype=np.int64)
+        for d in range(topo.ndim):
+            keys = keys * (2 * shape_arr[d] + 1) + (deltas[:, d] + shape_arr[d])
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        group_starts = np.flatnonzero(
+            np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]
+        )
+        group_ends = np.r_[group_starts[1:], len(keys_sorted)]
+        groups = [order[gs:ge] for gs, ge in zip(group_starts, group_ends)]
+        return deltas, groups
+
     # -- load computation -----------------------------------------------------------
     def link_loads(self, srcs, dsts, vols, out: np.ndarray | None = None) -> np.ndarray:
         """Dense per-channel-slot load vector for a set of flows.
@@ -131,35 +171,12 @@ class Router(abc.ABC):
             if len(srcs) == 0:
                 return out
 
-        deltas = topo.delta(srcs, dsts)  # (m, ndim)
-        # Group flows by offset via a mixed-radix key (offsets are bounded
-        # by the shape, so shifting into [0, 2k) per dim is collision-free).
-        shape_arr = np.asarray(topo.shape, dtype=np.int64)
-        keys = np.zeros(len(srcs), dtype=np.int64)
-        for d in range(topo.ndim):
-            keys = keys * (2 * shape_arr[d] + 1) + (deltas[:, d] + shape_arr[d])
-        order = np.argsort(keys, kind="stable")
-        keys_sorted = keys[order]
-        group_starts = np.flatnonzero(
-            np.r_[True, keys_sorted[1:] != keys_sorted[:-1]]
-        )
-        group_ends = np.r_[group_starts[1:], len(keys_sorted)]
-
-        src_coords = topo.coords_array[srcs]
-        strides = topo.strides
-        ndim = topo.ndim
-        for gs, ge in zip(group_starts, group_ends):
-            rows = order[gs:ge]
+        deltas, groups = self.group_flows_by_offset(srcs, dsts)
+        for rows in groups:
             st = self.stencil(deltas[rows[0]])
             if st.num_entries == 0:
                 continue
-            # (g, E, ndim) channel-source coordinates
-            c = src_coords[rows][:, None, :] + st.offsets[None, :, :]
-            for d in range(ndim):
-                if topo.wrap[d]:
-                    c[..., d] %= topo.shape[d]
-            nodes = c @ strides
-            slots = (nodes * ndim + st.dims[None, :]) * 2 + st.dirs[None, :]
+            slots = self.stencil_slots(st, srcs[rows])
             contrib = vols[rows][:, None] * st.fracs[None, :]
             np.add.at(out, slots.ravel(), contrib.ravel())
         return out

@@ -31,6 +31,7 @@ from repro.service.jobs import (
     JobResult,
     JobRuntime,
     MappingJob,
+    attach_netview,
     execute_mapping_job,
 )
 from repro.service.store import ResultStore
@@ -164,6 +165,15 @@ class MappingEngine:
                     )
                     trace_event("engine.cache_hit", index=i, key=key[:12],
                                 saved_s=float(payload.get("map_seconds", 0.0)))
+                    if (self.runtime is not None and self.runtime.netview
+                            and "netview" not in payload):
+                        # Cached payloads from pre-netview runs are upgraded
+                        # in place: the summary is deterministic, so the
+                        # refreshed artifact is what the worker would have
+                        # produced (file-backed workloads can't be rebuilt
+                        # here and simply stay summary-less).
+                        if attach_netview(payload):
+                            self.store.put(key, payload)
                     result = JobResult.from_payload(payload, from_cache=True)
                     outcomes[i] = JobOutcome(
                         index=i, item=job, result=result, error=None,

@@ -95,25 +95,15 @@ class FluidPhaseSimulator:
         self.max_events = int(max_events)
 
     def _usage_matrix(self, srcs, dsts) -> sp.csr_matrix:
-        topo = self.router.topology
-        rows, cols, data = [], [], []
-        for i, (s, d) in enumerate(zip(srcs, dsts)):
-            st = self.router.stencil(topo.delta(int(s), int(d)))
-            if st.num_entries == 0:
-                continue
-            coords = topo.coords(int(s))[None, :] + st.offsets
-            for dd in range(topo.ndim):
-                if topo.wrap[dd]:
-                    coords[:, dd] %= topo.shape[dd]
-            nodes = coords @ topo.strides
-            slots = (nodes * topo.ndim + st.dims) * 2 + st.dirs
-            rows.extend(slots.tolist())
-            cols.extend([i] * st.num_entries)
-            data.extend(st.fracs.tolist())
-        return sp.csr_matrix(
-            (data, (rows, cols)),
-            shape=(topo.num_channel_slots, len(srcs)),
+        # The attribution engine builds the same (flows x slots) route
+        # fractions the routers scatter-add from, vectorized per distinct
+        # offset; unit volumes keep every off-node flow's column.
+        from repro.observability.attribution import attribute_flows
+
+        att = attribute_flows(
+            self.router, srcs, dsts, np.ones(len(srcs))
         )
+        return att.usage_matrix()
 
     def phase_time(self, srcs, dsts, vols) -> float:
         """Seconds until the last byte of the phase is delivered."""

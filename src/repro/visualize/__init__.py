@@ -6,13 +6,19 @@ the same at-a-glance information for arbitrary runs).
 """
 
 from repro.visualize.text import (
+    dimension_load_text,
+    hotspot_table_text,
+    link_heatmap_text,
     load_histogram_text,
     mapping_grid_text,
-    dimension_load_text,
+    netview_text,
 )
 
 __all__ = [
+    "dimension_load_text",
+    "hotspot_table_text",
+    "link_heatmap_text",
     "load_histogram_text",
     "mapping_grid_text",
-    "dimension_load_text",
+    "netview_text",
 ]

@@ -1,4 +1,4 @@
-"""Text renderers for mappings and channel loads."""
+"""Text renderers for mappings, channel loads and netview reports."""
 
 from __future__ import annotations
 
@@ -9,7 +9,14 @@ from repro.errors import ReproError
 from repro.mapping.mapping import Mapping
 from repro.routing.base import Router
 
-__all__ = ["load_histogram_text", "mapping_grid_text", "dimension_load_text"]
+__all__ = [
+    "load_histogram_text",
+    "mapping_grid_text",
+    "dimension_load_text",
+    "link_heatmap_text",
+    "hotspot_table_text",
+    "netview_text",
+]
 
 _BARS = " ▁▂▃▄▅▆▇█"
 
@@ -33,10 +40,14 @@ def load_histogram_text(
     srcs, dsts, vols = mapping.network_flows(graph)
     loads = router.link_loads(srcs, dsts, vols)
     valid = router.topology.channel_valid
-    counts, edges = np.histogram(loads[valid], bins=bins)
+    sub = loads[valid]
+    if sub.size == 0 or float(sub.max()) <= 0.0:
+        return (f"channel load histogram ({int(valid.sum())} channels): "
+                "no network load")
+    counts, edges = np.histogram(sub, bins=bins)
     peak = counts.max() if counts.size else 1
     lines = [f"channel load histogram ({int(valid.sum())} channels, "
-             f"MCL={loads.max():.4g})"]
+             f"MCL={sub.max():.4g})"]
     for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
         bar = "#" * int(round(width * c / peak)) if peak else ""
         lines.append(f"{lo:10.3g} - {hi:10.3g} |{bar} {c}")
@@ -82,8 +93,11 @@ def dimension_load_text(
     topo = router.topology
     srcs, dsts, vols = mapping.network_flows(graph)
     loads = router.link_loads(srcs, dsts, vols)
-    vmax = loads.max() if loads.size else 1.0
-    lines = ["per-dimension channel loads (max / mean, bar = max)"]
+    vmax = float(loads.max()) if loads.size else 0.0
+    header = "per-dimension channel loads (max / mean, bar = max)"
+    if vmax <= 0.0:
+        return header + "\nno network load"
+    lines = [header]
     for d in range(topo.ndim):
         for direction, sign in ((0, "+"), (1, "-")):
             sel = (
@@ -98,4 +112,93 @@ def dimension_load_text(
                 f"dim {d}{sign}: {_bar(float(sub.max()), vmax)} "
                 f"max {sub.max():10.4g}  mean {sub.mean():10.4g}"
             )
+    return "\n".join(lines)
+
+
+def link_heatmap_text(
+    topology, loads: np.ndarray, dims: tuple[int, int] = (0, 1)
+) -> str:
+    """Per-node egress load as a 2-D bar heatmap.
+
+    Each node's hottest outgoing channel is reduced to one bar glyph;
+    extra dimensions are folded with ``max``, so a hotspot anywhere in
+    the folded fiber lights its (d0, d1) cell. An all-idle network
+    renders a placeholder instead of dividing by zero.
+    """
+    d0, d1 = dims
+    if d0 == d1 or max(d0, d1) >= topology.ndim:
+        raise ReproError(f"invalid dims {dims} for a {topology.ndim}-D topology")
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (topology.num_channel_slots,):
+        raise ReproError(
+            f"loads has shape {loads.shape}, expected "
+            f"({topology.num_channel_slots},)"
+        )
+    masked = np.where(topology.channel_valid, loads, 0.0)
+    per_node = masked.reshape(topology.num_nodes, -1).max(axis=1)
+    grid = per_node.reshape(topology.shape)
+    fold = tuple(d for d in range(topology.ndim) if d not in (d0, d1))
+    if fold:
+        grid = grid.max(axis=fold)
+    if d0 > d1:  # rows always iterate the lower-indexed dimension
+        grid = grid.T
+        d0, d1 = d1, d0
+    vmax = float(grid.max()) if grid.size else 0.0
+    title = (f"egress load heatmap, dims {d0} x {d1} "
+             f"(max over folded dims, vmax={vmax:.4g})")
+    if vmax <= 0.0:
+        return title + "\nno network load"
+    lines = [title]
+    for x0 in range(grid.shape[0]):
+        lines.append("".join(_bar(float(v), vmax) for v in grid[x0]))
+    return "\n".join(lines)
+
+
+def hotspot_table_text(view, max_flows: int = 3) -> str:
+    """The top-k hottest links of a NetView as an aligned text table."""
+    if not view.hotspots:
+        return "no hotspots: the network carries no load"
+    lines = [
+        f"{'rank':<5}{'link':<24}{'load':>12}{'%MCL':>7}{'%total':>8}  top flows"
+    ]
+    for rank, h in enumerate(view.hotspots, start=1):
+        flows = ", ".join(
+            f"{f.src_node}->{f.dst_node} ({f.share:.0%})"
+            for f in h.flows[:max_flows]
+        ) or "-"
+        lines.append(
+            f"{rank:<5}{h.link.label():<24}{h.load:>12.5g}"
+            f"{h.share_of_mcl:>7.0%}{h.share_of_total:>8.1%}  {flows}"
+        )
+    return "\n".join(lines)
+
+
+def netview_text(view) -> str:
+    """Full text rendering of a NetView: stats, balance, hotspot table."""
+    s = view.stats
+    lines = [
+        f"netview: {view.router} on "
+        f"{'x'.join(map(str, view.topology_shape))} "
+        f"({view.num_flows} network flows)",
+        f"MCL {s.mcl:.6g}  mean {s.mean:.6g}  imbalance {s.imbalance:.2f}  "
+        f"gini {s.gini:.3f}",
+        f"p50 {s.p50:.6g}  p95 {s.p95:.6g}  p99 {s.p99:.6g}  "
+        f"idle channels {s.zero_channels}/{s.num_channels}",
+    ]
+    if view.dimension_loads:
+        vmax = max(d.max for d in view.dimension_loads)
+        for d in view.dimension_loads:
+            lines.append(
+                f"dim {d.dim}{d.direction}: {_bar(d.max, vmax)} "
+                f"max {d.max:10.4g}  mean {d.mean:10.4g}"
+            )
+    if view.saturation is not None:
+        sat = view.saturation
+        verdict = "agrees with MCL" if sat.agrees else "DISAGREES with MCL"
+        lines.append(
+            f"saturation (fluid max-min rates): bottleneck "
+            f"{sat.bottleneck.label()} at {sat.bottleneck_utilization:.0%}, "
+            f"{sat.saturated_links} saturated link(s), {verdict}"
+        )
+    lines.append(hotspot_table_text(view))
     return "\n".join(lines)

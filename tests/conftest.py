@@ -6,8 +6,23 @@ import numpy as np
 import pytest
 
 from repro.commgraph import CommGraph
+from repro.observability import clear_active_tracer, get_registry
 from repro.routing import DimensionOrderRouter, MinimalAdaptiveRouter
 from repro.topology import mesh, torus
+
+
+@pytest.fixture(autouse=True)
+def _isolate_observability():
+    """Reset process-wide observability state around every test.
+
+    The metrics registry and the active tracer are process globals; a
+    test that populates counters or forgets to exit an ``activate()``
+    context must not leak telemetry into (or record spans for) the tests
+    that run after it.
+    """
+    yield
+    get_registry().reset()
+    clear_active_tracer()
 
 
 @pytest.fixture

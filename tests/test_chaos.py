@@ -249,3 +249,47 @@ def test_cli_deadline_degrade_reports_and_exits_zero(tmp_path, capsys):
     out = capsys.readouterr().out
     assert rc == 0
     assert "milp->static (budget-exhausted)" in out
+
+
+def test_cli_artifacts_flush_despite_injected_fault(tmp_path, monkeypatch,
+                                                    capsys):
+    """`--explain/--trace/--metrics` all emit artifacts when injected
+    solver faults force the run down the degradation ladder."""
+    import json
+
+    _arm(monkeypatch, tmp_path, "solver-fail:*")
+    explain = tmp_path / "explain.json"
+    trace = tmp_path / "trace.jsonl"
+    rc = cli_main([
+        "map", "--topology", "4x4", "--workload", "random:16:60",
+        "--deadline", "5", "--no-cache",
+        "--explain", str(explain), "--trace", str(trace), "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "degraded" in out
+    doc = json.loads(explain.read_text())
+    assert doc["kind"] == "netview"
+    assert doc["hotspots"][0]["load"] == doc["mcl"]
+    assert trace.exists() and (tmp_path / "trace.chrome.json").exists()
+    rows = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert rows[0]["trace_schema"] == 1
+    assert any(r.get("name") == "job.map" for r in rows[1:])
+    assert "metric" in out  # the registry report table flushed too
+
+
+def test_cli_trace_and_metrics_flush_when_run_fails(tmp_path, monkeypatch,
+                                                    capsys):
+    """A run that *fails* (on-deadline fail) still writes trace/metrics:
+    the flush lives in a finally block, not on the success path."""
+    trace = tmp_path / "trace.jsonl"
+    rc = cli_main([
+        "map", "--topology", "4x4", "--workload", "random:16:60",
+        "--deadline", "0.000001", "--on-deadline", "fail", "--no-cache",
+        "--trace", str(trace), "--metrics",
+    ])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "DeadlineExceededError" in captured.err
+    assert trace.exists()
+    assert "metric" in captured.out

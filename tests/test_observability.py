@@ -410,3 +410,59 @@ def test_committed_baseline_is_valid():
     assert baseline["scale"] == "tiny"
     assert baseline["phases"]
     assert set(baseline["cells"]) == {"BT", "SP", "CG"}
+
+
+def test_compare_snapshots_explains_mcl_drift_with_hotspots(tmp_path):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    a = _snapshot(mcl=100.0)
+    a["cells"]["BT"]["RAHTM"]["hotspot"] = {
+        "slot": 3, "label": "(0,0) dim0+", "load": 100.0}
+    b = _snapshot(mcl=90.0)
+    b["cells"]["BT"]["RAHTM"]["hotspot"] = {
+        "slot": 17, "label": "(2,1) dim1-", "load": 90.0}
+    base.write_text(json.dumps(a))
+    cur.write_text(json.dumps(b))
+    proc = _gate(str(base), str(cur))
+    assert proc.returncode == 1
+    assert "hotspot moved (0,0) dim0+ -> (2,1) dim1-" in proc.stdout
+
+
+def test_compare_snapshots_drift_on_same_hotspot(tmp_path):
+    base, cur = tmp_path / "base.json", tmp_path / "cur.json"
+    a = _snapshot(mcl=100.0)
+    a["cells"]["BT"]["RAHTM"]["hotspot"] = {
+        "slot": 3, "label": "(0,0) dim0+", "load": 100.0}
+    b = _snapshot(mcl=90.0)
+    b["cells"]["BT"]["RAHTM"]["hotspot"] = {
+        "slot": 3, "label": "(0,0) dim0+", "load": 90.0}
+    base.write_text(json.dumps(a))
+    cur.write_text(json.dumps(b))
+    proc = _gate(str(base), str(cur))
+    assert proc.returncode == 1
+    assert "hotspot stayed at (0,0) dim0+" in proc.stdout
+
+
+def test_compare_snapshots_latest_discovers_newest_pr():
+    """'latest' resolves to the repo-root BENCH_PR4.json trajectory head."""
+    current = REPO / "BENCH_PR4.json"
+    proc = _gate("latest", str(current), "--trend")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "BENCH_PR4.json" in proc.stdout.splitlines()[0]
+    assert "bench trajectory:" in proc.stdout
+    # the trend table walks the whole trajectory, oldest first
+    lines = proc.stdout.splitlines()
+    pr3 = next(i for i, line in enumerate(lines)
+               if line.startswith("BENCH_PR3"))
+    pr4 = next(i for i, line in enumerate(lines)
+               if line.startswith("BENCH_PR4"))
+    assert pr3 < pr4
+
+
+def test_committed_pr4_baseline_is_valid():
+    baseline = json.loads((REPO / "BENCH_PR4.json").read_text())
+    assert baseline["schema"] == 1
+    assert baseline["scale"] == "tiny"
+    assert baseline["pr"] == "PR4"
+    for row in baseline["cells"].values():
+        for cell in row.values():
+            assert cell["hotspot"]["load"] <= cell["mcl"] + 1e-9

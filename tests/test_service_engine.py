@@ -161,3 +161,86 @@ def test_cli_compare_failure_exit_code(capsys):
                "--mappers", "default", "--no-cache"])
     assert rc == 2
     assert "error" in capsys.readouterr().err
+
+
+# -- netview payloads -----------------------------------------------------------------
+def _netview_job():
+    return MappingJob(TopologySpec((4, 4)), WorkloadSpec("halo2d:4x4"),
+                      MapperConfig.make("dimorder", order="ABT"))
+
+
+def test_netview_flag_attaches_summary():
+    from repro.service import JobRuntime
+
+    engine = MappingEngine(cache_dir=None, runtime=JobRuntime(netview=True))
+    result = engine.run_one(_netview_job())
+    assert result.netview is not None
+    assert result.netview["kind"] == "netview_summary"
+    assert result.netview["mcl"] == pytest.approx(result.report.mcl)
+    assert result.netview["top"][0]["load"] == pytest.approx(
+        result.report.mcl
+    )
+
+
+def test_netview_off_by_default():
+    result = MappingEngine(cache_dir=None).run_one(_netview_job())
+    assert result.netview is None
+
+
+def test_netview_does_not_change_cache_key(tmp_path):
+    """Runtime flags must never fork the content-addressed cache."""
+    from repro.service import JobRuntime
+
+    cache = tmp_path / "cache"
+    plain = MappingEngine(cache_dir=cache).run_one(_netview_job())
+    hit = MappingEngine(
+        cache_dir=cache, runtime=JobRuntime(netview=True)
+    ).run_one(_netview_job())
+    assert hit.from_cache
+    assert hit.key == plain.key
+
+
+def test_netview_cache_hit_upgrades_payload_in_place(tmp_path):
+    from repro.service import JobRuntime
+
+    cache = tmp_path / "cache"
+    cold = MappingEngine(cache_dir=cache).run_one(_netview_job())
+    assert cold.netview is None
+    upgraded = MappingEngine(
+        cache_dir=cache, runtime=JobRuntime(netview=True)
+    ).run_one(_netview_job())
+    assert upgraded.from_cache and upgraded.netview is not None
+    # The upgrade was persisted: later engines see it without the flag.
+    warm = MappingEngine(cache_dir=cache).run_one(_netview_job())
+    assert warm.from_cache and warm.netview is not None
+    assert warm.netview == upgraded.netview
+
+
+def test_netview_upgrade_skips_file_backed_workloads(tmp_path):
+    """File workloads are stored by digest, not path: no upgrade, no crash."""
+    from repro.commgraph import save_commgraph
+    from repro.service import JobRuntime
+    from repro.workloads.registry import parse_workload
+
+    graph_file = tmp_path / "g.json"
+    save_commgraph(parse_workload("halo2d:4x4"), graph_file)
+    job = MappingJob(TopologySpec((4, 4)), WorkloadSpec(str(graph_file)),
+                     MapperConfig.make("dimorder", order="ABT"))
+    cache = tmp_path / "cache"
+    MappingEngine(cache_dir=cache).run_one(job)
+    hit = MappingEngine(
+        cache_dir=cache, runtime=JobRuntime(netview=True)
+    ).run_one(job)
+    assert hit.from_cache and hit.netview is None
+
+
+def test_run_comparison_collects_netviews(tmp_path):
+    result = run_comparison("tiny", cache_dir=tmp_path / "cache",
+                            netview=True)
+    benches = set(result.mcl.row_labels)
+    for (bench, label), summary in result.netviews.items():
+        assert bench in benches
+        assert summary["mcl"] == pytest.approx(result.mcl.get(bench, label))
+    assert len(result.netviews) == len(result.mcl.row_labels) * len(
+        result.mcl.col_labels
+    )

@@ -1,15 +1,21 @@
 """Text-visualization tests."""
 
+import numpy as np
 import pytest
 
+from repro.commgraph import CommGraph
 from repro.errors import ReproError
 from repro.mapping import Mapping
+from repro.observability import build_netview
 from repro.routing import MinimalAdaptiveRouter
 from repro.topology import torus
 from repro.visualize import (
     dimension_load_text,
+    hotspot_table_text,
+    link_heatmap_text,
     load_histogram_text,
     mapping_grid_text,
+    netview_text,
 )
 from repro.workloads import halo2d
 
@@ -67,3 +73,80 @@ def test_dimension_load_skips_trivial_dims():
     m = Mapping.identity(t)
     text = dimension_load_text(r, m, ring(4))
     assert "dim 1" not in text
+
+
+# -- zero-load regressions -------------------------------------------------------------
+@pytest.fixture
+def idle_setup():
+    """A graph whose only edge is on-node: every channel load is zero."""
+    t = torus(4, 4)
+    r = MinimalAdaptiveRouter(t)
+    m = Mapping.identity(t)
+    g = CommGraph.from_edges(t.num_nodes, [(0, 0, 5.0)])
+    return t, r, m, g
+
+
+def test_load_histogram_zero_load_placeholder(idle_setup):
+    t, r, m, g = idle_setup
+    text = load_histogram_text(r, m, g)
+    assert "no network load" in text
+    assert str(t.num_channels) in text
+
+
+def test_dimension_load_zero_load_placeholder(idle_setup):
+    t, r, m, g = idle_setup
+    text = dimension_load_text(r, m, g)
+    assert "no network load" in text
+    assert "nan" not in text.lower()
+
+
+def test_link_heatmap_zero_load_placeholder(idle_setup):
+    t, r, m, g = idle_setup
+    loads = r.link_loads(*m.network_flows(g))
+    text = link_heatmap_text(t, loads)
+    assert "no network load" in text
+
+
+# -- heatmap + netview renderers -------------------------------------------------------
+def test_link_heatmap_renders_rows(setup):
+    t, r, m, g = setup
+    loads = r.link_loads(*m.network_flows(g))
+    text = link_heatmap_text(t, loads)
+    lines = text.splitlines()
+    assert len(lines) == 1 + 4  # title + one row per dim-0 coordinate
+    assert all(len(row) == 4 for row in lines[1:])
+
+
+def test_link_heatmap_validates_inputs(setup):
+    t, r, m, g = setup
+    loads = r.link_loads(*m.network_flows(g))
+    with pytest.raises(ReproError):
+        link_heatmap_text(t, loads, dims=(0, 0))
+    with pytest.raises(ReproError):
+        link_heatmap_text(t, loads, dims=(0, 7))
+    with pytest.raises(ReproError):
+        link_heatmap_text(t, np.zeros(3))
+
+
+def test_hotspot_table_lists_top_links(setup):
+    t, r, m, g = setup
+    view = build_netview(r, m, g, top_k=3)
+    text = hotspot_table_text(view)
+    assert "rank" in text
+    assert len(text.splitlines()) == 1 + 3
+    assert "100%" in text  # top link carries the MCL
+
+
+def test_netview_text_full_report(setup):
+    t, r, m, g = setup
+    view = build_netview(r, m, g, saturation=True)
+    text = netview_text(view)
+    assert "MCL 3" in text
+    assert "dim 0+" in text
+    assert "saturation" in text and "agrees with MCL" in text
+
+
+def test_netview_text_idle(idle_setup):
+    t, r, m, g = idle_setup
+    view = build_netview(r, m, g)
+    assert "no hotspots" in netview_text(view)
