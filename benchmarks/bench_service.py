@@ -13,6 +13,7 @@ from repro.service import (
     MapperConfig,
     MappingEngine,
     MappingJob,
+    ResultStore,
     TopologySpec,
     WorkloadSpec,
 )
@@ -69,3 +70,33 @@ def test_bench_engine_fanout(benchmark, jobs):
         assert all(o.ok for o in outcomes)
 
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+_STORE_PAYLOAD = {"mapping": list(range(256)), "report": {"mcl": 123.5}}
+
+
+@pytest.mark.parametrize("fsync", [True, False], ids=["fsync", "nofsync"])
+def test_bench_store_put_durable(benchmark, tmp_path, fsync):
+    """Commit-protocol cost per put (checksum + tmp/rename, +-fsync)."""
+    store = ResultStore(tmp_path / "cache", fsync=fsync)
+    keys = [f"{i:02x}" * 32 for i in range(64)]
+
+    def puts():
+        for key in keys:
+            store.put(key, _STORE_PAYLOAD)
+
+    benchmark(puts)
+
+
+def test_bench_store_get_verified(benchmark, tmp_path):
+    """Read path: every get re-verifies the envelope's SHA-256."""
+    store = ResultStore(tmp_path / "cache", fsync=False)
+    keys = [f"{i:02x}" * 32 for i in range(64)]
+    for key in keys:
+        store.put(key, _STORE_PAYLOAD)
+
+    def gets():
+        for key in keys:
+            assert store.get(key) is not None
+
+    benchmark(gets)

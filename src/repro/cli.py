@@ -47,6 +47,17 @@ the same artifacts for the mappings they compute — ``compare`` includes
 link-by-link diffs of every mapper against the first one. All artifact
 flags (``--explain``/``--trace``/``--metrics``) flush even when the run
 degrades or fails.
+
+Durability: cached artifacts are checksummed; corrupt entries are moved
+to ``<cache-dir>/quarantine/`` with a structured report instead of being
+silently dropped, and concurrent engines can safely share one cache
+directory (advisory pid locks with stale-lock takeover). ``repro doctor
+DIR`` fscks a cache or checkpoint directory — checksums, orphaned temp
+files, stale locks, quarantine contents, drained-batch queues — and
+``--repair`` fixes what it finds (``--out FILE`` writes the JSON
+report; exit 0 = clean). A SIGTERM/SIGINT during a batch drains
+gracefully: in-flight jobs finish, the unstarted remainder is recorded
+in ``<cache-dir>/pending.json`` for resubmission.
 """
 
 from __future__ import annotations
@@ -326,6 +337,22 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    """Fsck a cache/checkpoint directory; exit 0 only when clean."""
+    import json
+
+    from repro.service import diagnose
+
+    report = diagnose(args.directory, repair=args.repair)
+    print(report.to_text())
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"doctor report written to {args.out}")
+    return 0 if report.clean else 1
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import (
         fig1, fig234, fig7, fig8, fig9, fig10, opt_time, scaling,
@@ -471,6 +498,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="topology dims spanning the text heatmap")
     explain_opts(p)
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser(
+        "doctor",
+        help="fsck a cache/checkpoint directory (checksums, orphaned "
+             "temp files, stale locks, quarantine)",
+    )
+    p.add_argument("directory",
+                   help="cache or checkpoint directory to diagnose")
+    p.add_argument("--repair", action="store_true",
+                   help="fix what can be fixed: quarantine corrupt "
+                        "artifacts, evict stale schemas, remove orphaned "
+                        "temp files and stale locks")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the full JSON doctor report")
+    p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name", help="fig1|fig234|fig7|fig8|fig9|fig10|"

@@ -20,6 +20,7 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "ServiceError",
+    "StoreLockError",
     "JobTimeoutError",
     "DeadlineExceededError",
     "CheckpointError",
@@ -69,6 +70,10 @@ class SimulationError(ReproError):
 
 class ServiceError(ReproError):
     """Mapping-service failure (job spec, result store, executor, engine)."""
+
+
+class StoreLockError(ServiceError):
+    """A cross-process store lock could not be acquired before timeout."""
 
 
 class JobTimeoutError(ServiceError):

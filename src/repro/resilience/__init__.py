@@ -23,6 +23,7 @@ from repro.resilience.checkpoint import MapperCheckpoint
 from repro.resilience.degrade import DegradationEvent, DegradationLog
 from repro.resilience.faultinject import (
     INJECTION_POINTS,
+    KILL_POINTS,
     FaultPlan,
     FaultSpec,
     injected_faults,
@@ -34,6 +35,7 @@ __all__ = [
     "DegradationEvent",
     "DegradationLog",
     "INJECTION_POINTS",
+    "KILL_POINTS",
     "FaultPlan",
     "FaultSpec",
     "injected_faults",

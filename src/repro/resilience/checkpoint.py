@@ -12,6 +12,14 @@ resumed job performs **zero repeat MILP solves** for checkpointed stages.
 Checkpoints are written on completion of a stage (atomic store writes),
 loaded only when resume is enabled, and cleared once the whole mapping
 succeeds — at that point the job's final artifact supersedes them.
+
+Durability follows the store's discipline end to end: checkpoint
+artifacts carry the store's per-entry SHA-256 checksum, a torn or
+bit-flipped checkpoint is quarantined (with a corruption report) on
+load rather than silently dropped, and a checkpoint that *parses* but
+fails semantic validation (wrong stage/job/shape) is quarantined too —
+both degrade to "recompute this stage", never to wrong results. Saving
+is best-effort: a full disk (ENOSPC) loses the checkpoint, not the job.
 """
 
 from __future__ import annotations
@@ -79,12 +87,22 @@ class MapperCheckpoint:
                 or payload.get("stage") != stage
                 or payload.get("job") != self.job_key
                 or not isinstance(payload.get("state"), dict)):
-            log.warning("evicting malformed checkpoint for stage %r", stage)
-            self.store.evict(self.key_for(stage))
+            log.warning("quarantining malformed checkpoint for stage %r",
+                        stage)
+            self._discard(stage, "malformed checkpoint state")
             return None
         self.loaded.append(stage)
         log.info("resumed stage %r from checkpoint", stage)
         return payload["state"]
+
+    def _discard(self, stage: str, reason: str) -> None:
+        """Quarantine a bad checkpoint (evict when the store predates
+        quarantine support — the documented duck-typed surface)."""
+        quarantine = getattr(self.store, "quarantine_key", None)
+        if callable(quarantine):
+            quarantine(self.key_for(stage), reason=reason)
+        else:
+            self.store.evict(self.key_for(stage))
 
     def load_assignment(self, stage: str, field: str = "assignment",
                         expect_len: int | None = None) -> np.ndarray | None:
@@ -122,7 +140,14 @@ class MapperCheckpoint:
             path.write_text('{"kind": "checkpoint", "stage": "' + stage)
             self.saved.append(stage)
             return
-        self.store.put(key, payload)
+        try:
+            self.store.put(key, payload)
+        except OSError as exc:
+            # Checkpoints are an optimization: a full disk costs this
+            # stage's resume point, never the mapping itself.
+            log.warning("checkpoint save for stage %r failed (%s); "
+                        "continuing without it", stage, exc)
+            return
         self.saved.append(stage)
 
     def save_assignment(self, stage: str, assignment: np.ndarray,

@@ -13,9 +13,29 @@ worker-crash          executor worker entry (``_invoke``)             ``os._exit
                                                                       ``FaultInjectionError``
                                                                       in-process
 store-corrupt         ``ResultStore.put``                             writes a corrupt artifact
+store-enospc          ``ResultStore.put`` mid-write                   raises ``OSError(ENOSPC)``
 checkpoint-torn-write ``MapperCheckpoint.save``                       writes a torn (truncated)
                                                                       checkpoint file
 ===================== ============================================== =========================
+
+A second family of **kill points** (:data:`KILL_POINTS`) SIGKILLs the
+*current process* at a precise step of the store's commit protocol:
+
+===================== ==============================================
+kill point            process dies with
+===================== ==============================================
+store-kill-tmp        an empty temp file created, nothing written
+store-kill-mid-write  a torn (half-written) temp file
+store-kill-pre-rename temp file complete + fsynced, not yet renamed
+store-kill-post-rename artifact renamed into place, directory not
+                      yet fsynced
+===================== ==============================================
+
+Kill points are never part of :data:`INJECTION_POINTS` (the chaos
+matrix must not SIGKILL the test runner); they are armed via
+``REPRO_FAULTS`` inside the dedicated subprocess crash harness
+(``tests/test_crash_consistency.py``), which asserts the store stays
+consistent after every one of them.
 
 Plans are activated programmatically (:func:`activate`, the
 :func:`injected_faults` context manager) or via the environment — which
@@ -36,9 +56,11 @@ in a crashed worker stays consumed in its replacement).
 
 from __future__ import annotations
 
+import errno
 import multiprocessing
 import os
 import random
+import signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -48,6 +70,7 @@ from repro.errors import ConfigError, FaultInjectionError, SolverError
 
 __all__ = [
     "INJECTION_POINTS",
+    "KILL_POINTS",
     "FaultSpec",
     "FaultPlan",
     "activate",
@@ -62,7 +85,18 @@ INJECTION_POINTS = (
     "solver-slow",
     "worker-crash",
     "store-corrupt",
+    "store-enospc",
     "checkpoint-torn-write",
+)
+
+#: SIGKILL-the-writer points along the store commit protocol. Deliberately
+#: not in INJECTION_POINTS: the chaos matrix iterates that tuple in the
+#: test runner's own process, and these points kill whoever hits them.
+KILL_POINTS = (
+    "store-kill-tmp",
+    "store-kill-mid-write",
+    "store-kill-pre-rename",
+    "store-kill-post-rename",
 )
 
 ENV_FAULTS = "REPRO_FAULTS"
@@ -86,10 +120,10 @@ class FaultSpec:
     probability: float = 1.0
 
     def __post_init__(self):
-        if self.point not in INJECTION_POINTS:
+        if self.point not in INJECTION_POINTS + KILL_POINTS:
             raise ConfigError(
                 f"unknown injection point {self.point!r}; "
-                f"choose from {INJECTION_POINTS}"
+                f"choose from {INJECTION_POINTS + KILL_POINTS}"
             )
         if self.max_hits is not None and self.max_hits < 0:
             raise ConfigError("max_hits must be >= 0 (or None for unlimited)")
@@ -227,11 +261,18 @@ def inject(point: str) -> None:
     spec = plan.claim(point)
     if spec is None:
         return
+    if point in KILL_POINTS:
+        # Simulate a hard crash (power loss, OOM kill) at this exact
+        # step: no cleanup handlers, no atexit, no flushing.
+        os.kill(os.getpid(), signal.SIGKILL)
     if point == "solver-slow":
         time.sleep(spec.delay)
         return
     if point == "solver-fail":
         raise SolverError(f"injected fault at {point!r}")
+    if point == "store-enospc":
+        raise OSError(errno.ENOSPC, f"injected fault at {point!r}: "
+                                    "no space left on device")
     if point == "worker-crash" and _in_pool_worker():
         os._exit(13)
     raise FaultInjectionError(f"injected fault at {point!r}")

@@ -2,11 +2,17 @@
 
 Turns "compute a mapping / evaluate a mapping" into first-class batch
 jobs: declarative content-addressed specs (:mod:`repro.service.jobs`), a
-disk-backed result store (:mod:`repro.service.store`), a process-pool
-batch executor (:mod:`repro.service.executor`) and the engine façade
-composing them (:mod:`repro.service.engine`).
+durable disk-backed result store with checksummed artifacts and
+quarantine (:mod:`repro.service.store`), cross-process directory locks
+(:mod:`repro.service.locking`), a supervised process-pool batch
+executor — circuit breaker, poison-job quarantine, graceful drain
+(:mod:`repro.service.executor`, :mod:`repro.service.supervision`) — the
+engine façade composing them (:mod:`repro.service.engine`), and the
+``repro doctor`` fsck over cache/checkpoint directories
+(:mod:`repro.service.doctor`).
 """
 
+from repro.service.doctor import DoctorReport, Finding, diagnose
 from repro.service.engine import EngineStats, MappingEngine
 from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
 from repro.service.jobs import (
@@ -20,7 +26,9 @@ from repro.service.jobs import (
     execute_mapping_job,
     mapper_config_from_spec,
 )
+from repro.service.locking import DirectoryLock
 from repro.service.store import ResultStore, StoreStats
+from repro.service.supervision import CircuitBreaker, full_jitter_delay
 
 __all__ = [
     "MappingEngine",
@@ -37,6 +45,12 @@ __all__ = [
     "NetworkSpec",
     "ResultStore",
     "StoreStats",
+    "DirectoryLock",
+    "CircuitBreaker",
+    "full_jitter_delay",
+    "DoctorReport",
+    "Finding",
+    "diagnose",
     "execute_mapping_job",
     "mapper_config_from_spec",
 ]

@@ -34,7 +34,7 @@ from repro.service.jobs import (
     attach_netview,
     execute_mapping_job,
 )
-from repro.service.store import ResultStore
+from repro.service.store import PENDING_NAME, ResultStore, atomic_write_json
 from repro.utils.logconf import get_logger
 
 __all__ = ["EngineStats", "MappingEngine"]
@@ -58,8 +58,15 @@ class EngineStats:
     timed_out: int = 0
     retried: int = 0
     degraded: int = 0
+    quarantined: int = 0
+    poison_jobs: int = 0
+    circuit_open: int = 0
+    stale_locks_taken: int = 0
+    drained: int = 0
 
     def bump(self, field_name: str, n: int = 1) -> None:
+        if n <= 0:
+            return
         setattr(self, field_name, getattr(self, field_name) + n)
         get_registry().counter(f"engine.{field_name}").inc(n)
 
@@ -72,6 +79,11 @@ class EngineStats:
             "timed_out": self.timed_out,
             "retried": self.retried,
             "degraded": self.degraded,
+            "quarantined": self.quarantined,
+            "poison_jobs": self.poison_jobs,
+            "circuit_open": self.circuit_open,
+            "stale_locks_taken": self.stale_locks_taken,
+            "drained": self.drained,
         }
 
 
@@ -105,16 +117,17 @@ class MappingEngine:
         backoff: float = 0.05,
         store: ResultStore | None = None,
         runtime: JobRuntime | None = None,
+        executor_config: ExecutorConfig | None = None,
     ):
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.store = store
         self.runtime = runtime
-        self.executor = BatchExecutor(
-            ExecutorConfig(jobs=jobs, timeout=job_timeout,
-                           retries=retries, backoff=backoff),
-            on_event=self._on_executor_event,
-        )
+        if executor_config is None:
+            executor_config = ExecutorConfig(jobs=jobs, timeout=job_timeout,
+                                             retries=retries, backoff=backoff)
+        self.executor = BatchExecutor(executor_config,
+                                      on_event=self._on_executor_event)
         self.stats = EngineStats()
 
     # -- telemetry ------------------------------------------------------------------
@@ -134,6 +147,45 @@ class MappingEngine:
                 "error=%s", info["index"], label, info["wall_seconds"],
                 info["attempts"], info["error"],
             )
+        elif event == "poisoned":
+            self.stats.bump("poison_jobs")
+            trace_event("engine.poison_job", index=info["index"],
+                        deaths=info.get("deaths"))
+            log.error("poison job [%s] %s quarantined after %s worker "
+                      "death(s)", info["index"], label, info.get("deaths"))
+            if self.store is not None and isinstance(job, MappingJob):
+                # Serialize the killer's full spec for postmortem; the
+                # stem carries the cache key so `repro doctor` and a
+                # human can tie the report back to the job.
+                key = job.cache_key()
+                try:
+                    self.store.write_quarantine_report(
+                        f"poison-{key[:16]}",
+                        {
+                            "kind": "poison_job",
+                            "schema": 1,
+                            "key": key,
+                            "job": job.payload(),
+                            "describe": job.describe(),
+                            "deaths": info.get("deaths"),
+                            "error": info.get("error"),
+                            "time_unix": time.time(),
+                        },
+                    )
+                except OSError as exc:  # pragma: no cover - disk full
+                    log.warning("could not write poison-job report: %s", exc)
+        elif event == "circuit_open":
+            self.stats.bump("circuit_open")
+            trace_event("engine.circuit_open",
+                        failures=info.get("failures"))
+            log.error("executor circuit breaker opened after %s "
+                      "consecutive pool failures", info.get("failures"))
+        elif event == "pool_rebuild":
+            log.warning("executor rebuilt its worker pool "
+                        "(rebuild #%s): %s", info.get("rebuilds"),
+                        info.get("error"))
+        elif event == "drain_requested":
+            log.warning("engine draining: %s", info.get("reason"))
 
     # -- execution ------------------------------------------------------------------
     def run(self, jobs: Sequence[MappingJob]) -> list[JobOutcome]:
@@ -148,6 +200,10 @@ class MappingEngine:
         t0 = time.perf_counter()
         tracer = active_tracer()
         registry = get_registry()
+        store_before = (
+            (self.store.stats.quarantined, self.store.stats.stale_locks_taken)
+            if self.store is not None else (0, 0)
+        )
         with span("engine.batch", jobs=len(jobs)) as batch_span:
             for i, job in enumerate(jobs):
                 self.stats.bump("submitted")
@@ -173,7 +229,7 @@ class MappingEngine:
                         # produced (file-backed workloads can't be rebuilt
                         # here and simply stay summary-less).
                         if attach_netview(payload):
-                            self.store.put(key, payload)
+                            self._store_put(key, payload)
                     result = JobResult.from_payload(payload, from_cache=True)
                     outcomes[i] = JobOutcome(
                         index=i, item=job, result=result, error=None,
@@ -222,26 +278,40 @@ class MappingEngine:
                             # mapper's quality bar — caching it would pin the
                             # deadline's collateral damage into every future
                             # run of this job.
-                            self.store.put(payload["key"], payload)
+                            self._store_put(payload["key"], payload)
                         self.stats.bump("executed")
                         result = JobResult.from_payload(payload)
                     else:
                         self.stats.bump("failed")
                         if outcome.timed_out:
                             self.stats.bump("timed_out")
+                        if outcome.drained:
+                            self.stats.bump("drained")
                         result = None
                     outcomes[i] = JobOutcome(
                         index=i, item=job, result=result, error=outcome.error,
                         attempts=outcome.attempts,
                         wall_seconds=outcome.wall_seconds,
                         timed_out=outcome.timed_out,
+                        poisoned=outcome.poisoned,
+                        drained=outcome.drained,
                     )
+            self._persist_pending(jobs, outcomes)
             done = [o for o in outcomes if o is not None]
             batch_span.set(
                 cached=sum(1 for o in done if o.attempts == 0),
                 executed=sum(1 for o in done if o.ok and o.attempts > 0),
                 failed=sum(1 for o in done if not o.ok),
             )
+        if self.store is not None:
+            # Fold store-level durability incidents that surfaced during
+            # this batch into the engine's own counters: one snapshot
+            # answers "did anything get quarantined / any locks stolen?".
+            self.stats.bump("quarantined",
+                            self.store.stats.quarantined - store_before[0])
+            self.stats.bump(
+                "stale_locks_taken",
+                self.store.stats.stale_locks_taken - store_before[1])
         log.info(
             "batch of %d done in %.3fs: %d cached, %d executed, %d failed",
             len(jobs), time.perf_counter() - t0,
@@ -250,6 +320,67 @@ class MappingEngine:
             sum(1 for o in done if not o.ok),
         )
         return outcomes  # type: ignore[return-value]
+
+    def _store_put(self, key: str, payload: dict) -> None:
+        """Persist a result, tolerating storage failure.
+
+        A full disk (or an injected ``store-enospc``) costs the cache
+        entry, never the computed mapping: the commit protocol already
+        cleaned up its temp file and counted a ``put_failure``.
+        """
+        try:
+            self.store.put(key, payload)
+        except (OSError, ServiceError) as exc:
+            log.warning("could not cache result %s (%s); "
+                        "returning it uncached", key[:12], exc)
+
+    def _persist_pending(self, jobs: Sequence[MappingJob],
+                         outcomes: Sequence[JobOutcome | None]) -> None:
+        """Record drained (never-ran) jobs for a warm resume.
+
+        A drained batch leaves ``<cache>/pending.json`` describing every
+        job that was abandoned mid-shutdown; a clean batch removes it.
+        Resubmitting the same batch resumes for free anyway (completed
+        jobs hit the cache), so this file is the operator-facing receipt
+        plus the machine-readable queue, not the resume mechanism itself.
+        """
+        if self.store is None:
+            return
+        pending_path = self.store.root / PENDING_NAME
+        drained = [o for o in outcomes
+                   if o is not None and o.drained]
+        if not drained:
+            try:
+                pending_path.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:  # pragma: no cover - permissions
+                pass
+            return
+        doc = {
+            "kind": "pending_batch",
+            "schema": 1,
+            "time_unix": time.time(),
+            "jobs": [
+                {
+                    "index": o.index,
+                    "key": jobs[o.index].cache_key(),
+                    "describe": jobs[o.index].describe(),
+                    "spec": jobs[o.index].payload(),
+                    "error": o.error,
+                }
+                for o in drained
+            ],
+        }
+        try:
+            atomic_write_json(pending_path, doc)
+        except OSError as exc:  # pragma: no cover - disk full
+            log.warning("could not persist pending queue: %s", exc)
+            return
+        log.warning(
+            "drained batch: %d job(s) not run; pending queue saved to %s "
+            "(resubmit the batch to resume — completed jobs will hit the "
+            "cache)", len(drained), pending_path)
 
     def run_one(self, job: MappingJob) -> JobResult:
         """Run a single job; raises :class:`ServiceError` on failure."""

@@ -1,4 +1,4 @@
-"""Batch execution of jobs over a process pool.
+"""Supervised batch execution of jobs over a process pool.
 
 The executor is deliberately generic: it runs ``fn(item)`` for a list of
 picklable items with
@@ -8,15 +8,31 @@ picklable items with
 - a per-job wall-clock timeout, enforced *inside* the worker via
   ``SIGALRM`` so a hung job is cancelled without poisoning the pool
   (on platforms without ``SIGALRM`` the timeout is best-effort off);
-- bounded retry with exponential backoff for transient failures (any
-  exception except a timeout); a job that keeps failing is reported as a
-  failed :class:`JobOutcome` without killing the rest of the batch.
-  Backoff never blocks the dispatch loop: retries are parked on a
-  due-time queue while completed futures keep being harvested;
-- hard worker deaths (segfault, OOM-kill, ``os._exit``) surface as
-  ``BrokenProcessPool``; the pool is rebuilt once per batch and every
-  in-flight job is either rescheduled (within its retry budget) or
-  reported failed — one crashing job cannot sink the batch.
+- bounded retry with **full-jitter** exponential backoff for transient
+  failures (any exception except a timeout), seeded from the job's own
+  identity so reruns are reproducible but parallel CI shards don't
+  thunder-herd. Backoff never blocks the dispatch loop: retries are
+  parked on a due-time queue while completed futures keep being
+  harvested;
+- **worker-death supervision**: a hard death (segfault, OOM-kill,
+  ``os._exit``) breaks the whole pool and loses every in-flight future.
+  The pool is rebuilt and the lost jobs are re-run *one at a time*
+  (probe mode) so the next crash is attributable to exactly one job. A
+  job that kills its worker ``poison_threshold`` times (default 2) is a
+  **poison job**: it is failed with a ``poisoned`` outcome and announced
+  via the ``"poisoned"`` event (the engine serializes its spec into the
+  store's quarantine for postmortem) instead of being retried forever;
+- a **circuit breaker** over pool breaks: ``circuit_threshold``
+  consecutive infrastructure failures open it, refusing further
+  rebuilds (remaining jobs fail fast with a circuit-open error) until
+  ``circuit_cooldown`` seconds pass; then a single half-open rebuild
+  probe is admitted, and its success closes the circuit. The breaker
+  persists across batches on the executor instance;
+- **graceful drain** on SIGTERM/SIGINT (and via
+  :meth:`BatchExecutor.request_drain`): dispatch stops, queued futures
+  are cancelled, in-flight jobs are harvested, and unfinished items are
+  reported with ``drained`` outcomes so the engine can persist the
+  pending queue for a warm resume.
 """
 
 from __future__ import annotations
@@ -24,7 +40,13 @@ from __future__ import annotations
 import signal
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -32,6 +54,11 @@ from dataclasses import dataclass
 from repro.errors import ConfigError, JobTimeoutError
 from repro.observability.metrics import get_registry
 from repro.resilience import faultinject
+from repro.service.supervision import (
+    CircuitBreaker,
+    full_jitter_delay,
+    jitter_token,
+)
 from repro.utils.logconf import get_logger
 
 __all__ = ["ExecutorConfig", "JobOutcome", "BatchExecutor"]
@@ -53,14 +80,34 @@ class ExecutorConfig:
         Extra attempts after the first failure (timeouts never retry —
         a job that blew its budget once will blow it again).
     backoff:
-        Base of the exponential backoff slept before attempt ``k``:
-        ``backoff * 2**(k-2)`` seconds.
+        Cap base of the backoff slept before retry ``k``: with jitter,
+        ``uniform(0, backoff * 2**(k-1))`` seconds (seeded from the job
+        key); without, exactly ``backoff * 2**(k-1)``.
+    jitter:
+        Apply full jitter to retry backoff (default). Disable for
+        tests that assert exact sleep lengths.
+    poison_threshold:
+        Worker deaths attributable to one job before it is quarantined
+        as a poison job instead of re-run.
+    circuit_threshold:
+        Consecutive pool breaks that open the circuit breaker.
+    circuit_cooldown:
+        Seconds the breaker stays open before admitting a half-open
+        rebuild probe.
+    drain_on_signals:
+        Install SIGTERM/SIGINT handlers for the duration of a pooled
+        ``run()`` that trigger a graceful drain (main thread only).
     """
 
     jobs: int = 1
     timeout: float | None = None
     retries: int = 1
     backoff: float = 0.05
+    jitter: bool = True
+    poison_threshold: int = 2
+    circuit_threshold: int = 3
+    circuit_cooldown: float = 30.0
+    drain_on_signals: bool = True
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -71,6 +118,12 @@ class ExecutorConfig:
             raise ConfigError("retries must be >= 0")
         if self.backoff < 0:
             raise ConfigError("backoff must be >= 0")
+        if self.poison_threshold < 1:
+            raise ConfigError("poison_threshold must be >= 1")
+        if self.circuit_threshold < 1:
+            raise ConfigError("circuit_threshold must be >= 1")
+        if self.circuit_cooldown < 0:
+            raise ConfigError("circuit_cooldown must be >= 0")
 
 
 @dataclass
@@ -84,6 +137,8 @@ class JobOutcome:
     attempts: int
     wall_seconds: float
     timed_out: bool = False
+    poisoned: bool = False
+    drained: bool = False
 
     @property
     def ok(self) -> bool:
@@ -135,7 +190,8 @@ class BatchExecutor:
     """Run a batch of ``fn(item)`` calls per :class:`ExecutorConfig`.
 
     ``on_event(event, info)`` (optional) receives ``"queued"``,
-    ``"started"`` (once per attempt) and ``"finished"`` telemetry.
+    ``"started"`` (once per attempt), ``"finished"``, ``"pool_rebuild"``,
+    ``"poisoned"``, ``"circuit_open"`` and ``"drained"`` telemetry.
     """
 
     def __init__(self, config: ExecutorConfig | None = None, on_event=None):
@@ -143,25 +199,87 @@ class BatchExecutor:
         self.on_event = on_event
         #: Times a broken process pool was rebuilt (reset per batch).
         self.pool_rebuilds = 0
+        #: Breaker over pool breaks; persists across batches.
+        self.breaker = CircuitBreaker(
+            threshold=self.config.circuit_threshold,
+            cooldown=self.config.circuit_cooldown,
+        )
+        self._drain = threading.Event()
+
+    # -- drain ---------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def request_drain(self, reason: str = "drain requested") -> None:
+        """Stop dispatching; harvest in-flight work and return early.
+
+        Sticky across batches: a draining executor (a process told to
+        shut down) fails further dispatch fast until the process exits.
+        """
+        if not self._drain.is_set():
+            log.warning("draining batch executor: %s", reason)
+            get_registry().counter("executor.drains").inc()
+            self._drain.set()
+            self._emit("drain_requested", reason=reason)
+
+    @contextmanager
+    def _drain_signals(self):
+        """SIGTERM/SIGINT trigger a graceful drain while a batch runs."""
+        usable = (self.config.drain_on_signals
+                  and threading.current_thread() is threading.main_thread())
+        if not usable:
+            yield
+            return
+        previous = {}
+
+        def _handler(signum, frame):
+            self.request_drain(f"received signal {signum}")
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - platform
+                pass
+        try:
+            yield
+        finally:
+            for sig, prev in previous.items():
+                signal.signal(sig, prev)
 
     def _emit(self, event: str, **info) -> None:
         if self.on_event is not None:
             self.on_event(event, info)
+
+    def _backoff_delay(self, item, attempt: int) -> float:
+        if not self.config.jitter:
+            return self.config.backoff * 2 ** (attempt - 1)
+        return full_jitter_delay(self.config.backoff, attempt,
+                                 jitter_token(item))
 
     def run(self, fn, items) -> list[JobOutcome]:
         """Execute every item; outcomes are positionally aligned to items."""
         items = list(items)
         for i in range(len(items)):
             self._emit("queued", index=i, item=items[i])
-        if self.config.jobs == 1 or len(items) <= 1:
-            return [self._run_serial(fn, i, item)
-                    for i, item in enumerate(items)]
-        return self._run_pool(fn, items)
+        with self._drain_signals():
+            if self.config.jobs == 1 or len(items) <= 1:
+                return [self._run_serial(fn, i, item)
+                        for i, item in enumerate(items)]
+            return self._run_pool(fn, items)
 
     # -- serial fallback -----------------------------------------------------------
     def _run_serial(self, fn, index: int, item) -> JobOutcome:
         start = time.perf_counter()
         attempt = 0
+        if self._drain.is_set():
+            outcome = JobOutcome(index, item, None,
+                                 "drained: batch shut down before this job "
+                                 "started", 0, 0.0, drained=True)
+            self._emit("finished", index=index, item=item, attempts=0,
+                       wall_seconds=0.0, error=outcome.error,
+                       timed_out=False, drained=True)
+            return outcome
         while True:
             attempt += 1
             self._emit("started", index=index, item=item, attempt=attempt)
@@ -174,11 +292,11 @@ class BatchExecutor:
                                      timed_out=True)
                 break
             except Exception as exc:
-                if attempt <= self.config.retries:
+                if attempt <= self.config.retries and not self._drain.is_set():
                     get_registry().counter("executor.retries").inc()
                     log.warning("job %d attempt %d failed (%s); retrying",
                                 index, attempt, _describe(exc))
-                    time.sleep(self.config.backoff * 2 ** (attempt - 1))
+                    time.sleep(self._backoff_delay(item, attempt))
                     continue
                 outcome = JobOutcome(index, item, None, _describe(exc),
                                      attempt, time.perf_counter() - start)
@@ -194,6 +312,19 @@ class BatchExecutor:
 
     # -- pooled path ---------------------------------------------------------------
     def _run_pool(self, fn, items: list) -> list[JobOutcome]:
+        registry = get_registry()
+        if self.breaker.state == CircuitBreaker.HALF_OPEN:
+            # A previous batch's probe never resolved (its work all
+            # finished through other paths); this batch is the probe.
+            pass
+        elif not self.breaker.allow():
+            # Opened by a previous batch and still cooling down: refuse
+            # to build a pool at all rather than feed a sick substrate.
+            error = ("circuit breaker open after repeated worker crashes; "
+                     "refusing to dispatch until the cooldown "
+                     f"({self.config.circuit_cooldown:.3g}s) elapses")
+            return [JobOutcome(i, item, None, error, 0, 0.0)
+                    for i, item in enumerate(items)]
         outcomes: list[JobOutcome | None] = [None] * len(items)
         starts = [0.0] * len(items)
         workers = min(self.config.jobs, len(items))
@@ -201,6 +332,8 @@ class BatchExecutor:
         pool = ProcessPoolExecutor(max_workers=workers)
         pending: dict = {}                       # future -> (index, attempt)
         retries: list[tuple[float, int, int]] = []  # (due, index, attempt)
+        suspects: deque[tuple[int, int]] = deque()  # (index, attempt) probes
+        deaths: dict[int, int] = {}              # index -> worker deaths
 
         def submit(index: int, attempt: int) -> None:
             if attempt == 1:
@@ -212,21 +345,26 @@ class BatchExecutor:
             pending[future] = (index, attempt)
 
         def finish(index: int, attempt: int, result, error,
-                   timed_out: bool = False) -> None:
+                   timed_out: bool = False, poisoned: bool = False,
+                   drained: bool = False) -> None:
+            if outcomes[index] is not None:
+                return
             outcomes[index] = JobOutcome(
                 index, items[index], result, error, attempt,
                 time.perf_counter() - starts[index], timed_out=timed_out,
+                poisoned=poisoned, drained=drained,
             )
             self._emit("finished", index=index, item=items[index],
                        attempts=attempt,
                        wall_seconds=outcomes[index].wall_seconds,
-                       error=error, timed_out=timed_out)
+                       error=error, timed_out=timed_out, poisoned=poisoned,
+                       drained=drained)
 
         def reschedule(index: int, attempt: int, exc: BaseException) -> None:
             """Park a retry on the due-time queue, or fail the job."""
             if attempt <= self.config.retries:
-                get_registry().counter("executor.retries").inc()
-                delay = self.config.backoff * 2 ** (attempt - 1)
+                registry.counter("executor.retries").inc()
+                delay = self._backoff_delay(items[index], attempt)
                 log.warning("job %d attempt %d failed (%s); retry in %.3fs",
                             index, attempt, _describe(exc), delay)
                 retries.append((time.perf_counter() + delay, index,
@@ -234,66 +372,166 @@ class BatchExecutor:
             else:
                 finish(index, attempt, None, _describe(exc))
 
+        def poison(index: int, attempt: int, exc: BaseException) -> None:
+            registry.counter("executor.poison_jobs").inc()
+            error = (f"poison job: worker died {deaths[index]} time(s) "
+                     f"running it (last: {_describe(exc)}); quarantined")
+            log.error("job %d is poison (%d worker deaths); quarantining",
+                      index, deaths[index])
+            self._emit("poisoned", index=index, item=items[index],
+                       deaths=deaths[index], error=_describe(exc))
+            finish(index, attempt, None, error, poisoned=True)
+
+        def fail_unfinished(error: str) -> None:
+            """Fail everything still queued (suspects + parked retries)."""
+            while suspects:
+                index, attempt = suspects.popleft()
+                finish(index, max(attempt - 1, 1), None, error)
+            for _, index, attempt in retries:
+                finish(index, max(attempt - 1, 1), None, error)
+            retries.clear()
+
+        def drain_queued() -> None:
+            """Cancel not-yet-started futures and abandon queued work."""
+            for future, (index, attempt) in list(pending.items()):
+                if future.cancel():
+                    del pending[future]
+                    finish(index, max(attempt - 1, 0), None,
+                           "drained: cancelled before the job started",
+                           drained=True)
+            while suspects:
+                index, attempt = suspects.popleft()
+                finish(index, max(attempt - 1, 1), None,
+                       "drained: crash probe abandoned during shutdown",
+                       drained=True)
+            for _, index, attempt in retries:
+                finish(index, max(attempt - 1, 1), None,
+                       "drained: retry abandoned during shutdown",
+                       drained=True)
+            retries.clear()
+
+        def on_pool_break(exc: BrokenProcessPool) -> None:
+            """A worker died hard, taking the pool and every in-flight
+            future with it. Attribute deaths, enter probe mode, and
+            rebuild — if the circuit breaker still lets us."""
+            nonlocal pool
+            registry.counter("executor.worker_deaths").inc()
+            for index, attempt in pending.values():
+                deaths[index] = deaths.get(index, 0) + 1
+                if deaths[index] >= self.config.poison_threshold:
+                    poison(index, attempt, exc)
+                else:
+                    suspects.append((index, attempt + 1))
+            pending.clear()
+            pool.shutdown(wait=False)
+            if self.breaker.record_failure():
+                registry.counter("executor.circuit_open").inc()
+                log.error("circuit breaker OPEN after %d consecutive "
+                          "pool failures", self.breaker.consecutive_failures)
+                self._emit("circuit_open",
+                           failures=self.breaker.consecutive_failures,
+                           error=_describe(exc))
+            if not (suspects or retries):
+                return  # every job already has an outcome; nothing to run
+            if not self.breaker.allow():
+                fail_unfinished(
+                    f"circuit breaker open after repeated worker crashes "
+                    f"(last: {_describe(exc)}); cooling down "
+                    f"{self.config.circuit_cooldown:.3g}s"
+                )
+                return
+            self.pool_rebuilds += 1
+            registry.counter("executor.pool_rebuilds").inc()
+            log.warning("process pool broke (%s); rebuilding (%d)",
+                        _describe(exc), self.pool_rebuilds)
+            self._emit("pool_rebuild", rebuilds=self.pool_rebuilds,
+                       error=_describe(exc))
+            pool = ProcessPoolExecutor(max_workers=workers)
+
         try:
             for i in range(len(items)):
                 submit(i, 1)
-            while pending or retries:
+            while pending or retries or suspects:
+                if self._drain.is_set():
+                    drain_queued()
+                    if not pending:
+                        break
                 now = time.perf_counter()
                 due = [r for r in retries if r[0] <= now]
                 retries = [r for r in retries if r[0] > now]
-                for _, index, attempt in due:
-                    submit(index, attempt)
+                if suspects:
+                    # Probe mode: exactly one suspect in flight at a
+                    # time, so the next pool break is attributable to
+                    # one job. Due retries are parked until it ends.
+                    if not pending and not self._drain.is_set():
+                        index, attempt = suspects.popleft()
+                        submit(index, attempt)
+                    for _, index, attempt in due:
+                        retries.append((now, index, attempt))
+                elif not self._drain.is_set():
+                    for _, index, attempt in due:
+                        submit(index, attempt)
                 if not pending:
-                    # Only future-dated retries left; sleep until the
-                    # earliest one (nothing else can make progress).
-                    time.sleep(max(0.0, min(r[0] for r in retries)
-                                   - time.perf_counter()))
+                    if retries and not suspects:
+                        # Only future-dated retries left; sleep until the
+                        # earliest one (nothing else can make progress).
+                        time.sleep(max(0.0, min(r[0] for r in retries)
+                                       - time.perf_counter()))
                     continue
-                # Harvest completions, but wake for the next retry due-time
-                # instead of blocking on the slowest in-flight job.
+                # Harvest completions, but wake for the next retry
+                # due-time instead of blocking on the slowest in-flight
+                # job. In probe mode retries are parked, so just block
+                # on the probe.
                 wake = (max(0.0, min(r[0] for r in retries) - now)
-                        if retries else None)
+                        if retries and not suspects else None)
                 done, _ = wait(set(pending), timeout=wake,
                                return_when=FIRST_COMPLETED)
                 broken: BrokenProcessPool | None = None
                 for future in done:
-                    entry = pending.pop(future, None)
+                    entry = pending.get(future)
                     if entry is None:
                         continue
                     index, attempt = entry
                     try:
                         result = future.result()
+                    except BrokenProcessPool as exc:
+                        # Leave it in pending: on_pool_break attributes
+                        # the death for every lost in-flight future.
+                        broken = exc
+                        continue
+                    except CancelledError:
+                        del pending[future]
+                        finish(index, max(attempt - 1, 0), None,
+                               "drained: cancelled before the job started",
+                               drained=True)
+                        continue
                     except JobTimeoutError as exc:
-                        get_registry().counter("executor.timeouts").inc()
+                        # The worker survived (it raised, cleanly), so the
+                        # substrate is healthy even though the job is not.
+                        del pending[future]
+                        deaths.pop(index, None)
+                        self.breaker.record_success()
+                        registry.counter("executor.timeouts").inc()
                         finish(index, attempt, None, _describe(exc),
                                timed_out=True)
-                    except BrokenProcessPool as exc:
-                        # A worker died hard; every in-flight future is
-                        # lost with it. Handle the whole pool below.
-                        broken = exc
-                        reschedule(index, attempt, exc)
+                        continue
                     except Exception as exc:
+                        del pending[future]
+                        deaths.pop(index, None)
+                        self.breaker.record_success()
                         reschedule(index, attempt, exc)
-                    else:
-                        finish(index, attempt, result, None)
+                        continue
+                    del pending[future]
+                    deaths.pop(index, None)
+                    self.breaker.record_success()
+                    finish(index, attempt, result, None)
                 if broken is not None:
-                    for index, attempt in pending.values():
-                        reschedule(index, attempt, broken)
-                    pending.clear()
-                    pool.shutdown(wait=False)
-                    if self.pool_rebuilds or not retries:
-                        # Second crash (or nothing left to rerun): give up
-                        # on the pool and fail any queued retries.
-                        for _, index, attempt in retries:
-                            finish(index, attempt - 1, None,
-                                   _describe(broken))
-                        retries = []
-                    else:
-                        self.pool_rebuilds += 1
-                        get_registry().counter("executor.pool_rebuilds").inc()
-                        log.warning("process pool broke (%s); rebuilding",
-                                    _describe(broken))
-                        pool = ProcessPoolExecutor(max_workers=workers)
+                    on_pool_break(broken)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
+        for i, item in enumerate(items):
+            if outcomes[i] is None:  # pragma: no cover - defensive
+                outcomes[i] = JobOutcome(i, item, None,
+                                         "internal: job never completed",
+                                         0, 0.0)
         return outcomes  # type: ignore[return-value]

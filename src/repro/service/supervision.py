@@ -1,0 +1,132 @@
+"""Executor supervision primitives: circuit breaker + full-jitter backoff.
+
+Infrastructure failures (a worker segfaulting takes its whole process
+pool down) are different from job failures: retrying into a broken
+substrate just burns pool rebuilds. :class:`CircuitBreaker` implements
+the classic three-state machine over *consecutive* infrastructure
+failures:
+
+- **closed** — healthy; failures increment a consecutive counter, any
+  success resets it;
+- **open** — ``threshold`` consecutive failures seen; further work is
+  refused (``allow()`` is False) until ``cooldown`` seconds pass;
+- **half-open** — cooldown elapsed; exactly one probe is let through.
+  Its success closes the circuit, its failure re-opens it (and restarts
+  the cooldown).
+
+:func:`full_jitter_delay` is the AWS-style "full jitter" backoff: the
+k-th retry sleeps ``uniform(0, base * 2**(k-1))``. A deterministic
+``backoff * 2**(k-1)`` schedule makes parallel CI shards retry in
+lockstep and thunder-herd whatever they all depend on; jitter decorrelates
+them. The draw is seeded from the job's own identity (cache key), so a
+given (job, attempt) pair always sleeps the same amount — chaos runs
+stay reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+__all__ = ["CircuitBreaker", "full_jitter_delay", "jitter_token"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        #: Times the breaker transitioned into OPEN (monotonic count).
+        self.times_opened = 0
+
+    def record_failure(self) -> bool:
+        """Count one infrastructure failure; True when this opens it."""
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe failed: straight back to open, cooldown restarts.
+            self._open()
+            return True
+        if self.state == self.CLOSED \
+                and self.consecutive_failures >= self.threshold:
+            self._open()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """Any success proves the substrate healthy again."""
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+        self.opened_at = None
+
+    def allow(self) -> bool:
+        """May the caller attempt (or rebuild) now?
+
+        In the open state this flips to half-open once the cooldown has
+        elapsed, admitting a single probe; while that probe is out,
+        further calls are refused.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = self.HALF_OPEN
+                return True
+            return False
+        return False  # half-open: one probe already out
+
+    def _open(self) -> None:
+        self.state = self.OPEN
+        self.opened_at = self._clock()
+        self.times_opened += 1
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "times_opened": self.times_opened,
+        }
+
+
+def jitter_token(item: object) -> str:
+    """A stable per-job identity to seed jitter from.
+
+    Content-addressed jobs use their cache key; anything else falls
+    back to ``repr`` (stable for the value-like tuples/strings batches
+    are made of).
+    """
+    cache_key = getattr(item, "cache_key", None)
+    if callable(cache_key):
+        try:
+            return str(cache_key())
+        except Exception:
+            pass
+    return repr(item)
+
+
+def full_jitter_delay(base: float, attempt: int, token: str) -> float:
+    """Full-jitter backoff before retry ``attempt`` (1-based failures).
+
+    Deterministic in ``(base, attempt, token)``: the fraction of the
+    exponential cap comes from a SHA-256 over the token and attempt, so
+    reruns sleep identically while distinct jobs decorrelate.
+    """
+    cap = base * (2 ** max(attempt - 1, 0))
+    if cap <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{token}#{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2**64
+    return cap * fraction

@@ -93,12 +93,15 @@ def test_store_corrupt_artifact_self_heals(tmp_path, monkeypatch):
     first = MappingEngine(cache_dir=cache, jobs=1)
     assert first.run([_job(0)])[0].ok
     # The cached artifact was corrupted by the fault; a second engine
-    # treats it as a miss, evicts it, recomputes and re-caches.
+    # treats it as a miss, quarantines it with a report, recomputes and
+    # re-caches.
     second = MappingEngine(cache_dir=cache, jobs=1)
     outcome = second.run([_job(0)])[0]
     assert outcome.ok
     assert not outcome.result.from_cache
-    assert second.store.stats.evictions >= 1
+    assert second.store.stats.quarantined >= 1
+    assert second.stats.quarantined >= 1  # surfaced at engine level too
+    assert second.store.list_quarantine()
     third = MappingEngine(cache_dir=cache, jobs=1)
     assert third.run([_job(0)])[0].result.from_cache
 
@@ -123,8 +126,9 @@ def _chaos_item_fn(item):
 
 def test_retry_backoff_does_not_block_harvesting(tmp_path):
     """A job awaiting its retry due-time must not delay other completions."""
+    # jitter=False: the test reasons about the exact 1.5s backoff length.
     executor = BatchExecutor(
-        ExecutorConfig(jobs=2, retries=1, backoff=1.5)
+        ExecutorConfig(jobs=2, retries=1, backoff=1.5, jitter=False)
     )
     items = [
         ("fail-once", str(tmp_path / "marker")),

@@ -1,0 +1,162 @@
+"""`repro doctor`: fsck findings, repairs, report artifact, CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.service import ResultStore, diagnose
+from repro.service.doctor import PROBLEM_KINDS
+from repro.service.store import atomic_write_json
+
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+KEY3 = "ef" + "2" * 62
+
+
+@pytest.fixture
+def cache(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    store.put(KEY, {"value": 1})
+    store.put(KEY2, {"value": 2})
+    return store
+
+
+def _kinds(report):
+    return [f.kind for f in report.findings]
+
+
+def test_clean_directory_is_clean(cache):
+    report = diagnose(cache.root)
+    assert report.clean
+    assert report.scanned == 2
+    assert report.findings == []
+    assert "CLEAN" in report.to_text()
+
+
+def test_missing_root_is_a_problem(tmp_path):
+    report = diagnose(tmp_path / "nope")
+    assert not report.clean
+    assert _kinds(report) == ["missing-root"]
+
+
+def test_corrupt_artifact_found_and_repaired_into_quarantine(cache):
+    cache.path_for(KEY).write_text('{"schema": 2, "torn')
+    report = diagnose(cache.root)
+    assert not report.clean
+    assert "corrupt-artifact" in _kinds(report)
+    assert not (cache.root / "quarantine").exists()  # scan-only is read-only
+
+    repaired = diagnose(cache.root, repair=True)
+    assert repaired.clean
+    corrupt = [f for f in repaired.findings if f.kind == "corrupt-artifact"]
+    assert corrupt[0].repaired and "quarantined" in corrupt[0].action
+    assert not cache.path_for(KEY).exists()
+    # Third pass: quarantine entries are informational, still clean.
+    final = diagnose(cache.root)
+    assert final.clean
+    assert "quarantine-entry" in _kinds(final)
+
+
+def test_stale_schema_found_and_evicted_on_repair(cache):
+    path = cache.path_for(KEY)
+    doc = json.loads(path.read_text())
+    doc["schema"] = 1
+    path.write_text(json.dumps(doc))
+    report = diagnose(cache.root)
+    assert "stale-schema" in _kinds(report)
+    assert not report.clean
+    repaired = diagnose(cache.root, repair=True)
+    assert repaired.clean
+    assert not path.exists()
+    assert diagnose(cache.root).clean
+
+
+def test_orphan_tmp_files_found_and_removed(cache):
+    shard = cache.path_for(KEY).parent
+    orphan = shard / f".{KEY[:8]}-dead.tmp"
+    orphan.write_text("half-writ")
+    report = diagnose(cache.root)
+    assert "orphan-tmp" in _kinds(report) and not report.clean
+    repaired = diagnose(cache.root, repair=True)
+    assert repaired.clean
+    assert not orphan.exists()
+    assert cache.get(KEY)["value"] == 1  # committed entries untouched
+
+
+def test_stale_lock_found_and_removed(cache, tmp_path):
+    # A lockfile whose pid is provably dead (we spawn nothing: use a pid
+    # from the exhausted range — pid_max caps real pids well below this).
+    cache.lock_path.write_text(json.dumps(
+        {"pid": 2 ** 22 + 1, "host": os.uname().nodename,
+         "acquired_unix": 0}))
+    report = diagnose(cache.root)
+    stale = [f for f in report.findings if f.kind == "stale-lock"]
+    assert stale and not report.clean
+    repaired = diagnose(cache.root, repair=True)
+    assert repaired.clean
+    assert not cache.lock_path.exists()
+
+
+def test_live_lock_is_informational(cache):
+    with cache.lock():
+        report = diagnose(cache.root)
+        assert "active-lock" in _kinds(report)
+        assert report.clean  # a held lock is healthy, not sick
+
+
+def test_pending_batch_is_informational(cache):
+    atomic_write_json(cache.root / "pending.json", {
+        "kind": "pending_batch", "schema": 1,
+        "jobs": [{"index": 3, "key": KEY3, "describe": "x", "spec": {},
+                  "error": "drained"}],
+    })
+    report = diagnose(cache.root)
+    pend = [f for f in report.findings if f.kind == "pending-batch"]
+    assert pend and "1 drained job(s)" in pend[0].detail
+    assert report.clean
+
+
+def test_checkpoints_subdir_is_fscked_recursively(cache):
+    ck = ResultStore(cache.root / "checkpoints")
+    ck.put(KEY3, {"kind": "checkpoint", "state": {}})
+    ck.path_for(KEY3).write_text("garbage")
+    report = diagnose(cache.root)
+    assert report.clean is False
+    assert report.checkpoints is not None
+    assert "corrupt-artifact" in _kinds(report.checkpoints)
+    repaired = diagnose(cache.root, repair=True)
+    assert repaired.clean
+    assert repaired.checkpoints.clean
+
+
+def test_report_dict_schema_and_problem_kinds(cache):
+    cache.path_for(KEY).write_text("junk")
+    (cache.root / "stray.tmp").write_text("")
+    doc = diagnose(cache.root).to_dict()
+    assert doc["kind"] == "doctor_report" and doc["schema"] == 1
+    assert doc["clean"] is False
+    assert doc["scanned"] == 2
+    found = {f["kind"] for f in doc["findings"]}
+    assert found == {"corrupt-artifact", "orphan-tmp"}
+    assert found <= PROBLEM_KINDS
+
+
+# -- CLI ------------------------------------------------------------------------------
+def test_cli_doctor_exit_codes_and_artifact(cache, tmp_path, capsys):
+    out = tmp_path / "doctor.json"
+    assert cli_main(["doctor", str(cache.root), "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["clean"] is True
+
+    cache.path_for(KEY).write_text("junk")
+    assert cli_main(["doctor", str(cache.root)]) == 1
+    assert "UNHEALTHY" in capsys.readouterr().out
+
+    assert cli_main(["doctor", str(cache.root), "--repair",
+                     "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "repaired" in captured and "CLEAN" in captured
+    doc = json.loads(out.read_text())
+    assert doc["clean"] is True and doc["repair"] is True
+    assert cli_main(["doctor", str(cache.root)]) == 0

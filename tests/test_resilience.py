@@ -272,7 +272,8 @@ class TestCheckpoint:
         assert store.path_for(ck.key_for("pin")).exists()
         fresh = MapperCheckpoint(store, job_key="j")
         assert fresh.load_assignment("pin") is None
-        assert store.stats.evictions >= 1
+        # Torn checkpoints are quarantined (with a report), not dropped.
+        assert store.stats.quarantined >= 1
         # A clean rewrite then round-trips.
         fresh.save_assignment("pin", np.arange(8))
         assert np.array_equal(
@@ -380,13 +381,15 @@ class TestFaultPlan:
 
 # -- store corruption self-heals ------------------------------------------------------
 class TestStoreCorruption:
-    def test_corrupt_put_is_a_miss_then_evicted(self, tmp_path):
+    def test_corrupt_put_is_a_miss_then_quarantined(self, tmp_path):
         store = ResultStore(tmp_path)
         with injected_faults(FaultSpec("store-corrupt", max_hits=1)):
             store.put("ab" * 32, {"schema": 1, "x": 1})
-        # File exists but does not parse: get treats it as a miss.
+        # File exists but does not parse: get treats it as a miss and
+        # moves the evidence into quarantine.
         assert store.get("ab" * 32) is None
-        assert store.stats.evictions == 1
+        assert store.stats.quarantined == 1
+        assert store.list_quarantine()
         # Rewritten cleanly, it round-trips.
         store.put("ab" * 32, {"schema": 1, "x": 1})
         assert store.get("ab" * 32)["x"] == 1

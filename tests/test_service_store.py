@@ -1,11 +1,15 @@
-"""Result-store behaviour: atomicity, schema versioning, counters."""
+"""Result-store behaviour: durability envelope, quarantine, locking."""
 
 import json
+import multiprocessing
+import os
+import time
 
 import pytest
 
-from repro.errors import ServiceError
-from repro.service import ResultStore
+from repro.errors import ServiceError, StoreLockError
+from repro.service import DirectoryLock, ResultStore
+from repro.service.store import payload_checksum, verify_artifact
 
 KEY = "ab" + "0" * 62
 KEY2 = "cd" + "1" * 62
@@ -51,14 +55,8 @@ def test_schema_mismatch_is_a_miss_and_evicts(store):
     assert store.get(KEY) is None
     assert store.stats.misses == 1
     assert store.stats.evictions == 1
+    assert store.stats.quarantined == 0  # old-format, not corrupt
     assert not path.exists()
-
-
-def test_corrupt_artifact_is_a_miss_and_evicts(store):
-    store.put(KEY, {"value": 1})
-    store.path_for(KEY).write_text("{not json")
-    assert store.get(KEY) is None
-    assert store.stats.evictions == 1
 
 
 def test_evict_and_clear(store):
@@ -79,7 +77,154 @@ def test_malformed_key_rejected(store):
         store.put("ZZ" + "0" * 62, {})
 
 
-def test_schema_stamped_on_put(store):
-    store.put(KEY, {"value": 1})
+# -- the v2 envelope ------------------------------------------------------------------
+def test_envelope_carries_checksum_header(store):
+    payload = {"value": 1, "nested": {"a": [1, 2]}}
+    store.put(KEY, payload)
     doc = json.loads(store.path_for(KEY).read_text())
     assert doc["schema"] == store.schema_version
+    assert doc["key"] == KEY
+    assert doc["sha256"] == payload_checksum(payload)
+    assert doc["payload"] == payload
+    status, detail, verified = verify_artifact(store.path_for(KEY))
+    assert status == "ok" and verified == payload
+
+
+# -- quarantine-on-corrupt ------------------------------------------------------------
+def test_unparseable_artifact_is_quarantined_with_report(store):
+    store.put(KEY, {"value": 1})
+    store.path_for(KEY).write_text("{not json")
+    assert store.get(KEY) is None
+    assert store.stats.quarantined == 1
+    assert store.stats.evictions == 0
+    assert not store.path_for(KEY).exists()
+    entries = store.list_quarantine()
+    data = [e for e in entries if not e["file"].endswith(".report.json")]
+    reports = [e for e in entries if e["file"].endswith(".report.json")]
+    assert len(data) == 1 and len(reports) == 1
+    report = reports[0]["report"]
+    assert report["kind"] == "corruption_report"
+    assert report["key"] == KEY
+    assert "unparseable" in report["reason"]
+    # The sick bytes are preserved for postmortem, not destroyed.
+    qfile = store.quarantine_dir / data[0]["file"]
+    assert qfile.read_text() == "{not json"
+
+
+def test_bitflipped_payload_fails_checksum_and_quarantines(store):
+    store.put(KEY, {"value": 1})
+    path = store.path_for(KEY)
+    doc = json.loads(path.read_text())
+    doc["payload"]["value"] = 2  # flip a bit, keep the old checksum
+    path.write_text(json.dumps(doc))
+    assert store.get(KEY) is None
+    assert store.stats.quarantined == 1
+    report = [e["report"] for e in store.list_quarantine()
+              if e["file"].endswith(".report.json")][0]
+    assert "checksum mismatch" in report["reason"]
+
+
+def test_non_utf8_artifact_is_quarantined(store):
+    # A media-level bit flip can land mid-multibyte-sequence and make the
+    # file unreadable as text; that is corruption, not a crash.
+    store.put(KEY, {"value": 1})
+    path = store.path_for(KEY)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] = 0xD3  # invalid UTF-8 continuation
+    path.write_bytes(bytes(raw))
+    assert store.get(KEY) is None
+    assert store.stats.quarantined == 1
+    report = [e["report"] for e in store.list_quarantine()
+              if e["file"].endswith(".report.json")][0]
+    assert "UTF-8" in report["reason"]
+
+
+def test_key_mismatch_quarantines(store):
+    store.put(KEY, {"value": 1})
+    # A copy planted under the wrong name must not serve as KEY2.
+    dest = store.path_for(KEY2)
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    dest.write_text(store.path_for(KEY).read_text())
+    assert store.get(KEY2) is None
+    assert store.stats.quarantined == 1
+    assert store.get(KEY)["value"] == 1  # the original is untouched
+
+
+def test_quarantine_excluded_from_len_and_clear(store):
+    store.put(KEY, {"value": 1})
+    store.put(KEY2, {"value": 2})
+    store.path_for(KEY).write_text("junk")
+    assert store.get(KEY) is None
+    assert len(store) == 1
+    assert store.clear() == 1
+    assert len(store) == 0
+    # clear() never touches quarantined evidence
+    assert store.list_quarantine()
+
+
+def test_put_failure_cleans_partial_tmp(store, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_FAULTS", "store-enospc:1")
+    monkeypatch.setenv("REPRO_FAULT_HITS_DIR", str(tmp_path / "hits"))
+    with pytest.raises(OSError):
+        store.put(KEY, {"value": 1})
+    assert store.stats.put_failures == 1
+    assert store.stats.writes == 0
+    shard = store.path_for(KEY).parent
+    assert [p for p in shard.iterdir()] == []  # no partial tmp, no artifact
+    # The store still works afterwards (fault is exhausted).
+    store.put(KEY, {"value": 1})
+    assert store.get(KEY)["value"] == 1
+
+
+def test_fsync_false_still_atomic(tmp_path):
+    store = ResultStore(tmp_path / "cache", fsync=False)
+    store.put(KEY, {"value": 7})
+    assert store.get(KEY)["value"] == 7
+
+
+# -- cross-process locking ------------------------------------------------------------
+def test_lock_is_exclusive_and_reentrant_release(store):
+    with store.lock() as lock:
+        assert lock.held
+        contender = DirectoryLock(store.root, timeout=0.2, poll=0.02)
+        with pytest.raises(StoreLockError):
+            contender.acquire()
+    assert not store.lock_path.exists()
+    # Free again: a second acquisition succeeds immediately.
+    with store.lock():
+        pass
+
+
+def _hold_lock_briefly(root):
+    lock = DirectoryLock(root)
+    lock.acquire()
+    # Die without releasing: the lockfile survives with a dead pid.
+    os._exit(0)
+
+
+def test_stale_lock_from_dead_process_is_taken_over(store):
+    proc = multiprocessing.get_context("spawn").Process(
+        target=_hold_lock_briefly, args=(str(store.root),))
+    proc.start()
+    proc.join(timeout=30)
+    assert store.lock_path.exists()
+    info = json.loads(store.lock_path.read_text())
+    assert info["pid"] == proc.pid
+    with store.lock(timeout=5.0) as lock:
+        assert lock.held
+        assert json.loads(store.lock_path.read_text())["pid"] == os.getpid()
+    assert store.stats.stale_locks_taken == 1
+
+
+def test_unparseable_lock_respects_grace_then_is_stolen(store):
+    store.lock_path.write_text("garbage")
+    fresh = DirectoryLock(store.root, timeout=0.2, poll=0.05,
+                          stale_grace=60.0)
+    with pytest.raises(StoreLockError):
+        fresh.acquire()  # too young to steal
+    old = time.time() - 120
+    os.utime(store.lock_path, (old, old))
+    taken = DirectoryLock(store.root, timeout=2.0, stale_grace=60.0)
+    taken.acquire()
+    assert taken.held
+    taken.release()
