@@ -14,7 +14,9 @@ writes one JSON document::
       "phases": {"phase1-concentration": 0.012, ...},   # min over repeats
       "cells": {"BT": {"RAHTM": {"mcl": ..., "map_seconds": ...,
                                  "hotspot": {"slot": ..., "label": ...,
-                                             "load": ...}}, ...}}
+                                             "load": ...}}, ...}},
+      "serve": {"submit_to_done_seconds": ...,          # daemon micro-bench
+                "cache_hit_submit_seconds": ...}
     }
 
 Timings take the *minimum* over ``--repeat`` runs, the standard
@@ -98,6 +100,72 @@ def run_grid(scale_name: str, explain: dict | None = None) -> dict:
     return {"phases": phases, "cells": cells}
 
 
+def bench_serve(repeats: int) -> dict:
+    """Daemon submit->result latency over real HTTP, min over repeats.
+
+    Boots an in-process ``repro serve`` daemon on a throwaway cache and
+    times the two paths a client actually feels: a *cold* submit (fresh
+    spec, scheduled + mapped + result committed) polled to ``done``, and
+    a *warm* resubmit of the same spec (idempotent join of the done job,
+    one HTTP round trip). Each repeat uses a distinct workload seed so
+    every cold run really executes the mapper.
+    """
+    import tempfile
+    import threading
+    import time
+
+    from repro.serve import DaemonConfig, MappingDaemon, ServeClient
+    from repro.service.jobs import (
+        MapperConfig,
+        MappingJob,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as cache:
+        daemon = MappingDaemon(
+            DaemonConfig(cache_dir=cache, port=0, janitor_interval=0.0)
+        )
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            if not daemon.ready.wait(15):
+                raise SystemExit("serve bench: daemon never became ready")
+            client = ServeClient(daemon.url, timeout=15)
+            cold: list[float] = []
+            warm: list[float] = []
+            for seed in range(max(repeats, 1)):
+                spec = MappingJob(
+                    topology=TopologySpec((4, 4)),
+                    workload=WorkloadSpec("halo2d:4x4", seed=seed),
+                    mapper=MapperConfig.make("dimorder"),
+                ).payload()
+                start = time.perf_counter()
+                code, doc = client.submit(spec)
+                if code != 202:
+                    raise SystemExit(f"serve bench: submit -> {code} {doc}")
+                final = client.wait(doc["id"], timeout=60, poll=0.01)
+                cold.append(time.perf_counter() - start)
+                if final["state"] != "done":
+                    raise SystemExit(
+                        f"serve bench: job {final['state']}: {final.get('error')}"
+                    )
+                start = time.perf_counter()
+                code, doc = client.submit(spec)
+                warm.append(time.perf_counter() - start)
+                if code != 200 or doc["state"] != "done":
+                    raise SystemExit(
+                        f"serve bench: resubmit not idempotent: {code} {doc}"
+                    )
+            return {
+                "submit_to_done_seconds": min(cold),
+                "cache_hit_submit_seconds": min(warm),
+            }
+        finally:
+            daemon.stop("bench complete")
+            thread.join(15)
+
+
 def merge_min(runs: list[dict]) -> dict:
     """Fold repeats: min for timings, first run's MCLs (deterministic)."""
     out = {
@@ -124,7 +192,7 @@ def merge_min(runs: list[dict]) -> dict:
 
 def take_snapshot(
     scale: str, repeats: int, pr: str | None = None,
-    explain: dict | None = None,
+    explain: dict | None = None, serve: bool = True,
 ) -> dict:
     runs = []
     for i in range(max(repeats, 1)):
@@ -139,6 +207,8 @@ def take_snapshot(
         "phases": {k: merged["phases"][k] for k in sorted(merged["phases"])},
         "cells": merged["cells"],
     }
+    if serve:
+        snap["serve"] = bench_serve(repeats)
     if pr:
         snap["pr"] = str(pr)
     return snap
@@ -168,9 +238,20 @@ def main(argv=None) -> int:
         help="also write the per-cell netview summaries (JSON) here",
     )
     parser.add_argument("--out", default="-", help="output path ('-' = stdout)")
+    parser.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the daemon submit->result latency micro-bench",
+    )
     args = parser.parse_args(argv)
     explain: dict | None = {} if args.explain_out else None
-    snap = take_snapshot(args.scale, args.repeat, pr=args.pr, explain=explain)
+    snap = take_snapshot(
+        args.scale,
+        args.repeat,
+        pr=args.pr,
+        explain=explain,
+        serve=not args.no_serve,
+    )
     text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
     if args.out == "-":
         sys.stdout.write(text)

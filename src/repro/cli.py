@@ -48,6 +48,15 @@ link-by-link diffs of every mapper against the first one. All artifact
 flags (``--explain``/``--trace``/``--metrics``) flush even when the run
 degrades or fails.
 
+Daemon mode (``repro.serve``): ``repro serve --cache-dir DIR`` runs a
+persistent daemon exposing the engine over an HTTP JSON API — idempotent
+submits keyed by the spec's cache key, weighted-fair tenant queues,
+deadline-budget admission control, graceful SIGTERM drain with automatic
+requeue on restart, and a periodic doctor janitor. ``repro
+submit/status/result/cancel`` are the matching client commands; they find
+the daemon via ``--url``, ``$REPRO_SERVE_URL``, or the ``serve.json``
+ready file in the cache directory. See ``docs/serve.md``.
+
 Durability: cached artifacts are checksummed; corrupt entries are moved
 to ``<cache-dir>/quarantine/`` with a structured report instead of being
 silently dropped, and concurrent engines can safely share one cache
@@ -343,14 +352,158 @@ def cmd_doctor(args) -> int:
 
     from repro.service import diagnose
 
-    report = diagnose(args.directory, repair=args.repair)
+    report = diagnose(args.directory, repair=args.repair,
+                      requeue=args.requeue)
     print(report.to_text())
+    if args.requeue and report.pending is not None:
+        jobs = report.pending.get("jobs", [])
+        print(f"requeue: cleared pending.json carrying {len(jobs)} "
+              "drained job(s):")
+        for entry in jobs:
+            print(f"  - {entry.get('key', '?')[:12]}  "
+                  f"{entry.get('describe', '(no description)')}")
+        print("resubmit them (repro submit / rerun the batch); completed "
+              "jobs will hit the cache — or let a restarting `repro "
+              "serve` pick them up automatically")
     if args.out:
         Path(args.out).write_text(
             json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
         )
         print(f"doctor report written to {args.out}")
     return 0 if report.clean else 1
+
+
+# -- daemon + client ------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    """Run the persistent mapping daemon over a cache directory."""
+    from repro.serve import DaemonConfig, MappingDaemon
+
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        raise ConfigError(
+            "repro serve needs --cache-dir (or $REPRO_CACHE_DIR): the "
+            "store is where results, drained queues and the ready file "
+            "live")
+    tenant_weights = {}
+    for spec in args.tenant_weight or []:
+        name, _, weight = spec.partition("=")
+        try:
+            tenant_weights[name] = float(weight)
+        except ValueError:
+            raise ConfigError(
+                f"bad --tenant-weight {spec!r}; expected NAME=WEIGHT")
+        if not name:
+            raise ConfigError(
+                f"bad --tenant-weight {spec!r}; expected NAME=WEIGHT")
+    config = DaemonConfig(
+        cache_dir=cache_dir,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        job_timeout=args.job_timeout,
+        capacity_seconds=args.capacity,
+        default_cost_seconds=args.default_cost,
+        min_grant_seconds=args.min_grant,
+        tenant_quota=args.tenant_quota,
+        tenant_weights=tenant_weights,
+        janitor_interval=args.janitor_interval,
+        requeue_pending=not args.no_requeue,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    return MappingDaemon(config).run()
+
+
+def _serve_client(args):
+    from repro.serve import ServeClient, discover_url
+
+    url = discover_url(args.url,
+                       args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
+    return ServeClient(url, timeout=args.http_timeout)
+
+
+def _print_job_doc(doc: dict) -> None:
+    admission = doc.get("admission") or {}
+    line = (f"job {doc.get('id', '?')[:12]}… state={doc.get('state')} "
+            f"tenant={doc.get('tenant')}")
+    if admission.get("action") and admission["action"] != "admit":
+        line += (f" admission={admission['action']} "
+                 f"granted={admission.get('granted_seconds')}s")
+    if doc.get("from_cache"):
+        line += " from_cache=True"
+    if doc.get("wall_seconds") is not None:
+        line += f" wall={doc['wall_seconds']:.3f}s"
+    if doc.get("mcl") is not None:
+        line += f" mcl={doc['mcl']:.6g}"
+    if doc.get("error"):
+        line += f" error={doc['error']}"
+    print(line)
+
+
+def cmd_submit(args) -> int:
+    """Submit one mapping job to a running daemon (idempotent)."""
+    topology = parse_topology(args.topology, mesh=args.mesh)
+    job = MappingJob(
+        topology=TopologySpec.from_topology(topology),
+        workload=WorkloadSpec(args.workload, seed=args.seed),
+        mapper=mapper_config_from_spec(args.mapper, args),
+        router=args.router,
+    )
+    client = _serve_client(args)
+    code, doc = client.submit(job.payload(), tenant=args.tenant,
+                              deadline_seconds=args.deadline)
+    if code not in (200, 202):
+        raise ReproError(f"submit refused ({code}): "
+                         f"{doc.get('error', doc)}")
+    print(f"submitted as {doc['id']}")
+    _print_job_doc(doc)
+    if not args.wait:
+        return 0
+    doc = client.wait(doc["id"], timeout=args.wait_timeout, poll=args.poll)
+    _print_job_doc(doc)
+    return 0 if doc.get("state") == "done" else 2
+
+
+def cmd_status(args) -> int:
+    import json
+
+    code, doc = _serve_client(args).status(args.job_id)
+    if code != 200:
+        raise ReproError(f"status failed ({code}): {doc.get('error', doc)}")
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        _print_job_doc(doc)
+    return 0
+
+
+def cmd_result(args) -> int:
+    import json
+
+    code, doc = _serve_client(args).result(args.job_id)
+    if code != 200:
+        raise ReproError(f"result unavailable ({code}): "
+                         f"{doc.get('error', doc)}")
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"result written to {args.out}")
+    else:
+        report = doc.get("report", {})
+        print(f"mapper:   {doc.get('mapper_name')}")
+        print(f"mcl:      {report.get('mcl')}")
+        print(f"hop_bytes: {report.get('hop_bytes')}")
+        print(f"map_seconds: {doc.get('map_seconds')}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    code, doc = _serve_client(args).cancel(args.job_id)
+    if code != 200:
+        raise ReproError(f"cancel refused ({code}): "
+                         f"{doc.get('error', doc)}")
+    _print_job_doc(doc)
+    return 0
 
 
 def cmd_experiment(args) -> int:
@@ -510,9 +663,108 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fix what can be fixed: quarantine corrupt "
                         "artifacts, evict stale schemas, remove orphaned "
                         "temp files and stale locks")
+    p.add_argument("--requeue", action="store_true",
+                   help="consume a drained-batch pending.json: print its "
+                        "job specs (and carry them in --out) and clear "
+                        "the file")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write the full JSON doctor report")
     p.set_defaults(func=cmd_doctor)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent mapping daemon (HTTP JSON API over "
+             "a cache directory)",
+    )
+    p.add_argument("--cache-dir",
+                   help="result store the daemon serves from "
+                        "(default: $REPRO_CACHE_DIR)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = pick a free port; the choice "
+                        "lands in <cache>/serve.json)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="engine worker processes (1 = serial in-process)")
+    p.add_argument("--batch-size", type=int, default=4,
+                   help="max jobs per engine batch")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-attempt wall-clock budget in seconds")
+    p.add_argument("--capacity", type=float, default=None,
+                   help="admission capacity in deadline-seconds "
+                        "(default: unlimited — no admission control)")
+    p.add_argument("--default-cost", type=float, default=10.0,
+                   help="deadline-seconds reserved for jobs that declare "
+                        "no deadline")
+    p.add_argument("--min-grant", type=float, default=0.5,
+                   help="smallest degraded deadline worth granting before "
+                        "rejecting outright")
+    p.add_argument("--tenant-quota", type=int, default=64,
+                   help="max queued jobs per tenant")
+    p.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                   help="fair-share weight for a tenant (repeatable)")
+    p.add_argument("--janitor-interval", type=float, default=300.0,
+                   help="seconds between doctor repair sweeps "
+                        "(0 disables the janitor)")
+    p.add_argument("--no-requeue", action="store_true",
+                   help="do not auto-requeue a drained pending.json on "
+                        "startup")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="phase-checkpoint store for resumable mappers")
+    p.set_defaults(func=cmd_serve)
+
+    def client_opts(p):
+        p.add_argument("--url", default=None,
+                       help="daemon base URL (default: $REPRO_SERVE_URL, "
+                            "else <cache-dir>/serve.json)")
+        p.add_argument("--cache-dir",
+                       help="cache directory of the target daemon, for "
+                            "URL discovery (default: $REPRO_CACHE_DIR)")
+        p.add_argument("--http-timeout", type=float, default=30.0,
+                       help="per-request HTTP timeout in seconds")
+
+    p = sub.add_parser("submit",
+                       help="submit a mapping job to a running daemon")
+    p.add_argument("--topology", required=True,
+                   help="torus shape, e.g. 4x4x4")
+    p.add_argument("--mesh", action="store_true",
+                   help="mesh instead of torus")
+    p.add_argument("--workload", required=True,
+                   help="workload generator spec (file-backed workloads "
+                        "cannot travel over the API)")
+    p.add_argument("--mapper", default="rahtm")
+    p.add_argument("--router", choices=("mar", "dor"), default="mar")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenant", default=None,
+                   help="fair-share tenant to bill this job to")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="requested deadline-seconds (admission currency)")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job reaches a terminal state")
+    p.add_argument("--wait-timeout", type=float, default=None,
+                   help="give up polling after this many seconds")
+    p.add_argument("--poll", type=float, default=0.2,
+                   help="poll interval while waiting")
+    client_opts(p)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="show a submitted job's status")
+    p.add_argument("job_id", help="job id (= the spec's cache key)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full status document as JSON")
+    client_opts(p)
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("result", help="fetch a completed job's result")
+    p.add_argument("job_id", help="job id (= the spec's cache key)")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write the full result payload as JSON")
+    client_opts(p)
+    p.set_defaults(func=cmd_result)
+
+    p = sub.add_parser("cancel", help="cancel a queued job")
+    p.add_argument("job_id", help="job id (= the spec's cache key)")
+    client_opts(p)
+    p.set_defaults(func=cmd_cancel)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name", help="fig1|fig234|fig7|fig8|fig9|fig10|"

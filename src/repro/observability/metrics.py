@@ -98,6 +98,28 @@ class Histogram:
         e = min(max(int(math.floor(math.log2(v))), _MIN_EXP), _MAX_EXP)
         self.buckets[e] = self.buckets.get(e, 0) + 1
 
+    def quantile(self, q: float) -> float | None:
+        """Approximate the ``q``-quantile from the log2 buckets.
+
+        Accurate to within a factor of two (a bucket spans one octave);
+        the returned value is the geometric midpoint of the bucket the
+        quantile sample falls in. Used by the serve daemon's health
+        endpoint for wait-time p50/p95 without storing raw samples.
+        Returns ``None`` on an empty histogram.
+        """
+        if self.count == 0:
+            return None
+        q = min(max(q, 0.0), 1.0)
+        rank = q * (self.count - 1)
+        seen = self.zero
+        if rank < seen:
+            return 0.0
+        for e in sorted(self.buckets):
+            seen += self.buckets[e]
+            if rank < seen:
+                return 2.0 ** e * 1.5
+        return self.vmax
+
     def snapshot(self) -> dict:
         buckets = {f"2^{e}": self.buckets[e] for e in sorted(self.buckets)}
         if self.zero:

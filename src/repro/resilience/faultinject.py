@@ -16,6 +16,8 @@ store-corrupt         ``ResultStore.put``                             writes a c
 store-enospc          ``ResultStore.put`` mid-write                   raises ``OSError(ENOSPC)``
 checkpoint-torn-write ``MapperCheckpoint.save``                       writes a torn (truncated)
                                                                       checkpoint file
+serve-enqueue         ``MappingDaemon.submit`` after admission        raises
+                                                                      ``FaultInjectionError``
 ===================== ============================================== =========================
 
 A second family of **kill points** (:data:`KILL_POINTS`) SIGKILLs the
@@ -87,6 +89,7 @@ INJECTION_POINTS = (
     "store-corrupt",
     "store-enospc",
     "checkpoint-torn-write",
+    "serve-enqueue",
 )
 
 #: SIGKILL-the-writer points along the store commit protocol. Deliberately

@@ -1,0 +1,167 @@
+"""Deadline-budget admission control for the mapping daemon.
+
+The daemon's currency is the same one PR 2's
+:class:`~repro.resilience.budget.Budget` spends: **wall-clock seconds of
+mapping deadline**. Every job entering the queue reserves its declared
+deadline (or, when it declares none, a configured default cost
+estimate); the controller tracks the aggregate outstanding reservation
+against a fixed capacity — ``workers × horizon`` seconds of compute the
+operator is willing to promise at once.
+
+When a submission would push the aggregate past capacity the controller
+does what the degradation ladder taught the mapper to survive:
+
+- **degrade** — grant whatever capacity remains as a *tighter* deadline
+  (never below ``min_grant_seconds``). The granted figure flows into
+  the job's :class:`~repro.service.jobs.JobRuntime`, which builds the
+  actual :class:`~repro.resilience.budget.Budget` the mapper runs
+  under, so an over-committed daemon trades mapping quality for
+  admission instead of queueing unboundedly;
+- **reject** — below the minimum useful grant there is nothing left to
+  degrade to: the submission is refused (HTTP 429) and the client
+  should retry later or at lower demand.
+
+Reservations are released when the job finishes, fails, is cancelled,
+or is drained. The controller is thread-safe and purely arithmetical —
+time does not deplete it; only completion returns capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.observability.metrics import get_registry
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check.
+
+    ``action`` is ``"admit"``, ``"degrade"`` or ``"reject"``.
+    ``granted_seconds`` is the deadline the job must run under (``None``
+    = no daemon-imposed deadline); ``cost_seconds`` is the reservation
+    held until :meth:`AdmissionController.release`.
+    """
+
+    action: str
+    cost_seconds: float
+    granted_seconds: float | None
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != "reject"
+
+    def to_dict(self) -> dict:
+        return {
+            "action": self.action,
+            "cost_seconds": self.cost_seconds,
+            "granted_seconds": self.granted_seconds,
+            "reason": self.reason,
+        }
+
+
+class AdmissionController:
+    """Reserve-or-refuse ledger over deadline-seconds.
+
+    Parameters
+    ----------
+    capacity_seconds:
+        Aggregate deadline demand the daemon will hold at once
+        (queued + running). ``None`` disables admission control —
+        everything is admitted untouched.
+    default_cost_seconds:
+        Reservation for jobs that declare no deadline of their own.
+    min_grant_seconds:
+        Smallest degraded deadline worth granting; below this remaining
+        capacity, submissions are rejected outright.
+    """
+
+    def __init__(self, capacity_seconds: float | None = None,
+                 default_cost_seconds: float = 10.0,
+                 min_grant_seconds: float = 0.5):
+        if capacity_seconds is not None and capacity_seconds <= 0:
+            raise ConfigError("capacity_seconds must be > 0 (or None)")
+        if default_cost_seconds <= 0:
+            raise ConfigError("default_cost_seconds must be > 0")
+        if min_grant_seconds <= 0:
+            raise ConfigError("min_grant_seconds must be > 0")
+        self.capacity_seconds = capacity_seconds
+        self.default_cost_seconds = default_cost_seconds
+        self.min_grant_seconds = min_grant_seconds
+        self.outstanding_seconds = 0.0
+        self._lock = threading.Lock()
+
+    def remaining(self) -> float:
+        if self.capacity_seconds is None:
+            return float("inf")
+        with self._lock:
+            return self.capacity_seconds - self.outstanding_seconds
+
+    def admit(self, deadline_seconds: float | None = None,
+              force: bool = False) -> AdmissionDecision:
+        """Try to reserve capacity for one job.
+
+        ``deadline_seconds`` is the client's requested budget (``None``
+        = none requested; the default cost estimate is reserved and no
+        deadline is imposed unless degradation demands one). ``force``
+        admits regardless of capacity — used when requeuing jobs that
+        were already admitted before a restart, which must never bounce.
+        """
+        requested = deadline_seconds
+        cost = (self.default_cost_seconds if requested is None
+                else float(requested))
+        registry = get_registry()
+        with self._lock:
+            if self.capacity_seconds is None or force:
+                self.outstanding_seconds += cost
+                registry.counter("serve.admitted").inc()
+                return AdmissionDecision("admit", cost, requested)
+            free = self.capacity_seconds - self.outstanding_seconds
+            if cost <= free:
+                self.outstanding_seconds += cost
+                registry.counter("serve.admitted").inc()
+                return AdmissionDecision("admit", cost, requested)
+            if free >= self.min_grant_seconds:
+                # Over-committed but not dry: grant the remainder as a
+                # tightened deadline and let the mapper's degradation
+                # ladder absorb the squeeze.
+                self.outstanding_seconds += free
+                registry.counter("serve.admission_degraded").inc()
+                return AdmissionDecision(
+                    "degrade", free, free,
+                    reason=(f"queue demand exceeds capacity "
+                            f"({self.capacity_seconds:.3g}s); deadline "
+                            f"tightened from "
+                            f"{'none' if requested is None else f'{requested:.3g}s'} "
+                            f"to {free:.3g}s"),
+                )
+            registry.counter("serve.admission_rejected").inc()
+            return AdmissionDecision(
+                "reject", 0.0, None,
+                reason=(f"aggregate deadline demand "
+                        f"({self.outstanding_seconds:.3g}s) exhausts "
+                        f"capacity ({self.capacity_seconds:.3g}s); "
+                        f"retry later"),
+            )
+
+    def release(self, decision: AdmissionDecision) -> None:
+        """Return a finished/cancelled/drained job's reservation."""
+        if not decision.admitted or decision.cost_seconds <= 0:
+            return
+        with self._lock:
+            self.outstanding_seconds = max(
+                0.0, self.outstanding_seconds - decision.cost_seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity_seconds": self.capacity_seconds,
+                "outstanding_seconds": self.outstanding_seconds,
+                "default_cost_seconds": self.default_cost_seconds,
+                "min_grant_seconds": self.min_grant_seconds,
+            }

@@ -1,0 +1,141 @@
+"""Client for the mapping daemon's HTTP API (``repro submit`` etc.).
+
+Stdlib :mod:`urllib.request` only. The daemon's URL is discovered in
+order of explicitness:
+
+1. an explicit ``--url`` argument;
+2. the ``REPRO_SERVE_URL`` environment variable;
+3. the ``serve.json`` ready file a running daemon keeps under its cache
+   directory (written on startup, removed on clean exit).
+
+Every method returns ``(http_status, parsed_json)``; HTTP error codes
+are data (the daemon encodes admission rejections as 429, state
+conflicts as 409), while transport failures — daemon not running,
+connection refused — raise :class:`~repro.errors.ServiceError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+__all__ = ["ENV_URL", "ServeClient", "discover_url"]
+
+ENV_URL = "REPRO_SERVE_URL"
+
+#: States after which a job's document stops changing.
+_TERMINAL = frozenset({"done", "failed", "cancelled", "drained"})
+
+
+def discover_url(url: str | None = None,
+                 cache_dir: str | None = None) -> str:
+    """Resolve the daemon URL; raises :class:`ServiceError` if unfindable."""
+    if url:
+        return url.rstrip("/")
+    env = os.environ.get(ENV_URL, "").strip()
+    if env:
+        return env.rstrip("/")
+    if cache_dir:
+        from repro.serve.daemon import READY_NAME
+
+        ready = Path(cache_dir) / READY_NAME
+        try:
+            doc = json.loads(ready.read_text())
+            found = doc.get("url")
+            if isinstance(found, str) and found:
+                return found.rstrip("/")
+        except FileNotFoundError:
+            raise ServiceError(
+                f"no daemon ready file at {ready}; is `repro serve "
+                f"--cache {cache_dir}` running?") from None
+        except (OSError, ValueError) as exc:
+            raise ServiceError(f"unreadable ready file {ready}: {exc}") from exc
+    raise ServiceError(
+        "no daemon URL: pass --url, set $REPRO_SERVE_URL, or point "
+        "--cache at a running daemon's cache directory")
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client bound to one daemon URL."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 doc: dict | None = None) -> tuple[int, dict]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if doc is not None:
+            data = json.dumps(doc).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, self._parse(resp.read())
+        except urllib.error.HTTPError as exc:
+            # 4xx/5xx carry a JSON body describing why; that is API
+            # data, not a transport failure.
+            return exc.code, self._parse(exc.read())
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach daemon at {self.url}: {exc.reason}") from exc
+
+    @staticmethod
+    def _parse(raw: bytes) -> dict:
+        try:
+            doc = json.loads(raw) if raw else {}
+        except ValueError:
+            doc = {"error": raw.decode(errors="replace")[:200]}
+        return doc if isinstance(doc, dict) else {"value": doc}
+
+    # -- API ------------------------------------------------------------------------
+    def submit(self, spec: dict, tenant: str | None = None,
+               deadline_seconds: float | None = None) -> tuple[int, dict]:
+        doc: dict = {"spec": spec}
+        if tenant is not None:
+            doc["tenant"] = tenant
+        if deadline_seconds is not None:
+            doc["deadline_seconds"] = deadline_seconds
+        return self._request("POST", "/jobs", doc)
+
+    def status(self, job_id: str) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> tuple[int, dict]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> tuple[int, dict]:
+        return self._request("GET", "/metrics")
+
+    def wait(self, job_id: str, timeout: float | None = None,
+             poll: float = 0.2) -> dict:
+        """Poll until ``job_id`` reaches a terminal state; returns the
+        final status document. :class:`ServiceError` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            code, doc = self.status(job_id)
+            if code != 200:
+                raise ServiceError(
+                    f"status poll for {job_id} failed ({code}): "
+                    f"{doc.get('error', doc)}")
+            if doc.get("state") in _TERMINAL:
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.3g}s waiting for {job_id} "
+                    f"(last state {doc.get('state')!r})")
+            time.sleep(poll)

@@ -25,6 +25,7 @@ from repro.service.jobs import (
     WorkloadSpec,
     execute_mapping_job,
     mapper_config_from_spec,
+    mapping_job_from_payload,
 )
 from repro.service.locking import DirectoryLock
 from repro.service.store import ResultStore, StoreStats
@@ -53,4 +54,5 @@ __all__ = [
     "diagnose",
     "execute_mapping_job",
     "mapper_config_from_spec",
+    "mapping_job_from_payload",
 ]

@@ -98,6 +98,10 @@ class DoctorReport:
     scanned: int = 0
     findings: list[Finding] = field(default_factory=list)
     checkpoints: "DoctorReport | None" = None
+    #: Parsed drained-batch queue (``pending.json``), when one exists —
+    #: carried whole so ``--requeue`` can clear the file without losing
+    #: the job specs an operator needs to resubmit.
+    pending: dict | None = None
 
     @property
     def problems(self) -> list[Finding]:
@@ -121,6 +125,7 @@ class DoctorReport:
             "findings": [f.to_dict() for f in self.findings],
             "checkpoints": (self.checkpoints.to_dict()
                             if self.checkpoints else None),
+            "pending": self.pending,
         }
 
     def to_text(self) -> str:
@@ -147,13 +152,19 @@ class DoctorReport:
         return "\n".join(lines)
 
 
-def diagnose(root, repair: bool = False, _recurse: bool = True) -> DoctorReport:
+def diagnose(root, repair: bool = False, requeue: bool = False,
+             _recurse: bool = True) -> DoctorReport:
     """Fsck the store directory at ``root``.
 
     With ``repair=True``, problems are fixed in place (corrupt →
     quarantined, stale schema → evicted, orphan tmp / stale lock →
     removed) under the store's directory lock, and each finding is
     marked ``repaired`` with the action taken.
+
+    With ``requeue=True``, a drained-batch ``pending.json`` is consumed:
+    its parsed contents land in :attr:`DoctorReport.pending` (so the
+    jobs can be surfaced or resubmitted) and the file is removed —
+    matching what a restarting ``repro serve`` does automatically.
     """
     root = Path(root)
     report = DoctorReport(root=str(root), repair=repair)
@@ -168,9 +179,10 @@ def diagnose(root, repair: bool = False, _recurse: bool = True) -> DoctorReport:
         # would silently take it over and the finding would be lost.
         _scan_lock(store, report, repair=True)
         with store.lock():
-            _scan(root, store, report, repair=True, include_lock=False)
+            _scan(root, store, report, repair=True, requeue=requeue,
+                  include_lock=False)
     else:
-        _scan(root, store, report, repair=False)
+        _scan(root, store, report, repair=False, requeue=requeue)
     if _recurse:
         ckdir = root / "checkpoints"
         if ckdir.is_dir():
@@ -180,13 +192,14 @@ def diagnose(root, repair: bool = False, _recurse: bool = True) -> DoctorReport:
 
 
 def _scan(root: Path, store: ResultStore, report: DoctorReport,
-          repair: bool, include_lock: bool = True) -> None:
+          repair: bool, requeue: bool = False,
+          include_lock: bool = True) -> None:
     _scan_artifacts(store, report, repair)
     _scan_orphan_tmps(root, report, repair)
     if include_lock:
         _scan_lock(store, report, repair)
     _scan_quarantine(store, report)
-    _scan_pending(root, report)
+    _scan_pending(root, report, requeue)
 
 
 def _scan_artifacts(store: ResultStore, report: DoctorReport,
@@ -293,16 +306,30 @@ def _scan_quarantine(store: ResultStore, report: DoctorReport) -> None:
             detail=detail, key=key))
 
 
-def _scan_pending(root: Path, report: DoctorReport) -> None:
+def _scan_pending(root: Path, report: DoctorReport,
+                  requeue: bool = False) -> None:
     path = root / PENDING_NAME
     if not path.exists():
         return
+    doc = None
     try:
         doc = json.loads(path.read_text())
-        n = len(doc.get("jobs", []))
+        n = len(doc.get("jobs", [])) if isinstance(doc, dict) else 0
         detail = (f"{n} drained job(s) awaiting resubmission "
                   "(rerun the batch; completed jobs hit the cache)")
     except (OSError, ValueError):
         detail = "unreadable pending-batch file"
-    report.findings.append(Finding(kind="pending-batch", path=path.name,
-                                   detail=detail))
+    finding = Finding(kind="pending-batch", path=path.name, detail=detail)
+    if isinstance(doc, dict):
+        report.pending = doc
+    if requeue:
+        try:
+            os.unlink(path)
+            finding.repaired = True
+            finding.action = ("cleared (specs carried in this report)"
+                              if isinstance(doc, dict)
+                              else "cleared (unreadable; nothing to carry)")
+        except FileNotFoundError:
+            finding.repaired = True
+            finding.action = "already gone"
+    report.findings.append(finding)

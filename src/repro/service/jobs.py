@@ -56,6 +56,7 @@ __all__ = [
     "JobResult",
     "attach_netview",
     "execute_mapping_job",
+    "mapping_job_from_payload",
     "mapper_config_from_spec",
     "build_router",
 ]
@@ -257,6 +258,46 @@ class MappingJob:
     def describe(self) -> str:
         return (f"{self.mapper.kind} on {self.workload.spec} @ "
                 f"{'x'.join(map(str, self.topology.shape))}")
+
+
+def mapping_job_from_payload(doc: dict) -> MappingJob:
+    """Rebuild a :class:`MappingJob` from its :meth:`MappingJob.payload`.
+
+    The inverse of the content-addressed serialization, used by the
+    daemon's HTTP submit endpoint and the drained-batch requeue path.
+    Round-trip is exact: ``mapping_job_from_payload(j.payload())``
+    hashes equal to ``j``. File-backed workloads are stored by content
+    digest, not path, so they cannot be reconstructed here and raise
+    :class:`~repro.errors.ServiceError`.
+    """
+    try:
+        topo = doc["topology"]
+        workload = doc["workload"]
+        mapper = doc["mapper"]
+    except (KeyError, TypeError) as exc:
+        raise ServiceError(f"malformed job spec: missing {exc}") from exc
+    if "digest" in workload:
+        raise ServiceError(
+            "file-backed workload specs are content-addressed and cannot "
+            "be reconstructed from a payload; submit the generator spec "
+            "instead"
+        )
+    network = doc.get("network")
+    try:
+        return MappingJob(
+            topology=TopologySpec(tuple(topo["shape"]),
+                                  tuple(topo.get("wrap", ()))),
+            workload=WorkloadSpec(workload["spec"],
+                                  seed=workload.get("seed", 0)),
+            mapper=MapperConfig(
+                mapper["kind"],
+                tuple((k, v) for k, v in mapper.get("params", [])),
+            ),
+            router=doc.get("router", "mar"),
+            network=None if network is None else NetworkSpec(**network),
+        )
+    except (KeyError, TypeError, ValueError, ConfigError) as exc:
+        raise ServiceError(f"malformed job spec: {exc}") from exc
 
 
 @dataclass(frozen=True)

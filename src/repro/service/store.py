@@ -331,6 +331,39 @@ class ResultStore:
         self.stats.bump("writes")
         return path
 
+    # -- pending (drained-batch) queue ---------------------------------------------
+    @property
+    def pending_path(self) -> Path:
+        return self.root / PENDING_NAME
+
+    def read_pending(self) -> dict | None:
+        """The drained-batch document, or None (missing/unreadable).
+
+        The engine writes ``<root>/pending.json`` when a batch is
+        drained mid-shutdown; the daemon's startup requeue and ``repro
+        doctor --requeue`` read it back through here.
+        """
+        try:
+            doc = json.loads(self.pending_path.read_text())
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            log.warning("unreadable pending queue %s: %s",
+                        self.pending_path, exc)
+            return None
+        if not isinstance(doc, dict) or not isinstance(doc.get("jobs"), list):
+            log.warning("malformed pending queue %s", self.pending_path)
+            return None
+        return doc
+
+    def clear_pending(self) -> bool:
+        """Remove the drained-batch file; True if one existed."""
+        try:
+            self.pending_path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
     # -- quarantine ---------------------------------------------------------------
     def quarantine_path(self, path: Path, key: str | None = None,
                         reason: str = "corrupt") -> Path | None:

@@ -160,3 +160,39 @@ def test_cli_doctor_exit_codes_and_artifact(cache, tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["clean"] is True and doc["repair"] is True
     assert cli_main(["doctor", str(cache.root)]) == 0
+
+
+def test_requeue_consumes_pending_and_carries_the_specs(cache):
+    atomic_write_json(cache.root / "pending.json", {
+        "kind": "pending_batch", "schema": 1,
+        "jobs": [{"index": 0, "key": KEY3, "describe": "mapper on w @ 2x2",
+                  "spec": {"workload": {"spec": "ring:4"}},
+                  "error": "drained", "tenant": "t"}],
+    })
+    report = diagnose(cache.root, requeue=True)
+    assert report.clean
+    assert not (cache.root / "pending.json").exists()
+    # The specs survive in the report for resubmission.
+    assert report.pending["jobs"][0]["key"] == KEY3
+    pend = [f for f in report.findings if f.kind == "pending-batch"]
+    assert pend[0].repaired and "cleared" in pend[0].action
+    # Idempotent: a second requeue finds nothing.
+    again = diagnose(cache.root, requeue=True)
+    assert again.pending is None
+    assert "pending-batch" not in _kinds(again)
+
+
+def test_cli_doctor_requeue_surfaces_drained_jobs(cache, tmp_path, capsys):
+    atomic_write_json(cache.root / "pending.json", {
+        "kind": "pending_batch", "schema": 1,
+        "jobs": [{"index": 0, "key": KEY3, "describe": "rahtm on cg @ 4x4",
+                  "spec": {}, "error": "drained"}],
+    })
+    out = tmp_path / "doctor.json"
+    assert cli_main(["doctor", str(cache.root), "--requeue",
+                     "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "rahtm on cg @ 4x4" in captured
+    assert "cleared" in captured
+    assert not (cache.root / "pending.json").exists()
+    assert json.loads(out.read_text())["pending"]["jobs"][0]["key"] == KEY3

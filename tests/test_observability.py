@@ -443,19 +443,36 @@ def test_compare_snapshots_drift_on_same_hotspot(tmp_path):
 
 
 def test_compare_snapshots_latest_discovers_newest_pr():
-    """'latest' resolves to the repo-root BENCH_PR4.json trajectory head."""
-    current = REPO / "BENCH_PR4.json"
+    """'latest' resolves to the newest repo-root BENCH_PR<N>.json."""
+    current = REPO / "BENCH_PR6.json"
     proc = _gate("latest", str(current), "--trend")
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "BENCH_PR4.json" in proc.stdout.splitlines()[0]
+    assert "BENCH_PR6.json" in proc.stdout.splitlines()[0]
     assert "bench trajectory:" in proc.stdout
-    # the trend table walks the whole trajectory, oldest first
+    # the trend table walks the whole trajectory, oldest first, and
+    # carries the daemon latency column (blank before PR 6).
     lines = proc.stdout.splitlines()
     pr3 = next(i for i, line in enumerate(lines)
                if line.startswith("BENCH_PR3"))
     pr4 = next(i for i, line in enumerate(lines)
                if line.startswith("BENCH_PR4"))
-    assert pr3 < pr4
+    pr6 = next(i for i, line in enumerate(lines)
+               if line.startswith("BENCH_PR6"))
+    assert pr3 < pr4 < pr6
+    assert "serve_ms" in lines[pr3 - 2]
+    assert lines[pr3].rstrip().endswith("-")
+    assert not lines[pr6].rstrip().endswith("-")
+
+
+def test_committed_pr6_baseline_carries_the_serve_bench():
+    baseline = json.loads((REPO / "BENCH_PR6.json").read_text())
+    assert baseline["schema"] == 1
+    assert baseline["pr"] == "PR6"
+    serve = baseline["serve"]
+    assert serve["submit_to_done_seconds"] > 0.0
+    assert serve["cache_hit_submit_seconds"] > 0.0
+    # the warm path is one HTTP round trip; it must beat cold execution
+    assert serve["cache_hit_submit_seconds"] < serve["submit_to_done_seconds"]
 
 
 def test_committed_pr4_baseline_is_valid():

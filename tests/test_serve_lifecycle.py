@@ -1,0 +1,149 @@
+"""Daemon lifecycle under fault: SIGTERM drain, pending.json, free resume.
+
+The contract this file proves end to end, with real processes and real
+signals:
+
+1. SIGTERM mid-flight → the in-flight job finishes (graceful drain),
+   everything never-started lands in ``<cache>/pending.json``, and the
+   daemon exits 0;
+2. a restarted daemon auto-requeues the pending batch and completes it —
+   executing exactly the drained jobs, never recomputing committed
+   results;
+3. resubmitting the spec that completed before the SIGTERM returns
+   ``done`` at submit time with ``wall_seconds == 0.0`` — resume is free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import READY_NAME, ServeClient
+from repro.service import MappingJob, ResultStore
+from repro.service.jobs import MapperConfig, TopologySpec, WorkloadSpec
+from repro.service.store import PENDING_NAME
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+SERVER = """
+import sys
+from repro.serve import DaemonConfig, MappingDaemon
+
+daemon = MappingDaemon(DaemonConfig(
+    cache_dir=sys.argv[1], port=0, batch_size=1, janitor_interval=0.0))
+sys.exit(daemon.run())
+"""
+
+
+def slow_job(seed: int) -> MappingJob:
+    """~1.5s of annealing: long enough to SIGTERM mid-flight, short
+    enough to keep the test fast. The workload seed differentiates the
+    cache keys; 16 tasks fill the 4x4 torus exactly."""
+    return MappingJob(
+        topology=TopologySpec((4, 4)),
+        workload=WorkloadSpec("ring:16", seed=seed),
+        mapper=MapperConfig.make("anneal-mcl", iterations=1500, seed=0),
+    )
+
+
+def start_daemon(cache: Path) -> tuple[subprocess.Popen, ServeClient]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    proc = subprocess.Popen([sys.executable, "-c", SERVER, str(cache)],
+                            env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, text=True)
+    ready = cache / READY_NAME
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died on startup: {proc.communicate()[1]}")
+        try:
+            doc = json.loads(ready.read_text())
+            if doc.get("pid") == proc.pid and doc.get("url"):
+                return proc, ServeClient(doc["url"], timeout=15)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon never wrote its ready file")
+
+
+def wait_state(client: ServeClient, job_id: str, want: str,
+               timeout: float = 30) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        code, doc = client.status(job_id)
+        if code == 200 and doc["state"] == want:
+            return doc
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id[:12]} never reached {want!r}")
+
+
+@pytest.mark.slow
+def test_sigterm_drain_restart_resumes_free(tmp_path):
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    jobs = [slow_job(seed) for seed in (0, 1, 2)]
+    keys = [j.cache_key() for j in jobs]
+
+    # --- phase 1: submit three slow jobs, SIGTERM while the first runs.
+    proc, client = start_daemon(cache)
+    for job in jobs:
+        code, doc = client.submit(job.payload())
+        assert code == 202, doc
+    wait_state(client, keys[0], "running")
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, err
+
+    # In-flight job committed; the rest never ran and are on disk.
+    store = ResultStore(cache)
+    assert store.get(keys[0]) is not None
+    pending = json.loads((cache / PENDING_NAME).read_text())
+    assert pending["kind"] == "pending_batch"
+    pending_keys = {entry["key"] for entry in pending["jobs"]}
+    assert pending_keys == set(keys[1:])
+    for entry in pending["jobs"]:
+        assert entry["spec"]["workload"]["seed"] in (1, 2)
+    assert not (cache / READY_NAME).exists()
+
+    # --- phase 2: a fresh daemon requeues the drained jobs by itself.
+    proc2, client2 = start_daemon(cache)
+    assert not (cache / PENDING_NAME).exists()  # consumed at startup
+    for key in keys[1:]:
+        doc = wait_state(client2, key, "done", timeout=60)
+        assert doc["requeued"] is True
+        assert doc["wall_seconds"] > 0.0
+
+    # Exactly the two drained jobs executed — nothing was recomputed.
+    code, metrics = client2.metrics()
+    assert code == 200
+    assert metrics["serve.requeued"]["value"] == 2
+    assert metrics["engine.executed"]["value"] == 2
+    assert metrics.get("engine.cache_hits", {}).get("value", 0) == 0
+
+    # --- phase 3: the committed job resumes for free at submit time.
+    code, doc = client2.submit(jobs[0].payload())
+    assert code == 200
+    assert doc["state"] == "done"
+    assert doc["from_cache"] is True
+    assert doc["wall_seconds"] == 0.0
+    code, metrics = client2.metrics()
+    assert metrics["serve.cache_hits"]["value"] == 1
+    assert metrics["engine.executed"]["value"] == 2  # unchanged
+
+    # --- clean exit with an empty queue leaves no pending file behind.
+    proc2.send_signal(signal.SIGTERM)
+    out, err = proc2.communicate(timeout=60)
+    assert proc2.returncode == 0, err
+    assert not (cache / PENDING_NAME).exists()
+    assert not (cache / READY_NAME).exists()
