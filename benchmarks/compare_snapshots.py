@@ -73,7 +73,7 @@ def trend_table(snapshots: list[tuple[str, dict]]) -> str:
     """The bench trajectory: one row per snapshot, label -> aggregates."""
     header = (
         f"{'snapshot':<16}{'scale':<8}{'cells':>6}{'geomean MCL':>14}"
-        f"{'sum map_s':>11}{'phases_s':>10}{'serve_ms':>10}"
+        f"{'sum map_s':>11}{'phases_s':>10}{'serve_ms':>10}{'fleet_ms':>10}"
     )
     lines = ["bench trajectory:", header, "-" * len(header)]
     for label, snap in snapshots:
@@ -90,9 +90,12 @@ def trend_table(snapshots: list[tuple[str, dict]]) -> str:
         phase_s = sum(float(v) for v in snap.get("phases", {}).values())
         cold = snap.get("serve", {}).get("submit_to_done_seconds")
         serve_ms = f"{cold * 1000:.1f}" if cold is not None else "-"
+        fanout = snap.get("fleet", {}).get("workers3_seconds")
+        fleet_ms = f"{fanout * 1000:.1f}" if fanout is not None else "-"
         lines.append(
             f"{label:<16}{snap.get('scale', '?'):<8}{len(cells):>6}"
             f"{geomean:>14.6g}{map_s:>11.3f}{phase_s:>10.3f}{serve_ms:>10}"
+            f"{fleet_ms:>10}"
         )
     return "\n".join(lines)
 
@@ -139,6 +142,15 @@ def compare(
             failures.append(f"serve metric {key!r} missing from current snapshot")
             continue
         check_timing(f"serve {key}", float(base), float(cur))
+
+    # Distributed-fleet micro-bench: same deal, gated only when the
+    # baseline carries it (snapshots before PR 7 predate the fleet).
+    for key, base in baseline.get("fleet", {}).items():
+        cur = current.get("fleet", {}).get(key)
+        if cur is None:
+            failures.append(f"fleet metric {key!r} missing from current snapshot")
+            continue
+        check_timing(f"fleet {key}", float(base), float(cur))
 
     for phase, base in baseline.get("phases", {}).items():
         cur = current.get("phases", {}).get(phase)

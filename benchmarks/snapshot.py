@@ -16,7 +16,9 @@ writes one JSON document::
                                  "hotspot": {"slot": ..., "label": ...,
                                              "load": ...}}, ...}},
       "serve": {"submit_to_done_seconds": ...,          # daemon micro-bench
-                "cache_hit_submit_seconds": ...}
+                "cache_hit_submit_seconds": ...},
+      "fleet": {"workers1_seconds": ...,                # distributed backend
+                "workers3_seconds": ...}                # 1 vs 3 workers
     }
 
 Timings take the *minimum* over ``--repeat`` runs, the standard
@@ -166,6 +168,64 @@ def bench_serve(repeats: int) -> dict:
             thread.join(15)
 
 
+def bench_fleet(repeats: int) -> dict:
+    """Distributed-backend batch latency, 1 vs 3 workers, min over repeats.
+
+    Pushes the same six-job batch through the fleet (coordinator + N
+    spawned worker subprocesses over the shared board) on a throwaway
+    cache per run, so every repeat really claims, executes and commits —
+    no store hits. Jobs this small cannot show fan-out *speedup*; the
+    two numbers track what the protocol costs end to end (claim, lease
+    heartbeat, receipt, settle) at one worker and how that overhead
+    scales with worker-spawn fan-out at three.
+    """
+    import tempfile
+    import time
+
+    from repro.distributed import DistributedConfig
+    from repro.service.engine import MappingEngine
+    from repro.service.jobs import (
+        MapperConfig,
+        MappingJob,
+        TopologySpec,
+        WorkloadSpec,
+    )
+
+    def batch() -> list:
+        return [
+            MappingJob(
+                topology=TopologySpec((4, 4)),
+                workload=WorkloadSpec(workload, seed=seed),
+                mapper=MapperConfig.make("dimorder"),
+            )
+            for workload in ("halo2d:4x4", "ring:16", "transpose:4")
+            for seed in (0, 1)
+        ]
+
+    out: dict[str, float] = {}
+    for workers in (1, 3):
+        times: list[float] = []
+        for _ in range(max(repeats, 1)):
+            with tempfile.TemporaryDirectory(prefix="bench-fleet-") as cache:
+                engine = MappingEngine(
+                    cache_dir=cache,
+                    backend="distributed",
+                    distributed=DistributedConfig(spawn_workers=workers),
+                )
+                try:
+                    start = time.perf_counter()
+                    outcomes = engine.run(batch())
+                    elapsed = time.perf_counter() - start
+                finally:
+                    engine.executor.stop_workers()
+                bad = [o.error for o in outcomes if not o.ok]
+                if bad:
+                    raise SystemExit(f"fleet bench: job failures: {bad}")
+                times.append(elapsed)
+        out[f"workers{workers}_seconds"] = min(times)
+    return out
+
+
 def merge_min(runs: list[dict]) -> dict:
     """Fold repeats: min for timings, first run's MCLs (deterministic)."""
     out = {
@@ -192,7 +252,7 @@ def merge_min(runs: list[dict]) -> dict:
 
 def take_snapshot(
     scale: str, repeats: int, pr: str | None = None,
-    explain: dict | None = None, serve: bool = True,
+    explain: dict | None = None, serve: bool = True, fleet: bool = True,
 ) -> dict:
     runs = []
     for i in range(max(repeats, 1)):
@@ -209,6 +269,8 @@ def take_snapshot(
     }
     if serve:
         snap["serve"] = bench_serve(repeats)
+    if fleet:
+        snap["fleet"] = bench_fleet(repeats)
     if pr:
         snap["pr"] = str(pr)
     return snap
@@ -243,6 +305,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the daemon submit->result latency micro-bench",
     )
+    parser.add_argument(
+        "--no-fleet",
+        action="store_true",
+        help="skip the distributed-backend 1-vs-3-worker micro-bench",
+    )
     args = parser.parse_args(argv)
     explain: dict | None = {} if args.explain_out else None
     snap = take_snapshot(
@@ -251,6 +318,7 @@ def main(argv=None) -> int:
         pr=args.pr,
         explain=explain,
         serve=not args.no_serve,
+        fleet=not args.no_fleet,
     )
     text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
     if args.out == "-":

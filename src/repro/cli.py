@@ -55,7 +55,17 @@ deadline-budget admission control, graceful SIGTERM drain with automatic
 requeue on restart, and a periodic doctor janitor. ``repro
 submit/status/result/cancel`` are the matching client commands; they find
 the daemon via ``--url``, ``$REPRO_SERVE_URL``, or the ``serve.json``
-ready file in the cache directory. See ``docs/serve.md``.
+ready file in the cache directory; transient transport failures and 503s
+are retried with full-jitter backoff (``--retries``). See
+``docs/serve.md``.
+
+Distributed fleet (``repro.distributed``): ``repro worker DIR`` runs a
+work-stealing fleet worker against a shared cache directory's job board;
+``repro serve --backend distributed`` (and ``MappingEngine(
+backend="distributed")``) shard batches across such workers with
+lease-based fault tolerance — a SIGKILLed worker's claim expires and the
+job is reclaimed, requeued and finished elsewhere with zero repeat MILP
+solves. See ``docs/distributed.md``.
 
 Durability: cached artifacts are checksummed; corrupt entries are moved
 to ``<cache-dir>/quarantine/`` with a structured report instead of being
@@ -410,8 +420,28 @@ def cmd_serve(args) -> int:
         janitor_interval=args.janitor_interval,
         requeue_pending=not args.no_requeue,
         checkpoint_dir=args.checkpoint_dir,
+        backend=args.backend,
+        lease_seconds=args.lease,
     )
     return MappingDaemon(config).run()
+
+
+def cmd_worker(args) -> int:
+    """Run one fleet worker against a shared cache directory."""
+    from repro.distributed import FleetWorker
+
+    worker = FleetWorker(
+        args.directory,
+        worker_id=args.id,
+        poll=args.poll,
+        idle_exit=args.idle_exit,
+    )
+    print(f"worker {worker.worker_id} stealing from "
+          f"{worker.board.root} (ctrl-C to stop)")
+    published = worker.run()
+    print(f"worker {worker.worker_id} exiting; published {published} "
+          "receipt(s)")
+    return 0
 
 
 def _serve_client(args):
@@ -419,7 +449,8 @@ def _serve_client(args):
 
     url = discover_url(args.url,
                        args.cache_dir or os.environ.get("REPRO_CACHE_DIR"))
-    return ServeClient(url, timeout=args.http_timeout)
+    return ServeClient(url, timeout=args.http_timeout,
+                       retries=args.retries)
 
 
 def _print_job_doc(doc: dict) -> None:
@@ -655,7 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "doctor",
         help="fsck a cache/checkpoint directory (checksums, orphaned "
-             "temp files, stale locks, quarantine)",
+             "temp files, stale locks, quarantine, fleet job board)",
     )
     p.add_argument("directory",
                    help="cache or checkpoint directory to diagnose")
@@ -710,7 +741,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "startup")
     p.add_argument("--checkpoint-dir", default=None,
                    help="phase-checkpoint store for resumable mappers")
+    p.add_argument("--backend", choices=("local", "distributed"),
+                   default="local",
+                   help="execution backend: in-process pool (local) or "
+                        "the lease-based worker fleet sharing the cache "
+                        "directory's job board (distributed)")
+    p.add_argument("--lease", type=float, default=15.0,
+                   help="distributed-backend claim lease in seconds; a "
+                        "worker whose heartbeat goes quiet this long "
+                        "loses its job to the reaper")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="run a fleet worker stealing jobs from a shared cache "
+             "directory's board (see `repro serve --backend distributed`)",
+    )
+    p.add_argument("directory",
+                   help="shared cache directory holding the job board")
+    p.add_argument("--poll", type=float, default=0.05,
+                   help="seconds between board scans while idle")
+    p.add_argument("--idle-exit", type=float, default=None,
+                   help="exit after this many idle seconds "
+                        "(default: run until signalled)")
+    p.add_argument("--id", default=None,
+                   help="worker id (default: w-<hostname>-<pid>)")
+    p.set_defaults(func=cmd_worker)
 
     def client_opts(p):
         p.add_argument("--url", default=None,
@@ -721,6 +777,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "URL discovery (default: $REPRO_CACHE_DIR)")
         p.add_argument("--http-timeout", type=float, default=30.0,
                        help="per-request HTTP timeout in seconds")
+        p.add_argument("--retries", type=int, default=2,
+                       help="extra attempts after a transient transport "
+                            "failure or 503 (full-jitter backoff; safe "
+                            "because submits are idempotent)")
 
     p = sub.add_parser("submit",
                        help="submit a mapping job to a running daemon")

@@ -1,0 +1,34 @@
+"""Fault-tolerant distributed execution of mapping batches.
+
+A shared **job board** under the cache directory (claim files with
+O_EXCL + lease heartbeats, receipts with first-commit-wins publish), a
+**coordinator** that reaps expired leases back onto the queue with the
+DirectoryLock rename-aside discipline, and **workers** (``repro worker
+DIR``) that claim, execute and commit through the checksummed result
+store. See ``docs/distributed.md`` for semantics and the operator
+runbook.
+"""
+
+from repro.distributed.board import (
+    BOARD_DIR,
+    BOARD_SCHEMA_VERSION,
+    JobBoard,
+    exclusive_publish_json,
+)
+from repro.distributed.coordinator import DistributedConfig, DistributedExecutor
+from repro.distributed.spawn import SshSpawner, SubprocessSpawner, WorkerHandle
+from repro.distributed.worker import FleetWorker, default_worker_id
+
+__all__ = [
+    "BOARD_DIR",
+    "BOARD_SCHEMA_VERSION",
+    "JobBoard",
+    "exclusive_publish_json",
+    "DistributedConfig",
+    "DistributedExecutor",
+    "SubprocessSpawner",
+    "SshSpawner",
+    "WorkerHandle",
+    "FleetWorker",
+    "default_worker_id",
+]

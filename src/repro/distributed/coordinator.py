@@ -1,0 +1,611 @@
+"""The fleet coordinator: a `BatchExecutor`-shaped distributed backend.
+
+:class:`DistributedExecutor` implements the same surface the engine
+already speaks — ``run(fn, items)`` returning positional
+:class:`~repro.service.executor.JobOutcome`\\ s, ``request_drain`` /
+``draining``, ``on_event`` telemetry — but instead of a process pool it
+posts each :class:`~repro.service.jobs.MappingJob` to the shared board
+and lets fleet workers (this host or any host mounting the cache
+directory) claim and execute them.
+
+The coordinator's poll loop is the **reaper**: per posted job it watches
+for a receipt (done), a store hit (done elsewhere), or a claim whose
+heartbeat mtime has gone quiet past its lease — in which case the claim
+is reclaimed with the DirectoryLock rename-aside discipline and the
+entry requeued with jittered backoff and a bounded reclaim count.
+``poison_threshold`` consecutive lease deaths quarantine the spec as a
+poison job (the engine's existing ``"poisoned"`` event handler writes
+the quarantine report), mirroring the process-pool supervision ladder.
+
+Stragglers past ``speculation_seconds`` (or a fraction of the job
+timeout) get one speculative re-execution slot; the receipt's O_EXCL
+publish is the first-commit-wins arbiter, and because results land in
+the content-addressed store first, losing the race costs a duplicate
+*solve* only when the original never committed.
+
+``fn`` is accepted for interface compatibility and ignored: the fleet
+always runs :func:`~repro.service.jobs.execute_mapping_job` worker-side
+with the runtime the engine assigned to :attr:`runtime` — this backend
+is mapping-job specific by design.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.errors import ConfigError
+from repro.distributed.board import BOARD_SCHEMA_VERSION, JobBoard
+from repro.observability.metrics import get_registry
+from repro.resilience import faultinject
+from repro.service.executor import JobOutcome
+from repro.service.jobs import JobRuntime, MappingJob
+from repro.service.store import ResultStore
+from repro.service.supervision import full_jitter_delay
+from repro.utils.logconf import get_logger
+
+__all__ = ["DistributedConfig", "DistributedExecutor"]
+
+log = get_logger("distributed.coordinator")
+
+
+@dataclass(frozen=True)
+class DistributedConfig:
+    """Fleet-execution knobs.
+
+    Attributes
+    ----------
+    lease_seconds:
+        A claim whose heartbeat is older than this is a dead or wedged
+        worker; the reaper reclaims it. Workers refresh every quarter
+        lease, so the value trades failover latency against tolerance
+        for scheduling hiccups (and NFS mtime granularity).
+    poll:
+        Coordinator reaper poll interval.
+    timeout:
+        Per-attempt wall-clock budget enforced worker-side (None =
+        unlimited); also the default base for the speculation horizon.
+    poison_threshold:
+        Lease deaths attributable to one job before it is quarantined
+        as poison instead of requeued (mirrors the process-pool ladder).
+    reclaim_backoff:
+        Full-jitter backoff cap base applied to a reclaimed job's
+        ``not_before`` requeue window.
+    max_reposts:
+        Times a vanished queue entry is reposted before the job fails.
+    spawn_workers:
+        Local worker subprocesses the coordinator launches and
+        supervises (0 = external workers only, e.g. ``repro worker``
+        on other hosts).
+    worker_poll / worker_idle_exit:
+        Passed to spawned workers; idle-exit keeps abandoned fleets
+        from running forever.
+    max_worker_respawns:
+        Dead spawned workers revived while work is pending, total per
+        executor (a backstop, not a health policy — the reaper already
+        recovers their jobs).
+    speculation_seconds:
+        Age of a healthy claim before a speculative re-execution slot
+        opens (None = derive from ``timeout`` x ``speculation_fraction``;
+        both None disables speculation).
+    cleanup:
+        Remove queue entries and receipts for completed jobs whose
+        results are in the store (the durable substrate); disable to
+        inspect receipts post-run.
+    worker_env:
+        Extra environment for spawned workers, as ``(name, value)``
+        pairs (a dict is accepted and normalized) — how the chaos suite
+        arms ``REPRO_FAULTS`` in workers only.
+    """
+
+    lease_seconds: float = 10.0
+    poll: float = 0.05
+    timeout: float | None = None
+    poison_threshold: int = 2
+    reclaim_backoff: float = 0.25
+    max_reposts: int = 3
+    spawn_workers: int = 0
+    worker_poll: float = 0.05
+    worker_idle_exit: float | None = 300.0
+    max_worker_respawns: int = 8
+    speculation_seconds: float | None = None
+    speculation_fraction: float = 0.75
+    cleanup: bool = True
+    worker_env: tuple = ()
+
+    def __post_init__(self):
+        if self.lease_seconds <= 0:
+            raise ConfigError("lease_seconds must be > 0")
+        if self.poll <= 0:
+            raise ConfigError("poll must be > 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigError("timeout must be > 0 (or None)")
+        if self.poison_threshold < 1:
+            raise ConfigError("poison_threshold must be >= 1")
+        if self.reclaim_backoff < 0:
+            raise ConfigError("reclaim_backoff must be >= 0")
+        if self.max_reposts < 0:
+            raise ConfigError("max_reposts must be >= 0")
+        if self.spawn_workers < 0:
+            raise ConfigError("spawn_workers must be >= 0")
+        if self.max_worker_respawns < 0:
+            raise ConfigError("max_worker_respawns must be >= 0")
+        if (self.speculation_seconds is not None
+                and self.speculation_seconds <= 0):
+            raise ConfigError("speculation_seconds must be > 0 (or None)")
+        if not (0.0 < self.speculation_fraction):
+            raise ConfigError("speculation_fraction must be > 0")
+        object.__setattr__(
+            self, "worker_env",
+            tuple(sorted((str(k), str(v))
+                         for k, v in dict(self.worker_env).items())),
+        )
+
+    @property
+    def speculation_after(self) -> float | None:
+        if self.speculation_seconds is not None:
+            return self.speculation_seconds
+        if self.timeout is not None:
+            return self.timeout * self.speculation_fraction
+        return None
+
+
+class _KeyState:
+    """Reaper bookkeeping for one distinct job key in a batch."""
+
+    __slots__ = ("indices", "entry", "posted", "reclaims", "reposts",
+                 "started", "speculated", "t0")
+
+    def __init__(self, indices: list[int], entry: dict, posted: bool):
+        self.indices = indices
+        self.entry = entry
+        self.posted = posted
+        self.reclaims = 0
+        self.reposts = 0
+        self.started = False
+        self.speculated = False
+        self.t0 = time.perf_counter()
+
+
+class DistributedExecutor:
+    """Shard mapping batches across fleet workers via the shared board.
+
+    Drop-in for :class:`~repro.service.executor.BatchExecutor` from the
+    engine's point of view; additionally exposes :attr:`runtime` (the
+    engine assigns the batch's :class:`JobRuntime` before ``run``) and
+    :meth:`snapshot` for health endpoints.
+    """
+
+    def __init__(self, store: ResultStore,
+                 config: DistributedConfig | None = None, on_event=None):
+        if store is None:
+            raise ConfigError(
+                "the distributed backend requires a result store (a cache "
+                "directory): the store is the coordination substrate"
+            )
+        self.store = store
+        self.config = config or DistributedConfig()
+        self.on_event = on_event
+        self.board = JobBoard.under_cache(store.root)
+        #: Batch runtime, assigned by the engine before each ``run``.
+        self.runtime: JobRuntime | None = None
+        self._drain = threading.Event()
+        self._spawner = None
+        self._handles: list = []
+        self._respawns = 0
+
+    # -- drain / events ------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._drain.is_set()
+
+    def request_drain(self, reason: str = "drain requested") -> None:
+        if self._drain.is_set():
+            return
+        log.warning("draining fleet coordinator: %s", reason)
+        get_registry().counter("fleet.drains").inc()
+        self._drain.set()
+        self._emit("drain_requested", reason=reason)
+        for handle in self._handles:
+            handle.terminate()
+
+    def _emit(self, event: str, **info) -> None:
+        if self.on_event is not None:
+            self.on_event(event, info)
+
+    # -- spawned-worker supervision --------------------------------------------------
+    def _ensure_spawner(self):
+        if self._spawner is None:
+            from repro.distributed.spawn import SubprocessSpawner
+
+            self._spawner = SubprocessSpawner(
+                self.store.root,
+                poll=self.config.worker_poll,
+                idle_exit=self.config.worker_idle_exit,
+                env=dict(self.config.worker_env),
+            )
+        return self._spawner
+
+    def _maintain_workers(self, initial: bool = False) -> None:
+        """Top the local fleet back up to ``spawn_workers`` processes."""
+        cfg = self.config
+        if cfg.spawn_workers <= 0 or self._drain.is_set():
+            return
+        alive = [h for h in self._handles if h.alive()]
+        dead = len(self._handles) - len(alive)
+        self._handles = alive
+        registry = get_registry()
+        while len(self._handles) < cfg.spawn_workers:
+            if not initial:
+                if self._respawns >= cfg.max_worker_respawns:
+                    log.error("spawned-worker respawn budget (%d) exhausted; "
+                              "relying on external workers and the reaper",
+                              cfg.max_worker_respawns)
+                    break
+                self._respawns += 1
+                registry.counter("fleet.worker_respawns").inc()
+                log.warning("respawning dead fleet worker (%d dead, "
+                            "respawn %d/%d)", dead, self._respawns,
+                            cfg.max_worker_respawns)
+            self._handles.append(self._ensure_spawner().spawn())
+        registry.gauge("fleet.spawned_workers").set(len(self._handles))
+
+    def stop_workers(self, timeout: float = 5.0) -> None:
+        """Terminate every spawned worker (drain hooks, tests, benches)."""
+        for handle in self._handles:
+            handle.stop(timeout=timeout)
+        self._handles = []
+        get_registry().gauge("fleet.spawned_workers").set(0)
+
+    # -- the batch -----------------------------------------------------------------
+    def run(self, fn, items) -> list[JobOutcome]:
+        """Post ``items`` to the board and reap until all are decided.
+
+        ``fn`` is ignored (see module docstring); items must be
+        :class:`MappingJob`\\ s.
+        """
+        del fn
+        items = list(items)
+        cfg = self.config
+        registry = get_registry()
+        outcomes: list[JobOutcome | None] = [None] * len(items)
+        for i, item in enumerate(items):
+            self._emit("queued", index=i, item=item)
+
+        runtime_doc = None
+        if self.runtime is not None and self.runtime.active:
+            runtime_doc = asdict(self.runtime)
+
+        key_indices: dict[str, list[int]] = {}
+        for i, job in enumerate(items):
+            if not isinstance(job, MappingJob):
+                raise ConfigError(
+                    "the distributed backend executes MappingJobs only; "
+                    f"got {type(job).__name__}"
+                )
+            payload = job.payload()
+            if "digest" in payload.get("workload", {}):
+                # Content-addressed file workloads cannot be rebuilt on
+                # another host from the payload alone; fail fast rather
+                # than posting a job no worker can run.
+                error = ("file-backed workload specs cannot run on the "
+                         "distributed backend (content digest only, not "
+                         "reconstructible worker-side); use the local "
+                         "backend")
+                outcomes[i] = JobOutcome(i, job, None, error, 0, 0.0)
+                self._emit("finished", index=i, item=job, attempts=0,
+                           wall_seconds=0.0, error=error, timed_out=False)
+                registry.counter("fleet.failed").inc()
+                continue
+            key_indices.setdefault(job.cache_key(), []).append(i)
+
+        self.board.ensure_dirs()
+        state: dict[str, _KeyState] = {}
+        for key, idxs in key_indices.items():
+            job = items[idxs[0]]
+            entry = {
+                "kind": "fleet_job",
+                "schema": BOARD_SCHEMA_VERSION,
+                "key": key,
+                "spec": job.payload(),
+                "describe": job.describe(),
+                "runtime": runtime_doc,
+                "timeout": cfg.timeout,
+                "lease_seconds": cfg.lease_seconds,
+                "posted_unix": time.time(),
+                "owner": {"host": socket.gethostname(), "pid": os.getpid()},
+                "reclaims": 0,
+                "not_before": 0.0,
+                "speculate": False,
+            }
+            posted = self.board.post(key, entry)
+            if posted:
+                registry.counter("fleet.posted").inc()
+            else:
+                # Another coordinator sharing the cache posted this spec
+                # first: join its run instead of competing.
+                registry.counter("fleet.dedup_joins").inc()
+                entry = self.board.read_entry(key) or entry
+            state[key] = _KeyState(idxs, entry, posted)
+
+        self._maintain_workers(initial=True)
+
+        pending = set(state)
+        while pending and not self._drain.is_set():
+            for key in sorted(pending):
+                outcome_info = self._poll_key(key, state[key], items)
+                if outcome_info is not None:
+                    self._settle(key, state[key], items, outcomes,
+                                 outcome_info)
+                    pending.discard(key)
+            registry.gauge("fleet.board_depth").set(len(pending))
+            registry.gauge("fleet.workers_alive").set(
+                self.board.alive_workers())
+            self._maintain_workers()
+            if pending and self._fleet_dead(pending):
+                error = ("fleet dead: every spawned worker exited, the "
+                         "respawn budget is exhausted, and no external "
+                         "worker is registered or holding a live claim; "
+                         "failing the remaining jobs (worker logs under "
+                         f"{self.board.workers_dir})")
+                log.error("%s", error)
+                for key in sorted(pending):
+                    registry.counter("fleet.failed").inc()
+                    self._settle(key, state[key], items, outcomes,
+                                 {"payload": None, "error": error})
+                pending.clear()
+                break
+            if pending and not self._drain.is_set():
+                time.sleep(cfg.poll)
+
+        if pending:
+            self._drain_pending(pending, state, items, outcomes)
+        registry.gauge("fleet.board_depth").set(0)
+        return outcomes  # type: ignore[return-value]
+
+    def _fleet_dead(self, pending: set) -> bool:
+        """True when nobody is left who could ever run the pending work.
+
+        Only meaningful for self-spawning coordinators: with
+        ``spawn_workers=0`` the operator owns worker lifecycle and the
+        coordinator waits indefinitely (workers may register any time).
+        A busy worker blocked in a long solve stops refreshing its
+        registration but keeps heartbeating its claim, so fresh claims
+        also count as signs of life.
+        """
+        cfg = self.config
+        if cfg.spawn_workers <= 0 or self._handles:
+            return False
+        if self._respawns < cfg.max_worker_respawns:
+            return False
+        if self.board.alive_workers() > 0:
+            return False
+        for key in pending:
+            for speculative in (False, True):
+                _, age = self.board.claim_info(key, speculative=speculative)
+                if age is not None and age <= cfg.lease_seconds:
+                    return False
+        return True
+
+    # -- per-key reaper step ---------------------------------------------------------
+    def _poll_key(self, key: str, st: _KeyState, items: list) -> dict | None:
+        """One reaper pass over a pending key; non-None = decided."""
+        cfg = self.config
+        registry = get_registry()
+        receipt = self.board.read_receipt(key)
+        if receipt is not None:
+            return self._decide_from_receipt(key, st, receipt)
+        if key in self.store:
+            # No receipt (cleaned up by another coordinator, or the
+            # worker died between store commit and receipt publish) but
+            # the result is durable: that is all we need.
+            payload = self.store.get(key)
+            if payload is not None:
+                registry.counter("fleet.completed").inc()
+                return {"payload": payload, "error": None}
+
+        now = time.time()
+        claim_seen = False
+        for speculative in (False, True):
+            claim, age = self.board.claim_info(key, speculative=speculative)
+            if age is None:
+                continue
+            claim_seen = True
+            if not speculative and not st.started and claim is not None:
+                st.started = True
+                registry.counter("fleet.claims").inc()
+                self._emit("started", index=st.indices[0],
+                           item=items[st.indices[0]],
+                           attempt=1 + st.reclaims,
+                           worker=claim.get("worker"))
+            lease = cfg.lease_seconds
+            if claim is not None:
+                try:
+                    lease = float(claim.get("lease_seconds")
+                                  or cfg.lease_seconds)
+                except (TypeError, ValueError):
+                    pass
+            expired = age > lease or faultinject.fires("lease-expire")
+            if expired:
+                if self.board.reclaim(key, speculative=speculative):
+                    decided = self._on_reclaim(key, st, items, claim, age,
+                                               speculative)
+                    if decided is not None:
+                        return decided
+                continue
+            if (not speculative and not st.speculated
+                    and cfg.speculation_after is not None
+                    and claim is not None):
+                try:
+                    claim_age = now - float(claim.get("claimed_unix") or now)
+                except (TypeError, ValueError):
+                    claim_age = 0.0
+                if claim_age > cfg.speculation_after:
+                    self._open_speculation(key, st, items, claim, claim_age)
+        if claim_seen:
+            return None
+
+        # No receipt, no store hit, no claim: make sure the entry is
+        # still on the board (another coordinator's cleanup or a manual
+        # sweep may have removed it before any worker ran it).
+        if self.board.read_entry(key) is None:
+            st.reposts += 1
+            if st.reposts > cfg.max_reposts:
+                return {
+                    "payload": None,
+                    "error": (f"job board entry for {key[:12]} vanished "
+                              f"{st.reposts} time(s) without a durable "
+                              "result; giving up"),
+                }
+            registry.counter("fleet.reposts").inc()
+            entry = dict(st.entry)
+            entry["reclaims"] = st.reclaims
+            entry["posted_unix"] = time.time()
+            self.board.post(key, entry)
+        return None
+
+    def _on_reclaim(self, key: str, st: _KeyState, items: list,
+                    claim: dict | None, age: float,
+                    speculative: bool) -> dict | None:
+        """This coordinator won the rename-aside race for a dead lease."""
+        cfg = self.config
+        registry = get_registry()
+        st.reclaims += 1
+        registry.counter("fleet.reclaims").inc()
+        worker = claim.get("worker") if claim else None
+        log.warning("reclaimed %s lease on %s from %s (heartbeat %.2fs "
+                    "old, lease death %d/%d)",
+                    "speculative" if speculative else "expired", key[:12],
+                    worker or "<unparseable claim>", age, st.reclaims,
+                    cfg.poison_threshold)
+        self._emit("reclaimed", index=st.indices[0],
+                   item=items[st.indices[0]], reclaims=st.reclaims,
+                   worker=worker, heartbeat_age=age, speculative=speculative)
+        if st.reclaims >= cfg.poison_threshold:
+            registry.counter("fleet.poisoned").inc()
+            self.board.remove_entry(key)
+            # Clear the sibling claim slot too, so no third worker picks
+            # up a spec we just declared poison.
+            self.board.reclaim(key, speculative=not speculative)
+            error = (f"poison job: worker lease expired {st.reclaims} "
+                     "consecutive time(s) running it; quarantined")
+            self._emit("poisoned", index=st.indices[0],
+                       item=items[st.indices[0]], deaths=st.reclaims,
+                       error=error)
+            return {"payload": None, "error": error, "poisoned": True}
+        entry = self.board.read_entry(key) or dict(st.entry)
+        entry["reclaims"] = st.reclaims
+        entry["not_before"] = time.time() + full_jitter_delay(
+            cfg.reclaim_backoff, st.reclaims, key)
+        entry["speculate"] = False
+        self.board.rewrite_entry(key, entry)
+        st.entry = entry
+        st.speculated = False
+        return None
+
+    def _open_speculation(self, key: str, st: _KeyState, items: list,
+                          claim: dict, claim_age: float) -> None:
+        st.speculated = True
+        get_registry().counter("fleet.speculations").inc()
+        entry = self.board.read_entry(key) or dict(st.entry)
+        entry["speculate"] = True
+        self.board.rewrite_entry(key, entry)
+        st.entry = entry
+        log.warning("straggler %s: claim by %s is %.2fs old; opening a "
+                    "speculative slot", key[:12], claim.get("worker"),
+                    claim_age)
+        self._emit("speculated", index=st.indices[0],
+                   item=items[st.indices[0]], worker=claim.get("worker"),
+                   claim_age=claim_age)
+
+    def _decide_from_receipt(self, key: str, st: _KeyState,
+                             receipt: dict) -> dict:
+        registry = get_registry()
+        error = receipt.get("error")
+        if error:
+            registry.counter("fleet.failed").inc()
+            return {
+                "payload": None,
+                "error": f"fleet worker {receipt.get('worker')}: {error}",
+                "timed_out": bool(receipt.get("timed_out")),
+            }
+        payload = receipt.get("payload")
+        if payload is None:
+            payload = self.store.get(key)
+        if payload is None:
+            registry.counter("fleet.failed").inc()
+            return {
+                "payload": None,
+                "error": (f"worker {receipt.get('worker')} published an ok "
+                          f"receipt for {key[:12]} but the result is in "
+                          "neither the receipt nor the store"),
+            }
+        if receipt.get("trace"):
+            payload["trace"] = receipt["trace"]
+        if receipt.get("executed"):
+            registry.counter("fleet.completed").inc()
+        else:
+            registry.counter("fleet.worker_cache_hits").inc()
+        if receipt.get("speculative"):
+            registry.counter("fleet.speculation_wins").inc()
+        return {"payload": payload, "error": None,
+                "worker": receipt.get("worker")}
+
+    # -- settling outcomes -----------------------------------------------------------
+    def _settle(self, key: str, st: _KeyState, items: list,
+                outcomes: list, info: dict) -> None:
+        attempts = 1 + st.reclaims
+        wall = time.perf_counter() - st.t0
+        error = info.get("error")
+        for index in st.indices:
+            outcomes[index] = JobOutcome(
+                index, items[index],
+                info.get("payload"), error, attempts, wall,
+                timed_out=bool(info.get("timed_out")),
+                poisoned=bool(info.get("poisoned")),
+            )
+            self._emit("finished", index=index, item=items[index],
+                       attempts=attempts, wall_seconds=wall, error=error,
+                       timed_out=bool(info.get("timed_out")),
+                       poisoned=bool(info.get("poisoned")))
+        if self.config.cleanup and error is None and key in self.store:
+            # The store is the durable record; the entry and receipt are
+            # scaffolding. Degraded results (never cached) keep their
+            # receipt so a second coordinator can still read them.
+            self.board.remove_entry(key)
+            self.board.remove_receipt(key)
+
+    def _drain_pending(self, pending: set, state: dict, items: list,
+                       outcomes: list) -> None:
+        for key in sorted(pending):
+            st = state[key]
+            claim, age = self.board.claim_info(key)
+            if st.posted and age is None:
+                # Never claimed: withdraw our own entry so the board
+                # doesn't leak work nobody is waiting on. Claimed jobs
+                # stay — their workers will still commit to the store.
+                self.board.remove_entry(key)
+            error = ("drained: fleet batch shut down before this job "
+                     "completed")
+            wall = time.perf_counter() - st.t0
+            for index in st.indices:
+                outcomes[index] = JobOutcome(
+                    index, items[index], None, error, st.reclaims, wall,
+                    drained=True,
+                )
+                self._emit("finished", index=index, item=items[index],
+                           attempts=st.reclaims, wall_seconds=wall,
+                           error=error, timed_out=False, drained=True)
+
+    # -- introspection ---------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Fleet health for ``/healthz`` and the doctor."""
+        board = self.board.snapshot()
+        board["spawned_workers"] = len([h for h in self._handles
+                                        if h.alive()])
+        board["worker_respawns"] = self._respawns
+        board["draining"] = self.draining
+        return board

@@ -1,0 +1,161 @@
+"""Submit adapters: how a coordinator launches fleet workers.
+
+The cluster-tools shape: a *spawner* turns "give me a worker against
+this cache dir" into a concrete launch mechanism and hands back a
+:class:`WorkerHandle` for liveness checks and teardown.
+
+:class:`SubprocessSpawner` is the working implementation — local
+``python -m repro.cli worker DIR`` subprocesses, one per fleet slot,
+with stdout/stderr teed into ``board/workers/*.log`` for postmortems.
+:class:`SshSpawner` carries the same interface shaped for remote hosts;
+its :meth:`SshSpawner.command` is real (and tested) so the launch
+contract is pinned down, while actually dispatching over SSH stays out
+of scope until a multi-host CI rig exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.distributed.board import JobBoard
+from repro.utils.logconf import get_logger
+
+__all__ = ["WorkerHandle", "SubprocessSpawner", "SshSpawner"]
+
+log = get_logger("distributed.spawn")
+
+_spawn_seq = itertools.count(1)
+
+
+class WorkerHandle:
+    """One launched worker process: liveness, termination, log path."""
+
+    def __init__(self, process: subprocess.Popen, label: str,
+                 log_path: Path | None = None):
+        self.process = process
+        self.label = label
+        self.log_path = log_path
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self) -> None:
+        """Ask the worker to finish its current job and exit."""
+        if self.alive():
+            try:
+                self.process.send_signal(signal.SIGTERM)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def stop(self, timeout: float = 5.0) -> int | None:
+        """SIGTERM, wait, escalate to SIGKILL; returns the exit code."""
+        self.terminate()
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            log.warning("worker %s ignored SIGTERM for %.1fs; killing",
+                        self.label, timeout)
+            self.process.kill()
+            try:
+                return self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                return None
+
+
+class SubprocessSpawner:
+    """Launch fleet workers as local subprocesses of this interpreter."""
+
+    def __init__(self, cache_dir, poll: float = 0.05,
+                 idle_exit: float | None = 300.0,
+                 env: dict | None = None):
+        # Resolved eagerly: the child runs *from* the cache directory, so
+        # a relative path handed to the command line would make the
+        # worker look for the board inside itself.
+        self.cache_dir = Path(cache_dir).resolve()
+        self.poll = float(poll)
+        self.idle_exit = idle_exit
+        self.env = dict(env or {})
+
+    def command(self, worker_id: str | None = None) -> list[str]:
+        cmd = [sys.executable, "-m", "repro.cli", "worker",
+               str(self.cache_dir), "--poll", f"{self.poll:.6g}"]
+        if self.idle_exit is not None:
+            cmd += ["--idle-exit", f"{float(self.idle_exit):.6g}"]
+        if worker_id:
+            cmd += ["--id", worker_id]
+        return cmd
+
+    def spawn(self, worker_id: str | None = None) -> WorkerHandle:
+        board = JobBoard.under_cache(self.cache_dir)
+        board.ensure_dirs()
+        label = worker_id or f"spawn-{os.getpid()}-{next(_spawn_seq)}"
+        log_path = board.workers_dir / f"{label}.log"
+        env = dict(os.environ)
+        env.update(self.env)
+        # The child runs from the cache directory, so a relative
+        # PYTHONPATH (the uninstalled `PYTHONPATH=src` invocation CI
+        # uses) must be absolutized against *our* cwd or the worker
+        # dies on `import repro` before it can even log why.
+        if env.get("PYTHONPATH"):
+            env["PYTHONPATH"] = os.pathsep.join(
+                os.path.abspath(p) if p else p
+                for p in env["PYTHONPATH"].split(os.pathsep))
+        log_file = open(log_path, "ab")
+        try:
+            process = subprocess.Popen(
+                self.command(worker_id),
+                stdout=log_file,
+                stderr=subprocess.STDOUT,
+                env=env,
+                cwd=str(self.cache_dir),
+            )
+        finally:
+            log_file.close()
+        log.info("spawned fleet worker %s (pid %d, log %s)", label,
+                 process.pid, log_path)
+        return WorkerHandle(process, label, log_path=log_path)
+
+
+class SshSpawner:
+    """The SSH-shaped submit adapter (launch contract only, for now).
+
+    Builds the exact remote command a multi-host deployment would run —
+    the cache directory must be a shared mount path valid on the remote
+    host. :meth:`spawn` is deliberately unimplemented until there is a
+    second host to test against; the interface and command shape are
+    what downstream automation codes against.
+    """
+
+    def __init__(self, host: str, cache_dir, python: str = "python3",
+                 poll: float = 0.05, idle_exit: float | None = 300.0,
+                 ssh_options: tuple = ("-o", "BatchMode=yes")):
+        self.host = host
+        self.cache_dir = str(cache_dir)
+        self.python = python
+        self.poll = float(poll)
+        self.idle_exit = idle_exit
+        self.ssh_options = tuple(ssh_options)
+
+    def command(self, worker_id: str | None = None) -> list[str]:
+        remote = [self.python, "-m", "repro.cli", "worker", self.cache_dir,
+                  "--poll", f"{self.poll:.6g}"]
+        if self.idle_exit is not None:
+            remote += ["--idle-exit", f"{float(self.idle_exit):.6g}"]
+        if worker_id:
+            remote += ["--id", worker_id]
+        return ["ssh", *self.ssh_options, self.host, *remote]
+
+    def spawn(self, worker_id: str | None = None) -> WorkerHandle:
+        raise NotImplementedError(
+            "SshSpawner pins the launch contract (see command()); actual "
+            "SSH dispatch needs a multi-host test rig"
+        )

@@ -1,0 +1,322 @@
+"""Fleet worker: claim jobs off the shared board, execute, commit.
+
+``repro worker DIR`` runs one of these against a cache directory. The
+loop is deliberately boring::
+
+    scan queue -> claim one entry (O_EXCL) -> execute -> commit to the
+    checksummed store -> publish receipt (first commit wins) -> release
+
+While a job runs, a daemon thread refreshes the claim file's mtime
+every quarter lease — the coordinator's reaper treats a heartbeat older
+than the lease as a dead or wedged worker and reclaims the job. The
+worker also keeps a registration file (``board/workers/<id>.json``)
+heartbeating so operators and the doctor can tell live fleet members
+from debris.
+
+Results always flow through the :class:`~repro.service.store.ResultStore`
+*before* the receipt is published. Ordering is the crash-safety
+argument: a worker that dies after ``store.put`` but before the receipt
+has still made the result durable, so the reclaimed re-execution is a
+free cache hit — the re-claiming worker finds the key in the store and
+publishes an ``executed=False`` receipt without touching the mapper.
+
+Fault hooks (armed via ``REPRO_FAULTS`` in the worker's environment):
+
+- ``worker-kill-after-claim`` — SIGKILL immediately after a claim is
+  taken, the worst-case death (lease held, zero work durable);
+- ``heartbeat-stall`` — the heartbeat thread stops refreshing while the
+  job keeps running, simulating a wedged-but-alive worker.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import JobTimeoutError, ServiceError
+from repro.distributed.board import BOARD_SCHEMA_VERSION, JobBoard
+from repro.observability.metrics import get_registry
+from repro.resilience import faultinject
+from repro.service.executor import _deadline
+from repro.service.jobs import (
+    JobRuntime,
+    execute_mapping_job,
+    mapping_job_from_payload,
+)
+from repro.service.store import ResultStore
+from repro.utils.logconf import get_logger
+
+__all__ = ["default_worker_id", "FleetWorker"]
+
+log = get_logger("distributed.worker")
+
+
+def default_worker_id() -> str:
+    return f"w-{socket.gethostname()}-{os.getpid()}"
+
+
+class FleetWorker:
+    """One claim-execute-commit loop over a shared cache directory.
+
+    Parameters
+    ----------
+    cache_dir:
+        The shared cache root; the board lives at ``<cache_dir>/board``.
+    worker_id:
+        Stable identity written into claims/receipts/registration;
+        defaults to ``w-<host>-<pid>``.
+    poll:
+        Sleep between empty queue scans.
+    idle_exit:
+        Exit after this many seconds without claiming any work
+        (None = run until signalled). Spawned workers use this so an
+        abandoned fleet drains itself.
+    install_signals:
+        Install SIGTERM/SIGINT handlers that finish the current job and
+        exit cleanly (only possible from the main thread; in-thread test
+        workers call :meth:`stop` instead).
+    """
+
+    REGISTRATION_INTERVAL = 1.0
+
+    def __init__(self, cache_dir, worker_id: str | None = None,
+                 poll: float = 0.05, idle_exit: float | None = None,
+                 install_signals: bool = True):
+        self.store = ResultStore(cache_dir)
+        self.board = JobBoard.under_cache(cache_dir)
+        self.worker_id = worker_id or default_worker_id()
+        self.poll = float(poll)
+        self.idle_exit = idle_exit if idle_exit is None else float(idle_exit)
+        self.install_signals = install_signals
+        self._stop = threading.Event()
+        #: Receipts this worker published (including free cache hits).
+        self.published = 0
+        #: Jobs this worker actually executed (mapper ran).
+        self.executed = 0
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # -- main loop -----------------------------------------------------------------
+    def run(self) -> int:
+        """Serve the board until stopped; returns receipts published."""
+        self.board.ensure_dirs()
+        reg_path = self.board.register_worker(self.worker_id,
+                                              self.REGISTRATION_INTERVAL)
+        restore: dict[int, object] = {}
+        if (self.install_signals
+                and threading.current_thread() is threading.main_thread()):
+            def _handler(signum, frame):
+                log.warning("worker %s: signal %d, finishing current job",
+                            self.worker_id, signum)
+                self.stop()
+
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    restore[sig] = signal.signal(sig, _handler)
+                except (ValueError, OSError):  # pragma: no cover - platform
+                    pass
+        log.info("worker %s serving board at %s", self.worker_id,
+                 self.board.root)
+        last_registration = time.monotonic()
+        last_work = time.monotonic()
+        try:
+            while not self._stop.is_set():
+                now = time.monotonic()
+                if now - last_registration >= self.REGISTRATION_INTERVAL:
+                    self._refresh_registration(reg_path)
+                    last_registration = now
+                if self._scan_once():
+                    last_work = time.monotonic()
+                    continue
+                if (self.idle_exit is not None
+                        and time.monotonic() - last_work >= self.idle_exit):
+                    log.info("worker %s idle for %.1fs; exiting",
+                             self.worker_id, self.idle_exit)
+                    break
+                self._stop.wait(self.poll)
+        finally:
+            self.board.deregister_worker(self.worker_id)
+            for sig, prev in restore.items():
+                signal.signal(sig, prev)
+        return self.published
+
+    def _refresh_registration(self, reg_path: Path) -> None:
+        try:
+            os.utime(reg_path)
+        except OSError:
+            # A doctor --repair (or an operator) swept the file while we
+            # were busy; a live worker simply re-registers.
+            self.board.register_worker(self.worker_id,
+                                       self.REGISTRATION_INTERVAL)
+
+    # -- one scan ------------------------------------------------------------------
+    def _scan_once(self) -> bool:
+        """Claim and process at most one job; True when work was done."""
+        now = time.time()
+        for key in self.board.list_queue():
+            if self._stop.is_set():
+                return False
+            entry = self.board.read_entry(key)
+            if entry is None:
+                continue
+            try:
+                if float(entry.get("not_before") or 0.0) > now:
+                    continue  # reclaim backoff window
+            except (TypeError, ValueError):
+                pass
+            lease = self._lease_of(entry)
+            speculative = False
+            claim = self.board.try_claim(key, self.worker_id, lease)
+            if claim is None and entry.get("speculate"):
+                # The primary holder is a straggler: race it through the
+                # one speculative slot. First receipt wins either way.
+                claim = self.board.try_claim(key, self.worker_id, lease,
+                                             speculative=True)
+                speculative = claim is not None
+            if claim is None:
+                continue
+            if self.board.read_receipt(key) is not None:
+                # Finished between our scan and our claim; nothing to do.
+                self.board.release_claim(claim, self.worker_id)
+                continue
+            self._process(key, entry, claim, speculative)
+            return True
+        return False
+
+    @staticmethod
+    def _lease_of(entry: dict) -> float:
+        try:
+            lease = float(entry.get("lease_seconds") or 10.0)
+        except (TypeError, ValueError):
+            lease = 10.0
+        return max(lease, 0.1)
+
+    # -- executing one claim -------------------------------------------------------
+    def _process(self, key: str, entry: dict, claim_path: Path,
+                 speculative: bool) -> None:
+        # The worst moment to die: claim held, nothing durable yet. The
+        # chaos suite arms this to prove the lease reaper recovers.
+        faultinject.inject("worker-kill-after-claim")
+        registry = get_registry()
+        registry.counter("fleet.worker_claims").inc()
+        log.info("worker %s claimed %s%s (%s)", self.worker_id, key[:12],
+                 " [speculative]" if speculative else "",
+                 entry.get("describe", "?"))
+        lease = self._lease_of(entry)
+        stop_beat = threading.Event()
+        beat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(claim_path, max(lease / 4.0, 0.02), stop_beat),
+            daemon=True,
+        )
+        beat.start()
+        t0 = time.perf_counter()
+        receipt = {
+            "kind": "fleet_receipt",
+            "schema": BOARD_SCHEMA_VERSION,
+            "key": key,
+            "worker": self.worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "speculative": speculative,
+            "executed": False,
+            "error": None,
+            "timed_out": False,
+            "degraded": False,
+            "map_seconds": None,
+        }
+        executed = False
+        try:
+            if key in self.store:
+                # The original owner of a reclaimed job finished after
+                # its lease expired: its commit is durable, so this
+                # re-execution is a free cache hit — zero mapper work.
+                registry.counter("fleet.worker_cache_hits").inc()
+                log.info("worker %s: %s already in store (free cache hit)",
+                         self.worker_id, key[:12])
+            else:
+                job = mapping_job_from_payload(entry["spec"])
+                runtime = None
+                if entry.get("runtime"):
+                    runtime = JobRuntime(**entry["runtime"])
+                timeout = entry.get("timeout")
+                with _deadline(timeout):
+                    payload = execute_mapping_job(job, runtime=runtime)
+                executed = True
+                self.executed += 1
+                receipt["executed"] = True
+                receipt["map_seconds"] = payload.get("map_seconds")
+                # Span trees are timing-nondeterministic and must never
+                # enter the content-addressed store; they ride the
+                # receipt home for the coordinator to graft.
+                trace_docs = payload.pop("trace", None)
+                if trace_docs:
+                    receipt["trace"] = trace_docs
+                receipt["degraded"] = bool(payload.get("degraded"))
+                stored = False
+                if not receipt["degraded"]:
+                    try:
+                        self.store.put(key, payload)
+                        stored = True
+                    except (OSError, ServiceError) as exc:
+                        log.warning("worker %s: could not store %s (%s); "
+                                    "shipping payload in the receipt",
+                                    self.worker_id, key[:12], exc)
+                if not stored:
+                    # Degraded (quality-barred from the cache) or the
+                    # store refused the commit: the receipt is the only
+                    # road home for this result.
+                    receipt["payload"] = payload
+        except JobTimeoutError as exc:
+            receipt["error"] = f"{type(exc).__name__}: {exc}"
+            receipt["timed_out"] = True
+            registry.counter("fleet.worker_timeouts").inc()
+        except ServiceError as exc:
+            receipt["error"] = f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - shipped to the coordinator
+            receipt["error"] = f"{type(exc).__name__}: {exc}"
+        finally:
+            stop_beat.set()
+            beat.join(timeout=2.0)
+        receipt["wall_seconds"] = time.perf_counter() - t0
+        receipt["time_unix"] = time.time()
+        if self.board.publish_receipt(key, receipt):
+            self.published += 1
+        elif executed:
+            # Lost the first-commit-wins race *after* running the
+            # mapper: record it, so duplicate executions are observable
+            # (the chaos suite asserts there are none without
+            # speculation in play).
+            registry.counter("fleet.worker_duplicate_executions").inc()
+            self.board.record_duplicate(key, self.worker_id)
+            log.warning("worker %s: lost receipt race for %s after "
+                        "executing it", self.worker_id, key[:12])
+        self.board.release_claim(claim_path, self.worker_id)
+
+    def _heartbeat_loop(self, claim_path: Path, interval: float,
+                        stop: threading.Event) -> None:
+        stalled = False
+        while not stop.wait(interval):
+            if stalled:
+                continue
+            if faultinject.fires("heartbeat-stall"):
+                # Wedged-but-alive: the process keeps computing but the
+                # lease goes quiet, so the reaper must treat it as dead.
+                log.warning("worker %s: heartbeat stalled (injected)",
+                            self.worker_id)
+                stalled = True
+                continue
+            if not self.board.heartbeat(claim_path):
+                # Reclaimed from under us (our lease expired). Keep
+                # computing: our store commit still lands, and the
+                # receipt race decides whose result counts.
+                return

@@ -22,6 +22,7 @@ from repro.resilience.budget import Budget
 from repro.resilience.checkpoint import MapperCheckpoint
 from repro.resilience.degrade import DegradationEvent, DegradationLog
 from repro.resilience.faultinject import (
+    FLEET_KILL_POINTS,
     INJECTION_POINTS,
     KILL_POINTS,
     FaultPlan,
@@ -34,6 +35,7 @@ __all__ = [
     "MapperCheckpoint",
     "DegradationEvent",
     "DegradationLog",
+    "FLEET_KILL_POINTS",
     "INJECTION_POINTS",
     "KILL_POINTS",
     "FaultPlan",

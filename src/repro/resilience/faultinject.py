@@ -18,6 +18,13 @@ checkpoint-torn-write ``MapperCheckpoint.save``                       writes a t
                                                                       checkpoint file
 serve-enqueue         ``MappingDaemon.submit`` after admission        raises
                                                                       ``FaultInjectionError``
+lease-expire          fleet coordinator claim liveness check          treats the claim as
+                      (``DistributedExecutor._poll_key``)             expired (behavioral,
+                                                                      via :func:`fires`)
+heartbeat-stall       fleet worker heartbeat thread                   stops refreshing the
+                      (``FleetWorker._heartbeat_loop``)               lease while the job
+                                                                      keeps running
+                                                                      (behavioral, sticky)
 ===================== ============================================== =========================
 
 A second family of **kill points** (:data:`KILL_POINTS`) SIGKILLs the
@@ -31,6 +38,8 @@ store-kill-mid-write  a torn (half-written) temp file
 store-kill-pre-rename temp file complete + fsynced, not yet renamed
 store-kill-post-rename artifact renamed into place, directory not
                       yet fsynced
+worker-kill-after-claim fleet worker dies immediately after taking
+                      a job claim (lease held, nothing durable)
 ===================== ==============================================
 
 Kill points are never part of :data:`INJECTION_POINTS` (the chaos
@@ -73,6 +82,7 @@ from repro.errors import ConfigError, FaultInjectionError, SolverError
 __all__ = [
     "INJECTION_POINTS",
     "KILL_POINTS",
+    "FLEET_KILL_POINTS",
     "FaultSpec",
     "FaultPlan",
     "activate",
@@ -90,6 +100,10 @@ INJECTION_POINTS = (
     "store-enospc",
     "checkpoint-torn-write",
     "serve-enqueue",
+    # Fleet (behavioral, consumed via fires()): the coordinator treats a
+    # healthy claim as expired; a worker's heartbeat thread goes quiet.
+    "lease-expire",
+    "heartbeat-stall",
 )
 
 #: SIGKILL-the-writer points along the store commit protocol. Deliberately
@@ -101,6 +115,13 @@ KILL_POINTS = (
     "store-kill-pre-rename",
     "store-kill-post-rename",
 )
+
+#: SIGKILL points that live outside the store commit protocol (and thus
+#: outside the crash-consistency matrix, which drives every KILL_POINTS
+#: entry through ``ResultStore.put``). ``worker-kill-after-claim`` kills
+#: a fleet worker the instant it takes a job claim — lease held, nothing
+#: durable — the worst-case death the lease reaper must recover from.
+FLEET_KILL_POINTS = ("worker-kill-after-claim",)
 
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_HITS_DIR = "REPRO_FAULT_HITS_DIR"
@@ -123,10 +144,10 @@ class FaultSpec:
     probability: float = 1.0
 
     def __post_init__(self):
-        if self.point not in INJECTION_POINTS + KILL_POINTS:
+        known = INJECTION_POINTS + KILL_POINTS + FLEET_KILL_POINTS
+        if self.point not in known:
             raise ConfigError(
-                f"unknown injection point {self.point!r}; "
-                f"choose from {INJECTION_POINTS + KILL_POINTS}"
+                f"unknown injection point {self.point!r}; choose from {known}"
             )
         if self.max_hits is not None and self.max_hits < 0:
             raise ConfigError("max_hits must be >= 0 (or None for unlimited)")
@@ -264,7 +285,7 @@ def inject(point: str) -> None:
     spec = plan.claim(point)
     if spec is None:
         return
-    if point in KILL_POINTS:
+    if point in KILL_POINTS + FLEET_KILL_POINTS:
         # Simulate a hard crash (power loss, OOM kill) at this exact
         # step: no cleanup handlers, no atexit, no flushing.
         os.kill(os.getpid(), signal.SIGKILL)

@@ -12,6 +12,14 @@ Every method returns ``(http_status, parsed_json)``; HTTP error codes
 are data (the daemon encodes admission rejections as 429, state
 conflicts as 409), while transport failures — daemon not running,
 connection refused — raise :class:`~repro.errors.ServiceError`.
+
+Transient failures are retried with bounded full-jitter backoff:
+connection-level errors (``URLError`` — the daemon restarting, a
+dropped socket) and 503 responses (the daemon draining). This is safe
+for every endpoint because the API is idempotent by construction — the
+job id *is* the spec's cache key, so a resubmitted spec joins the
+existing job rather than executing twice. 429s (admission/quota
+rejections) are deliberate policy answers and are never retried.
 """
 
 from __future__ import annotations
@@ -23,7 +31,9 @@ import urllib.error
 import urllib.request
 from pathlib import Path
 
-from repro.errors import ServiceError
+from repro.errors import ConfigError, ServiceError
+from repro.observability.metrics import get_registry
+from repro.service.supervision import full_jitter_delay
 
 __all__ = ["ENV_URL", "ServeClient", "discover_url"]
 
@@ -31,6 +41,11 @@ ENV_URL = "REPRO_SERVE_URL"
 
 #: States after which a job's document stops changing.
 _TERMINAL = frozenset({"done", "failed", "cancelled", "drained"})
+
+#: HTTP statuses worth retrying: the daemon said "not right now", not
+#: "no". 429 is absent on purpose — admission control rejections are
+#: policy, and hammering them would fight the backpressure mechanism.
+_RETRYABLE_STATUSES = frozenset({503})
 
 
 def discover_url(url: str | None = None,
@@ -62,11 +77,26 @@ def discover_url(url: str | None = None,
 
 
 class ServeClient:
-    """Thin JSON-over-HTTP client bound to one daemon URL."""
+    """Thin JSON-over-HTTP client bound to one daemon URL.
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    ``retries`` bounds *extra* attempts after a transient failure
+    (``URLError`` or a retryable HTTP status); ``backoff`` is the
+    full-jitter cap base, seeded from the request path so concurrent
+    clients don't thunder-herd a restarting daemon.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 retries: int = 2, backoff: float = 0.25):
+        if retries < 0:
+            raise ConfigError("retries must be >= 0")
+        if backoff < 0:
+            raise ConfigError("backoff must be >= 0")
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        # Injection seam for tests (and, later, instrumented transports).
+        self._urlopen = urllib.request.urlopen
 
     def _request(self, method: str, path: str,
                  doc: dict | None = None) -> tuple[int, dict]:
@@ -75,18 +105,28 @@ class ServeClient:
         if doc is not None:
             data = json.dumps(doc).encode()
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(self.url + path, data=data,
-                                     headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, self._parse(resp.read())
-        except urllib.error.HTTPError as exc:
-            # 4xx/5xx carry a JSON body describing why; that is API
-            # data, not a transport failure.
-            return exc.code, self._parse(exc.read())
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach daemon at {self.url}: {exc.reason}") from exc
+        attempt = 0
+        while True:
+            attempt += 1
+            req = urllib.request.Request(self.url + path, data=data,
+                                         headers=headers, method=method)
+            try:
+                with self._urlopen(req, timeout=self.timeout) as resp:
+                    return resp.status, self._parse(resp.read())
+            except urllib.error.HTTPError as exc:
+                # 4xx/5xx carry a JSON body describing why; that is API
+                # data, not a transport failure.
+                code, body = exc.code, self._parse(exc.read())
+                if (code not in _RETRYABLE_STATUSES
+                        or attempt > self.retries):
+                    return code, body
+            except urllib.error.URLError as exc:
+                if attempt > self.retries:
+                    raise ServiceError(
+                        f"cannot reach daemon at {self.url} after "
+                        f"{attempt} attempt(s): {exc.reason}") from exc
+            get_registry().counter("serve.client_retries").inc()
+            time.sleep(full_jitter_delay(self.backoff, attempt, path))
 
     @staticmethod
     def _parse(raw: bytes) -> dict:

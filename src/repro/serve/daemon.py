@@ -113,6 +113,12 @@ class DaemonConfig:
     requeue_pending: bool = True
     checkpoint_dir: str | None = None
     netview: bool = False
+    #: ``"local"`` = in-process pool; ``"distributed"`` = shard batches
+    #: across fleet workers via the job board (``jobs`` then spawns that
+    #: many local worker subprocesses; remote ``repro worker`` processes
+    #: sharing the cache dir join the same fleet).
+    backend: str = "local"
+    lease_seconds: float = 15.0
 
     def __post_init__(self):
         if not self.cache_dir:
@@ -123,6 +129,11 @@ class DaemonConfig:
             raise ConfigError("batch_size must be >= 1")
         if self.janitor_interval < 0:
             raise ConfigError("janitor_interval must be >= 0 (0 disables)")
+        if self.backend not in ("local", "distributed"):
+            raise ConfigError(f"unknown backend {self.backend!r}; choose "
+                              "'local' or 'distributed'")
+        if self.lease_seconds <= 0:
+            raise ConfigError("lease_seconds must be > 0")
 
 
 @dataclass
@@ -208,13 +219,26 @@ class MappingDaemon:
 
     def __init__(self, config: DaemonConfig):
         self.config = config
-        self.engine = MappingEngine(
-            cache_dir=config.cache_dir,
-            executor_config=ExecutorConfig(
-                jobs=config.jobs, timeout=config.job_timeout,
-                drain_on_signals=False,
-            ),
-        )
+        if config.backend == "distributed":
+            from repro.distributed import DistributedConfig
+
+            self.engine = MappingEngine(
+                cache_dir=config.cache_dir,
+                backend="distributed",
+                distributed=DistributedConfig(
+                    spawn_workers=config.jobs,
+                    timeout=config.job_timeout,
+                    lease_seconds=config.lease_seconds,
+                ),
+            )
+        else:
+            self.engine = MappingEngine(
+                cache_dir=config.cache_dir,
+                executor_config=ExecutorConfig(
+                    jobs=config.jobs, timeout=config.job_timeout,
+                    drain_on_signals=False,
+                ),
+            )
         self.queue = FairQueue(
             default_policy=TenantPolicy(quota=config.tenant_quota),
             aging_rate=config.aging_rate,
@@ -396,7 +420,7 @@ class MappingDaemon:
             for record in self.records.values():
                 by_state[record.state] = by_state.get(record.state, 0) + 1
         wait = self._registry.histogram("serve.wait_seconds")
-        return 200, {
+        doc = {
             "status": "draining" if self.draining else "ok",
             "pid": os.getpid(),
             "uptime_seconds": time.time() - self.started_unix,
@@ -408,6 +432,10 @@ class MappingDaemon:
             "engine": self.engine.stats.as_dict(),
             "store": self.engine.store.stats.as_dict(),
         }
+        if hasattr(self.engine.executor, "snapshot"):
+            # Distributed backend: board depths + spawned-worker health.
+            doc["fleet"] = self.engine.executor.snapshot()
+        return 200, doc
 
     def metrics(self) -> tuple[int, dict]:
         return 200, self._registry.snapshot()
@@ -690,6 +718,10 @@ class MappingDaemon:
             server.close()
             await server.wait_closed()
             await scheduler
+            if hasattr(self.engine.executor, "stop_workers"):
+                # Distributed backend: join the spawned fleet workers
+                # (request_drain already SIGTERMed them).
+                await asyncio.to_thread(self.engine.executor.stop_workers)
             if janitor is not None:
                 janitor.cancel()
                 with contextlib.suppress(asyncio.CancelledError):

@@ -23,7 +23,7 @@ from dataclasses import dataclass, replace
 from functools import partial
 from typing import Sequence
 
-from repro.errors import ServiceError
+from repro.errors import ConfigError, ServiceError
 from repro.observability.metrics import get_registry
 from repro.observability.trace import active_tracer, event as trace_event, span
 from repro.service.executor import BatchExecutor, ExecutorConfig, JobOutcome
@@ -106,6 +106,16 @@ class MappingEngine:
         Optional :class:`~repro.service.jobs.JobRuntime` resilience
         policy (deadline, degradation, checkpoint/resume) applied to
         every executed job. Never part of the cache key.
+    backend:
+        ``"local"`` (default) runs misses on the in-process
+        :class:`BatchExecutor`; ``"distributed"`` shards them across
+        fleet workers via the shared job board under the cache
+        directory (requires a store — the board lives inside it).
+    distributed:
+        Optional :class:`~repro.distributed.DistributedConfig` for the
+        distributed backend; by default the engine spawns ``jobs``
+        local worker subprocesses with ``job_timeout`` as the per-job
+        budget.
     """
 
     def __init__(
@@ -118,16 +128,44 @@ class MappingEngine:
         store: ResultStore | None = None,
         runtime: JobRuntime | None = None,
         executor_config: ExecutorConfig | None = None,
+        backend: str = "local",
+        distributed=None,
     ):
+        if backend not in ("local", "distributed"):
+            raise ConfigError(
+                f"unknown engine backend {backend!r}; "
+                "choose 'local' or 'distributed'"
+            )
         if store is None and cache_dir is not None:
             store = ResultStore(cache_dir)
         self.store = store
         self.runtime = runtime
-        if executor_config is None:
-            executor_config = ExecutorConfig(jobs=jobs, timeout=job_timeout,
-                                             retries=retries, backoff=backoff)
-        self.executor = BatchExecutor(executor_config,
-                                      on_event=self._on_executor_event)
+        self.backend = backend
+        if backend == "distributed":
+            if store is None:
+                raise ConfigError(
+                    "the distributed backend needs a cache directory: the "
+                    "shared store is the fleet's coordination substrate"
+                )
+            # Imported lazily: the fleet package sits above the service
+            # layer and most engine users never touch it.
+            from repro.distributed import DistributedConfig, DistributedExecutor
+
+            if distributed is None:
+                distributed = DistributedConfig(
+                    spawn_workers=max(jobs, 1), timeout=job_timeout
+                )
+            self.executor = DistributedExecutor(
+                store, distributed, on_event=self._on_executor_event
+            )
+        else:
+            if executor_config is None:
+                executor_config = ExecutorConfig(
+                    jobs=jobs, timeout=job_timeout,
+                    retries=retries, backoff=backoff,
+                )
+            self.executor = BatchExecutor(executor_config,
+                                          on_event=self._on_executor_event)
         self.stats = EngineStats()
 
     # -- telemetry ------------------------------------------------------------------
@@ -250,6 +288,10 @@ class MappingEngine:
                 body = execute_mapping_job
                 if runtime is not None and runtime.active:
                     body = partial(execute_mapping_job, runtime=runtime)
+                if hasattr(self.executor, "runtime"):
+                    # The distributed backend serializes the runtime into
+                    # each board entry instead of closing over it.
+                    self.executor.runtime = runtime
                 raw = self.executor.run(body, [jobs[i] for i in miss_indices])
                 for outcome, i in zip(raw, miss_indices):
                     job = jobs[i]

@@ -1,0 +1,583 @@
+"""Distributed fleet: board primitives, lease reclaim, chaos, parity.
+
+The headline guarantees under test:
+
+- a 3-worker fleet produces **bitwise-identical** results to the serial
+  engine (the paper-reproduction invariant extended to the fleet);
+- a SIGKILLed worker's lease expires, the reaper reclaims and requeues
+  the job, and the batch completes with **zero duplicate mapper
+  executions** (store-commit-before-receipt ordering);
+- two coordinators sharing one cache directory split the work instead
+  of duplicating it (O_EXCL posts, first-commit-wins receipts);
+- ``repro doctor`` understands the board: expired leases, orphaned
+  claims, stale worker registrations, reclaim/duplicate debris.
+"""
+
+import json
+import io
+import os
+import threading
+import time
+import urllib.error
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.distributed import (
+    DistributedConfig,
+    DistributedExecutor,
+    FleetWorker,
+    JobBoard,
+    SshSpawner,
+    SubprocessSpawner,
+    exclusive_publish_json,
+)
+from repro.errors import ConfigError, ServiceError
+from repro.observability import get_registry
+from repro.resilience.faultinject import FaultSpec, injected_faults
+from repro.serve import ServeClient
+from repro.service import (
+    MapperConfig,
+    MappingEngine,
+    MappingJob,
+    TopologySpec,
+    WorkloadSpec,
+    diagnose,
+)
+from repro.service.store import ResultStore
+
+
+def _jobs(n=3):
+    workloads = ["halo2d:4x4", "ring:16", "transpose:4"][:n]
+    return [
+        MappingJob(TopologySpec((4, 4)), WorkloadSpec(w),
+                   MapperConfig.make("dimorder", order="ABT"))
+        for w in workloads
+    ]
+
+
+def _fleet_engine(cache, workers, **cfg):
+    cfg.setdefault("worker_idle_exit", 60.0)
+    return MappingEngine(
+        cache_dir=cache, backend="distributed",
+        distributed=DistributedConfig(spawn_workers=workers, **cfg),
+    )
+
+
+def _assert_parity(serial_outcomes, fleet_outcomes):
+    assert all(o.ok for o in fleet_outcomes), \
+        [o.error for o in fleet_outcomes]
+    for a, b in zip(serial_outcomes, fleet_outcomes):
+        assert a.result.report == b.result.report
+        assert a.result.mapping == b.result.mapping
+
+
+# -- board primitives -----------------------------------------------------------------
+def test_exclusive_publish_first_writer_wins(tmp_path):
+    path = tmp_path / "x.json"
+    assert exclusive_publish_json(path, {"a": 1})
+    assert not exclusive_publish_json(path, {"a": 2})
+    assert json.loads(path.read_text()) == {"a": 1}
+    # the loser's temp file never lingers
+    assert list(tmp_path.glob(".bp-*")) == []
+
+
+def test_claim_lease_reclaim_cycle(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k1", "w1", lease_seconds=5.0)
+    assert claim is not None
+    assert board.try_claim("k1", "w2", 5.0) is None  # O_EXCL: held
+    doc, age = board.claim_info("k1")
+    assert doc["worker"] == "w1" and age is not None
+
+    # heartbeat = mtime refresh
+    old = time.time() - 60
+    os.utime(claim, (old, old))
+    assert board.claim_info("k1")[1] > 30
+    assert board.heartbeat(claim)
+    assert board.claim_info("k1")[1] < 30
+
+    # reclaim: exactly one winner, no claim left behind
+    assert board.reclaim("k1")
+    assert not board.reclaim("k1")
+    assert board.claim_info("k1") == (None, None)
+
+
+def test_release_claim_respects_takeover(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    stale = board.try_claim("k", "w1", 5.0)
+    board.reclaim("k")
+    fresh = board.try_claim("k", "w2", 5.0)
+    assert fresh == stale  # same path, new holder
+    assert not board.release_claim(stale, "w1")  # not ours anymore
+    assert board.release_claim(fresh, "w2")
+
+
+def test_receipt_first_commit_wins(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    assert board.publish_receipt("k", {"worker": "w1"})
+    assert not board.publish_receipt("k", {"worker": "w2"})
+    assert board.read_receipt("k")["worker"] == "w1"
+    board.record_duplicate("k", "w2")
+    assert len(list(board.done_dir.glob("k.dup-*"))) == 1
+
+
+def test_worker_registration_lifecycle(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    reg = board.register_worker("w-test-1", heartbeat_interval=0.5)
+    assert board.alive_workers() == 1
+    old = time.time() - 120
+    os.utime(reg, (old, old))  # heartbeat went quiet
+    assert board.alive_workers() == 0
+    board.deregister_worker("w-test-1")
+    assert board.list_workers() == []
+
+
+# -- in-thread worker -----------------------------------------------------------------
+def test_worker_free_cache_hit_skips_the_mapper(tmp_path):
+    cache = tmp_path / "cache"
+    job = _jobs(1)[0]
+    MappingEngine(cache_dir=cache, jobs=1).run([job])  # make it durable
+
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    key = job.cache_key()
+    board.post(key, {"key": key, "spec": job.payload(),
+                     "lease_seconds": 5.0})
+    worker = FleetWorker(cache, worker_id="t1", poll=0.01, idle_exit=0.3,
+                         install_signals=False)
+    published = worker.run()
+    assert published == 1 and worker.executed == 0
+    receipt = board.read_receipt(key)
+    assert receipt["executed"] is False and receipt["error"] is None
+
+
+def test_heartbeat_stall_injection_goes_quiet(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 5.0)
+    old = time.time() - 60
+    os.utime(claim, (old, old))
+    worker = FleetWorker(tmp_path, worker_id="w1", install_signals=False)
+    stop = threading.Event()
+    with injected_faults(FaultSpec("heartbeat-stall")):
+        beat = threading.Thread(target=worker._heartbeat_loop,
+                                args=(claim, 0.02, stop), daemon=True)
+        beat.start()
+        time.sleep(0.25)
+        stop.set()
+        beat.join(timeout=2.0)
+    # a stalled heartbeat never refreshed the lease
+    assert board.claim_info("k")[1] > 30
+
+
+def test_heartbeat_loop_exits_when_reclaimed(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    worker = FleetWorker(tmp_path, worker_id="w1", install_signals=False)
+    stop = threading.Event()
+    gone = board.claims_dir / "never-existed.claim"
+    beat = threading.Thread(target=worker._heartbeat_loop,
+                            args=(gone, 0.01, stop), daemon=True)
+    beat.start()
+    beat.join(timeout=2.0)
+    assert not beat.is_alive()  # reclaimed lease = loop returns
+
+
+# -- fleet end to end -----------------------------------------------------------------
+def test_three_worker_fleet_bitwise_equals_serial(tmp_path):
+    jobs = _jobs(3)
+    want = MappingEngine(cache_dir=tmp_path / "serial", jobs=1).run(jobs)
+    engine = _fleet_engine(tmp_path / "fleet", workers=3)
+    try:
+        got = engine.run(jobs)
+    finally:
+        engine.executor.stop_workers()
+    _assert_parity(want, got)
+    # completed scaffolding is cleaned; the store is the durable record
+    snap = engine.executor.snapshot()
+    assert snap["queued"] == 0 and snap["receipts"] == 0
+
+    # a second coordinator over the same cache never leaves the engine:
+    # every job is a store hit before the board is even consulted
+    warm = _fleet_engine(tmp_path / "fleet", workers=0)
+    rerun = warm.run(jobs)
+    _assert_parity(want, rerun)
+    assert warm.stats.cache_hits == 3 and warm.stats.executed == 0
+
+
+def test_sigkilled_worker_lease_reclaim_completes_batch(tmp_path):
+    """The chaos headline: a worker SIGKILLed right after claiming (lease
+    held, nothing durable) must cost one reclaim, zero duplicate solves,
+    and no deviation from the serial results."""
+    jobs = _jobs(3)
+    want = MappingEngine(cache_dir=tmp_path / "serial", jobs=1).run(jobs)
+    registry = get_registry()
+    engine = _fleet_engine(
+        tmp_path / "fleet", workers=2,
+        lease_seconds=1.0, cleanup=False,
+        worker_env={
+            "REPRO_FAULTS": "worker-kill-after-claim:1",
+            "REPRO_FAULT_HITS_DIR": str(tmp_path / "hits"),
+        },
+    )
+    try:
+        got = engine.run(jobs)
+    finally:
+        engine.executor.stop_workers()
+    _assert_parity(want, got)
+    # the death was observed and recovered, not absorbed silently
+    assert registry.counter("fleet.reclaims").value >= 1
+    assert registry.counter("fleet.worker_respawns").value >= 1
+    # every job executed exactly once; no duplicate-execution markers
+    board = engine.executor.board
+    receipts = [board.read_receipt(j.cache_key()) for j in jobs]
+    assert all(r is not None and r["executed"] and r["error"] is None
+               for r in receipts)
+    assert list(board.done_dir.glob("*.dup-*")) == []
+
+
+def test_repeated_lease_death_poisons_the_job(tmp_path):
+    job = _jobs(1)[0]
+    registry = get_registry()
+    engine = _fleet_engine(
+        tmp_path / "fleet", workers=1,
+        lease_seconds=0.5, poison_threshold=2, cleanup=False,
+        worker_env={
+            "REPRO_FAULTS": "worker-kill-after-claim:2",
+            "REPRO_FAULT_HITS_DIR": str(tmp_path / "hits"),
+        },
+    )
+    try:
+        outcome = engine.run([job])[0]
+    finally:
+        engine.executor.stop_workers()
+    assert not outcome.ok and outcome.poisoned
+    assert "poison" in outcome.error
+    assert registry.counter("fleet.poisoned").value == 1
+    # the engine wrote the postmortem quarantine report
+    reports = engine.store.list_quarantine()
+    assert any("poison" in entry["file"] for entry in reports)
+    # the board no longer offers the killer spec to anyone
+    assert engine.executor.board.read_entry(job.cache_key()) is None
+
+
+def test_injected_lease_expiry_reclaims_a_healthy_claim(tmp_path):
+    """`lease-expire` makes the reaper treat a fresh claim as dead: the
+    claim is reclaimed (rename-aside), the entry requeued with backoff
+    bookkeeping — the exact recovery path a real lease death takes."""
+    from repro.distributed.coordinator import _KeyState
+
+    store = ResultStore(tmp_path / "cache")
+    executor = DistributedExecutor(
+        store, DistributedConfig(spawn_workers=0, lease_seconds=30.0))
+    board = executor.board
+    board.ensure_dirs()
+    job = _jobs(1)[0]
+    key = job.cache_key()
+    entry = {"key": key, "spec": job.payload(), "lease_seconds": 30.0,
+             "reclaims": 0, "not_before": 0.0, "speculate": False}
+    board.post(key, entry)
+    board.try_claim(key, "w-healthy", 30.0)
+    st = _KeyState([0], entry, True)
+    with injected_faults(FaultSpec("lease-expire")):
+        decided = executor._poll_key(key, st, [job])
+    assert decided is None  # reclaimed + requeued, not yet settled
+    assert st.reclaims == 1
+    assert board.claim_info(key) == (None, None)
+    requeued = board.read_entry(key)
+    assert requeued["reclaims"] == 1
+    assert requeued["not_before"] > 0.0
+    assert get_registry().counter("fleet.reclaims").value == 1
+
+
+def test_two_coordinators_share_one_board(tmp_path):
+    cache = tmp_path / "cache"
+    jobs = _jobs(3)
+    jobs.append(MappingJob(TopologySpec((4, 4)),
+                           WorkloadSpec("ring:16", seed=1),
+                           MapperConfig.make("dimorder", order="ABT")))
+    shared = jobs[1]
+    a_jobs = [jobs[0], shared, jobs[2]]
+    b_jobs = [shared, jobs[3]]
+
+    a = _fleet_engine(cache, workers=2, cleanup=False)
+    b = _fleet_engine(cache, workers=0, cleanup=False)
+    results: dict[str, list] = {}
+    errors: list[BaseException] = []
+
+    def _run(name, eng, batch):
+        try:
+            results[name] = eng.run(batch)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=_run, args=("a", a, a_jobs)),
+               threading.Thread(target=_run, args=("b", b, b_jobs))]
+    try:
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+    finally:
+        a.executor.stop_workers()
+    assert not errors, errors
+    assert all(not t.is_alive() for t in threads)
+    assert all(o.ok for o in results["a"]), [o.error for o in results["a"]]
+    assert all(o.ok for o in results["b"]), [o.error for o in results["b"]]
+    # the shared spec was posted once and joined, not raced
+    assert get_registry().counter("fleet.dedup_joins").value >= 1
+    # 4 distinct specs -> 4 receipts, each executed once, zero duplicates
+    board = a.executor.board
+    keys = {j.cache_key() for j in jobs}
+    assert len(keys) == 4
+    for key in keys:
+        assert board.read_receipt(key)["error"] is None
+    assert list(board.done_dir.glob("*.dup-*")) == []
+    # both coordinators agree on the shared job's result
+    a_shared = results["a"][1].result
+    b_shared = results["b"][0].result
+    assert a_shared.report == b_shared.report
+    assert a_shared.mapping == b_shared.mapping
+
+
+def test_drained_coordinator_withdraws_unclaimed_entries(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    executor = DistributedExecutor(store,
+                                   DistributedConfig(spawn_workers=0))
+    executor.request_drain("test shutdown")
+    outcome = executor.run(None, _jobs(1))[0]
+    assert outcome.drained and "drained" in outcome.error
+    assert executor.board.snapshot()["queued"] == 0
+
+
+def test_dead_fleet_fails_fast_instead_of_hanging(tmp_path):
+    """Spawned workers that can never boot must fail the batch, not
+    poll forever."""
+    engine = _fleet_engine(
+        tmp_path / "fleet", workers=1, max_worker_respawns=0,
+        worker_env={"PYTHONPATH": str(tmp_path / "nowhere")},
+    )
+    try:
+        outcome = engine.run(_jobs(1))[0]
+    finally:
+        engine.executor.stop_workers()
+    assert not outcome.ok
+    assert "fleet dead" in outcome.error
+
+
+def test_file_backed_workloads_fail_fast(tmp_path):
+    from repro.commgraph import save_commgraph
+    from repro.workloads.registry import parse_workload
+
+    graph_file = tmp_path / "g.json"
+    save_commgraph(parse_workload("ring:16"), graph_file)
+    job = MappingJob(TopologySpec((4, 4)), WorkloadSpec(str(graph_file)),
+                     MapperConfig.make("dimorder", order="ABT"))
+    executor = DistributedExecutor(ResultStore(tmp_path / "cache"),
+                                   DistributedConfig(spawn_workers=0))
+    outcome = executor.run(None, [job])[0]
+    assert outcome.error and "file-backed" in outcome.error
+    assert executor.board.snapshot()["queued"] == 0  # never posted
+
+
+# -- configuration --------------------------------------------------------------------
+def test_distributed_config_validation():
+    with pytest.raises(ConfigError):
+        DistributedConfig(lease_seconds=0)
+    with pytest.raises(ConfigError):
+        DistributedConfig(poison_threshold=0)
+    with pytest.raises(ConfigError):
+        DistributedConfig(spawn_workers=-1)
+    with pytest.raises(ConfigError):
+        DistributedConfig(speculation_seconds=0.0)
+    cfg = DistributedConfig(worker_env={"B": "2", "A": "1"})
+    assert cfg.worker_env == (("A", "1"), ("B", "2"))
+    assert DistributedConfig(timeout=10.0).speculation_after == 7.5
+    assert DistributedConfig().speculation_after is None
+
+
+def test_engine_backend_validation(tmp_path):
+    with pytest.raises(ConfigError):
+        MappingEngine(backend="bogus")
+    with pytest.raises(ConfigError):
+        MappingEngine(backend="distributed")  # no cache directory
+    engine = MappingEngine(cache_dir=tmp_path, backend="distributed")
+    assert isinstance(engine.executor, DistributedExecutor)
+
+
+# -- spawners -------------------------------------------------------------------------
+def test_subprocess_spawner_command_shape(tmp_path):
+    spawner = SubprocessSpawner(tmp_path, poll=0.1, idle_exit=30.0)
+    cmd = spawner.command("w-x")
+    assert cmd[1:4] == ["-m", "repro.cli", "worker"]
+    assert str(tmp_path) in cmd
+    assert cmd[cmd.index("--id") + 1] == "w-x"
+
+
+def test_ssh_spawner_pins_the_launch_contract():
+    spawner = SshSpawner("node7", "/mnt/shared/cache", python="python3.12")
+    cmd = spawner.command("w-7")
+    assert cmd[:4] == ["ssh", "-o", "BatchMode=yes", "node7"]
+    assert cmd[4] == "python3.12"
+    assert "/mnt/shared/cache" in cmd
+    with pytest.raises(NotImplementedError):
+        spawner.spawn()
+
+
+def test_cli_worker_idles_out_cleanly(tmp_path, capsys):
+    rc = cli_main(["worker", str(tmp_path), "--idle-exit", "0.2",
+                   "--poll", "0.02", "--id", "cli-w"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cli-w" in out and "published 0 receipt(s)" in out
+
+
+# -- doctor board fsck ----------------------------------------------------------------
+def test_doctor_reports_and_repairs_board_state(tmp_path):
+    cache = tmp_path / "cache"
+    ResultStore(cache)  # lay down the store skeleton
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    old = time.time() - 300
+
+    # expired lease: entry present, heartbeat long past its lease
+    board.post("k1", {"key": "k1", "lease_seconds": 0.5})
+    dead_claim = board.try_claim("k1", "w1", 0.5)
+    os.utime(dead_claim, (old, old))
+    # orphan claim: no queue entry behind it
+    orphan = board.try_claim("k2", "w2", 0.5)
+    os.utime(orphan, (old, old))
+    # healthy claim: fresh heartbeat, must NOT be flagged
+    board.post("k4", {"key": "k4", "lease_seconds": 60.0})
+    board.try_claim("k4", "w4", 60.0)
+    # stale registration + debris
+    reg = board.register_worker("dead-worker", 0.5)
+    os.utime(reg, (old, old))
+    board.record_duplicate("k1", "w9")
+    (board.claims_dir / "k3.claim.reclaimed-1-2").write_text("{}")
+
+    report = diagnose(cache)
+    kinds = {f.kind for f in report.findings}
+    assert {"expired-lease", "orphan-claim", "stale-worker",
+            "board-debris"} <= kinds
+    assert not report.clean
+    flagged = {f.path for f in report.findings
+               if f.kind in ("expired-lease", "orphan-claim")}
+    assert str(dead_claim.relative_to(cache)) in flagged
+    assert "board/claims/k4.claim" not in flagged
+
+    repaired = diagnose(cache, repair=True)
+    assert repaired.clean
+    for finding in repaired.findings:
+        if finding.problem:
+            assert finding.repaired, finding.to_dict()
+
+    again = diagnose(cache)
+    assert again.clean
+    leftover = {f.kind for f in again.findings}
+    assert not ({"expired-lease", "orphan-claim", "stale-worker",
+                 "board-debris"} & leftover)
+    # the healthy claim survived both passes
+    assert board.claim_info("k4")[0] is not None
+
+
+def test_doctor_board_exit_code_through_cli(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    ResultStore(cache)
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 0.5)
+    old = time.time() - 60
+    os.utime(claim, (old, old))
+    assert cli_main(["doctor", str(cache)]) == 1
+    assert cli_main(["doctor", str(cache), "--repair"]) == 0
+    assert cli_main(["doctor", str(cache)]) == 0
+
+
+# -- ServeClient retry satellite ------------------------------------------------------
+class _Resp:
+    def __init__(self, doc, status=200):
+        self._doc = doc
+        self.status = status
+
+    def read(self):
+        return json.dumps(self._doc).encode()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def test_client_retries_connection_errors_then_succeeds():
+    client = ServeClient("http://daemon.test", retries=2, backoff=0.0)
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(req.full_url)
+        if len(calls) < 3:
+            raise urllib.error.URLError("connection refused")
+        return _Resp({"status": "ok"})
+
+    client._urlopen = fake_urlopen
+    code, doc = client.healthz()
+    assert (code, doc) == (200, {"status": "ok"})
+    assert len(calls) == 3
+    assert get_registry().counter("serve.client_retries").value == 2
+
+
+def test_client_gives_up_after_the_retry_budget():
+    client = ServeClient("http://daemon.test", retries=1, backoff=0.0)
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(1)
+        raise urllib.error.URLError("still down")
+
+    client._urlopen = fake_urlopen
+    with pytest.raises(ServiceError, match="after 2 attempt"):
+        client.status("someid")
+    assert len(calls) == 2
+
+
+def test_client_retries_503_but_respects_429():
+    client = ServeClient("http://daemon.test", retries=3, backoff=0.0)
+    script = [503, 200]
+
+    def fake_urlopen(req, timeout=None):
+        code = script.pop(0)
+        if code == 200:
+            return _Resp({"id": "x"})
+        raise urllib.error.HTTPError(
+            req.full_url, code, "draining", None,
+            io.BytesIO(b'{"error": "draining"}'))
+
+    client._urlopen = fake_urlopen
+    code, doc = client.submit({"spec": 1})
+    assert (code, doc["id"]) == (200, "x")
+
+    calls = []
+
+    def always_429(req, timeout=None):
+        calls.append(1)
+        raise urllib.error.HTTPError(
+            req.full_url, 429, "quota", None,
+            io.BytesIO(b'{"error": "tenant quota"}'))
+
+    client._urlopen = always_429
+    code, doc = client.submit({"spec": 1})
+    assert code == 429 and "quota" in doc["error"]
+    assert len(calls) == 1  # policy answers are never hammered
+
+
+def test_client_rejects_bad_retry_config():
+    with pytest.raises(ConfigError):
+        ServeClient("http://x", retries=-1)
+    with pytest.raises(ConfigError):
+        ServeClient("http://x", backoff=-0.1)

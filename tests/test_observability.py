@@ -444,13 +444,14 @@ def test_compare_snapshots_drift_on_same_hotspot(tmp_path):
 
 def test_compare_snapshots_latest_discovers_newest_pr():
     """'latest' resolves to the newest repo-root BENCH_PR<N>.json."""
-    current = REPO / "BENCH_PR6.json"
+    current = REPO / "BENCH_PR7.json"
     proc = _gate("latest", str(current), "--trend")
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "BENCH_PR6.json" in proc.stdout.splitlines()[0]
+    assert "BENCH_PR7.json" in proc.stdout.splitlines()[0]
     assert "bench trajectory:" in proc.stdout
     # the trend table walks the whole trajectory, oldest first, and
-    # carries the daemon latency column (blank before PR 6).
+    # carries the daemon latency (blank before PR 6) and fleet latency
+    # (blank before PR 7) columns.
     lines = proc.stdout.splitlines()
     pr3 = next(i for i, line in enumerate(lines)
                if line.startswith("BENCH_PR3"))
@@ -458,10 +459,13 @@ def test_compare_snapshots_latest_discovers_newest_pr():
                if line.startswith("BENCH_PR4"))
     pr6 = next(i for i, line in enumerate(lines)
                if line.startswith("BENCH_PR6"))
-    assert pr3 < pr4 < pr6
-    assert "serve_ms" in lines[pr3 - 2]
+    pr7 = next(i for i, line in enumerate(lines)
+               if line.startswith("BENCH_PR7"))
+    assert pr3 < pr4 < pr6 < pr7
+    assert "serve_ms" in lines[pr3 - 2] and "fleet_ms" in lines[pr3 - 2]
     assert lines[pr3].rstrip().endswith("-")
-    assert not lines[pr6].rstrip().endswith("-")
+    assert lines[pr6].rstrip().endswith("-")  # serve yes, fleet not yet
+    assert not lines[pr7].rstrip().endswith("-")
 
 
 def test_committed_pr6_baseline_carries_the_serve_bench():
