@@ -18,7 +18,10 @@ writes one JSON document::
       "serve": {"submit_to_done_seconds": ...,          # daemon micro-bench
                 "cache_hit_submit_seconds": ...},
       "fleet": {"workers1_seconds": ...,                # distributed backend
-                "workers3_seconds": ...}                # 1 vs 3 workers
+                "workers3_seconds": ...},               # 1 vs 3 workers
+      "vectorized": {"stencil_accumulate_seconds": ..., # hot-path kernels
+                     "orientation_batch_seconds": ...,
+                     "merge_scoring_seconds": ...}
     }
 
 Timings take the *minimum* over ``--repeat`` runs, the standard
@@ -226,6 +229,73 @@ def bench_fleet(repeats: int) -> dict:
     return out
 
 
+def bench_vectorized(repeats: int) -> dict:
+    """Hot-path kernel micro-benches, min over repeats.
+
+    Times the three vectorized kernels the mapper spends its life in,
+    on fixed seeded workloads sized to finish in well under a second:
+
+    - ``stencil_accumulate_seconds`` — ``link_loads`` over 20k random
+      flows on an 8x8x8 torus (the CSR expand + scatter-add path);
+    - ``orientation_batch_seconds`` — ``apply_batch`` of the full B_4
+      hyperoctahedral group over 4,096 coordinates;
+    - ``merge_scoring_seconds`` — ``link_loads_many`` with 16 candidate
+      rows x 2k flows on a 4^4 torus (the merge/stitch batch path).
+
+    Warm-up runs first so stencil construction and pair-table builds are
+    excluded — the committed numbers track the steady-state kernels the
+    compare gate wants to watch.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.orientation import all_orientations, apply_batch
+    from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+    from repro.topology.cartesian import CartesianTopology
+
+    def best(fn) -> float:
+        times = []
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    rng = np.random.default_rng(0)
+
+    topo = CartesianTopology((8, 8, 8), wrap=True)
+    router = MinimalAdaptiveRouter(topo)
+    srcs = rng.integers(0, topo.num_nodes, size=20_000)
+    dsts = rng.integers(0, topo.num_nodes, size=20_000)
+    vols = rng.random(20_000)
+    router.link_loads(srcs, dsts, vols)  # warm stencils + pair tables
+    accumulate = best(lambda: router.link_loads(srcs, dsts, vols))
+
+    coords = rng.integers(0, 4, size=(4_096, 4))
+    orients = all_orientations(4)
+    apply_batch(orients, coords, (4, 4, 4, 4))  # warm
+    orientation = best(lambda: apply_batch(orients, coords, (4, 4, 4, 4)))
+
+    topo4 = CartesianTopology((4, 4, 4, 4), wrap=True)
+    router4 = MinimalAdaptiveRouter(topo4)
+    B, m = 16, 2_000
+    bsrcs = rng.integers(0, topo4.num_nodes, size=(B, m))
+    bdsts = rng.integers(0, topo4.num_nodes, size=(B, m))
+    bvols = rng.random(m)
+    S = topo4.num_channel_slots
+    router4.link_loads_many(bsrcs, bdsts, bvols, np.zeros((B, S)))  # warm
+    scoring = best(
+        lambda: router4.link_loads_many(bsrcs, bdsts, bvols, np.zeros((B, S)))
+    )
+
+    return {
+        "stencil_accumulate_seconds": accumulate,
+        "orientation_batch_seconds": orientation,
+        "merge_scoring_seconds": scoring,
+    }
+
+
 def merge_min(runs: list[dict]) -> dict:
     """Fold repeats: min for timings, first run's MCLs (deterministic)."""
     out = {
@@ -253,6 +323,7 @@ def merge_min(runs: list[dict]) -> dict:
 def take_snapshot(
     scale: str, repeats: int, pr: str | None = None,
     explain: dict | None = None, serve: bool = True, fleet: bool = True,
+    vectorized: bool = True,
 ) -> dict:
     runs = []
     for i in range(max(repeats, 1)):
@@ -271,6 +342,8 @@ def take_snapshot(
         snap["serve"] = bench_serve(repeats)
     if fleet:
         snap["fleet"] = bench_fleet(repeats)
+    if vectorized:
+        snap["vectorized"] = bench_vectorized(repeats)
     if pr:
         snap["pr"] = str(pr)
     return snap
@@ -310,6 +383,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the distributed-backend 1-vs-3-worker micro-bench",
     )
+    parser.add_argument(
+        "--no-vectorized",
+        action="store_true",
+        help="skip the vectorized hot-path kernel micro-benches",
+    )
     args = parser.parse_args(argv)
     explain: dict | None = {} if args.explain_out else None
     snap = take_snapshot(
@@ -319,6 +397,7 @@ def main(argv=None) -> int:
         explain=explain,
         serve=not args.no_serve,
         fleet=not args.no_fleet,
+        vectorized=not args.no_vectorized,
     )
     text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
     if args.out == "-":

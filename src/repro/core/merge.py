@@ -33,6 +33,7 @@ import numpy as np
 from repro.commgraph.graph import CommGraph
 from repro.core.orientation import (
     Orientation,
+    apply_batch,
     orientations_for_shape,
     sample_orientations,
 )
@@ -168,6 +169,12 @@ class _MergeEngine:
             for b in blocks
         ]
         self._pos_cache: dict[tuple[int, int, int], np.ndarray] = {}
+        # (O, m, ndim) oriented local coords per block, built in one
+        # hyperoctahedral batch transform on first use.
+        self._orient_coords: dict[int, np.ndarray] = {}
+        # Intra-block loads depend only on (block, slot, orientation) —
+        # engine-level cache so beam states in the same step share them.
+        self._intra_cache: dict[tuple[int, int, int], np.ndarray] = {}
 
     # -- geometry -------------------------------------------------------------
     def allowed_slots(self, bi: int) -> list[int]:
@@ -175,6 +182,15 @@ class _MergeEngine:
             return [bi]
         shape = tuple(self.blocks[bi].shape)
         return [s for s, sh in enumerate(self.slot_shape) if sh == shape]
+
+    def oriented_coords(self, bi: int) -> np.ndarray:
+        """(O, m, ndim) local coords of block bi under every orientation."""
+        got = self._orient_coords.get(bi)
+        if got is None:
+            b = self.blocks[bi]
+            got = apply_batch(self.orients[bi], b.local_coords, b.shape)
+            self._orient_coords[bi] = got
+        return got
 
     def positions_for(self, bi: int, slot: int, oi: int) -> np.ndarray:
         """Dense cluster->node array for block bi at slot with orientation oi
@@ -184,9 +200,7 @@ class _MergeEngine:
         if cached is not None:
             return cached
         b = self.blocks[bi]
-        coords = self.slot_origin[slot][None, :] + self.orients[bi][oi].apply(
-            b.local_coords, b.shape
-        )
+        coords = self.slot_origin[slot][None, :] + self.oriented_coords(bi)[oi]
         dense = np.full(self.num_clusters, -1, dtype=np.int64)
         dense[b.clusters] = self.topo.index(coords)
         self._pos_cache[key] = dense
@@ -221,6 +235,45 @@ class _MergeEngine:
         self.evaluations += 1
         return float(loads.max()) if loads.size else 0.0
 
+    def pair_mcl_batch(self, b1, s1, b2, s2, pairs) -> np.ndarray:
+        """Isolated-pair MCL for many (o1, o2) orientation candidates.
+
+        One ``link_loads_many`` scatter per chunk instead of a
+        ``link_loads`` per candidate; each row is bitwise what the solo
+        :meth:`pair_mcl` call computes. Chunked so huge orientation
+        products cannot blow up the (B, S) buffer.
+        """
+        es, ed, ev = self.edges_between([b1], [b2])
+        B = len(pairs)
+        if len(es) == 0:
+            return np.zeros(B)
+        a1: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        a2: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        m = len(es)
+        ps = np.empty((B, m), dtype=np.int64)
+        pd = np.empty((B, m), dtype=np.int64)
+        for i, (o1, o2) in enumerate(pairs):
+            if o1 not in a1:
+                p = self.positions_for(b1, s1, o1)
+                a1[o1] = (p[es], p[ed])
+            if o2 not in a2:
+                p = self.positions_for(b2, s2, o2)
+                a2[o2] = (p[es], p[ed])
+            e1, d1 = a1[o1]
+            e2, d2 = a2[o2]
+            ps[i] = np.where(e1 >= 0, e1, e2)
+            pd[i] = np.where(d1 >= 0, d1, d2)
+        S = self.topo.num_channel_slots
+        mcls = np.empty(B)
+        step = max(1, 8_388_608 // max(S, 1))  # ~64 MB of rows per chunk
+        for lo in range(0, B, step):
+            hi = min(B, lo + step)
+            out = np.zeros((hi - lo, S))
+            self.router.link_loads_many(ps[lo:hi], pd[lo:hi], ev, out=out)
+            mcls[lo:hi] = out.max(axis=1)
+        self.evaluations += B
+        return mcls
+
     # -- order determination -------------------------------------------------------
     def merge_order(self) -> np.ndarray:
         nb = len(self.blocks)
@@ -235,10 +288,13 @@ class _MergeEngine:
                 if cfg.order_mode == "identity":
                     score = self.pair_mcl(b1, s1, 0, b2, s2, 0)
                 elif cfg.order_mode == "exhaustive":
-                    score = min(
-                        self.pair_mcl(b1, s1, o1, b2, s2, o2)
+                    pairs = [
+                        (o1, o2)
                         for o1 in range(len(self.orients[b1]))
                         for o2 in range(len(self.orients[b2]))
+                    ]
+                    score = float(
+                        self.pair_mcl_batch(b1, s1, b2, s2, pairs).min()
                     )
                 else:  # sampled
                     cands = {(0, 0)}
@@ -247,17 +303,56 @@ class _MergeEngine:
                             int(self.rng.integers(len(self.orients[b1]))),
                             int(self.rng.integers(len(self.orients[b2]))),
                         ))
-                    score = min(
-                        self.pair_mcl(b1, s1, o1, b2, s2, o2)
-                        for o1, o2 in cands
+                    score = float(
+                        self.pair_mcl_batch(
+                            b1, s1, b2, s2, list(cands)
+                        ).min()
                     )
                 scores[b1, b2] = scores[b2, b1] = score
         avg = scores.sum(axis=1) / max(nb - 1, 1)
         return np.argsort(-avg, kind="stable")
 
     # -- beam expansion ----------------------------------------------------------------
+    def _intra_loads(self, bi, cands, denses, ies, ied, iev) -> np.ndarray:
+        """(B, S) intra-block load rows for each (slot, oi) candidate.
+
+        Rows are cached engine-level — intra loads are independent of the
+        beam state — and missing rows are computed in one batched scatter
+        (bitwise-equal to per-candidate ``link_loads`` into zeros).
+        """
+        S = self.topo.num_channel_slots
+        istack = np.empty((len(cands), S))
+        missing: list[tuple[int, int, int]] = []
+        midx: list[int] = []
+        for ci, (slot, oi) in enumerate(cands):
+            key = (bi, slot, oi)
+            cached = self._intra_cache.get(key)
+            if cached is not None:
+                istack[ci] = cached
+            else:
+                missing.append(key)
+                midx.append(ci)
+        if missing:
+            fresh = np.zeros((len(missing), S))
+            if len(ies):
+                ps = np.stack([denses[ci][ies] for ci in midx])
+                pd = np.stack([denses[ci][ied] for ci in midx])
+                self.router.link_loads_many(ps, pd, iev, out=fresh)
+            for row, key, ci in zip(fresh, missing, midx):
+                self._intra_cache[key] = row
+                istack[ci] = row
+            self.evaluations += len(missing)
+        return istack
+
     def expand(self, state: _State, bi: int, placed_blocks) -> list[_State]:
-        """All candidate states from adding block ``bi`` to ``state``."""
+        """All candidate states from adding block ``bi`` to ``state``.
+
+        Candidates (slot x orientation) are scored in one batched pass:
+        intra-block load rows come from the engine cache, then a single
+        ``link_loads_many`` scatter adds every candidate's cross-block
+        flows. Per-candidate results are bitwise-identical to the scalar
+        per-candidate loop (the property suite pins this).
+        """
         cfg = self.config
         intra = (self.bsrc == bi) & (self.bdst == bi)
         ies, ied, iev = self.srcs[intra], self.dsts[intra], self.vols[intra]
@@ -266,40 +361,50 @@ class _MergeEngine:
         cross = ((self.bsrc == bi) & placed_dst) | (placed_src & (self.bdst == bi))
         ces, ced, cev = self.srcs[cross], self.dsts[cross], self.vols[cross]
 
-        out = []
-        intra_loads_cache: dict[tuple[int, int], np.ndarray] = {}
-        for slot in self.allowed_slots(bi):
-            if slot in state.used_slots:
-                continue
-            for oi in range(len(self.orients[bi])):
+        cands = [
+            (slot, oi)
+            for slot in self.allowed_slots(bi)
+            if slot not in state.used_slots
+            for oi in range(len(self.orients[bi]))
+        ]
+        out: list[_State] = []
+        if cfg.evaluator == "lp":
+            for slot, oi in cands:
                 dense = self.positions_for(bi, slot, oi)
                 pos = state.positions.copy()
                 sel = dense >= 0
                 pos[sel] = dense[sel]
-                if cfg.evaluator == "lp":
-                    mcl = self._mcl_lp(pos)
-                    loads = None
-                else:
-                    ikey = (slot, oi)
-                    iloads = intra_loads_cache.get(ikey)
-                    if iloads is None:
-                        iloads = self.router.link_loads(
-                            dense[ies], dense[ied], iev
-                        )
-                        intra_loads_cache[ikey] = iloads
-                        self.evaluations += 1
-                    loads = state.loads + iloads
-                    ps = np.where(dense[ces] >= 0, dense[ces],
-                                  state.positions[ces])
-                    pd = np.where(dense[ced] >= 0, dense[ced],
-                                  state.positions[ced])
-                    self.router.link_loads(ps, pd, cev, out=loads)
-                    self.evaluations += 1
-                    mcl = float(loads.max()) if loads.size else 0.0
+                mcl = self._mcl_lp(pos)
                 out.append(_State(
-                    loads, pos, state.used_slots | {slot}, mcl, self.seq
+                    None, pos, state.used_slots | {slot}, mcl, self.seq
                 ))
                 self.seq += 1
+            return out
+
+        if not cands:
+            return out
+        denses = [self.positions_for(bi, slot, oi) for slot, oi in cands]
+        loads2d = state.loads[None, :] + self._intra_loads(
+            bi, cands, denses, ies, ied, iev
+        )
+        if len(ces):
+            dces = np.stack([d[ces] for d in denses])
+            dced = np.stack([d[ced] for d in denses])
+            ps = np.where(dces >= 0, dces, state.positions[ces][None, :])
+            pd = np.where(dced >= 0, dced, state.positions[ced][None, :])
+            self.router.link_loads_many(ps, pd, cev, out=loads2d)
+        self.evaluations += len(cands)
+        mcls = loads2d.max(axis=1) if loads2d.shape[1] else None
+        for ci, (slot, oi) in enumerate(cands):
+            dense = denses[ci]
+            pos = state.positions.copy()
+            sel = dense >= 0
+            pos[sel] = dense[sel]
+            mcl = float(mcls[ci]) if mcls is not None else 0.0
+            out.append(_State(
+                loads2d[ci], pos, state.used_slots | {slot}, mcl, self.seq
+            ))
+            self.seq += 1
         return out
 
     def top_n(self, states: list[_State]) -> list[_State]:
@@ -316,7 +421,7 @@ class _MergeEngine:
             frozenset(), 0.0, -1,
         )
 
-    # -- driver -------------------------------------------------------------------------
+    # -- driver --------------------------------------------------------------
     def run(self) -> MergeOutcome:
         blocks = self.blocks
         if len(blocks) == 1:
@@ -358,6 +463,12 @@ class _MergeEngine:
                     new_states = self.top_n(new_states)
             beam_hist.record(len(new_states))
             states = self.top_n(new_states) if prune else new_states
+            if prune:
+                # Surviving loads are rows (views) of per-expand batch
+                # buffers; detach them so pruned siblings' buffers free.
+                for st in states:
+                    if st.loads is not None and st.loads.base is not None:
+                        st.loads = st.loads.copy()
             placed.append(bi)
         states = self.top_n(states)
         best = states[0]

@@ -22,6 +22,7 @@ from repro.utils.rng import as_rng
 __all__ = [
     "Orientation",
     "all_orientations",
+    "apply_batch",
     "orientations_for_shape",
     "sample_orientations",
     "node_permutation",
@@ -46,7 +47,9 @@ class Orientation:
     def __post_init__(self):
         n = len(self.perm)
         if sorted(self.perm) != list(range(n)) or len(self.flip) != n:
-            raise ConfigError(f"invalid orientation (perm={self.perm}, flip={self.flip})")
+            raise ConfigError(
+                f"invalid orientation (perm={self.perm}, flip={self.flip})"
+            )
 
     @property
     def ndim(self) -> int:
@@ -98,6 +101,33 @@ class Orientation:
         return "".join(
             f"{'-' if f else '+'}{p}" for p, f in zip(self.perm, self.flip)
         )
+
+
+def apply_batch(
+    orientations: list[Orientation], coords: np.ndarray, shape
+) -> np.ndarray:
+    """Apply every orientation to the same (m, ndim) coordinates at once.
+
+    Returns an (O, m, ndim) tensor with ``out[o] ==
+    orientations[o].apply(coords, shape)`` — the whole hyperoctahedral
+    sample as two gathers and one ``where``, instead of O Python-level
+    ``apply`` calls. Integer arithmetic throughout, so the batch is
+    exactly (not just approximately) the per-orientation result.
+    """
+    coords = np.asarray(coords)
+    shape = np.asarray(shape, dtype=np.int64)
+    if not orientations:
+        return np.empty((0,) + coords.shape, dtype=coords.dtype)
+    perms = np.array([o.perm for o in orientations], dtype=np.int64)
+    flips = np.array([o.flip for o in orientations], dtype=bool)
+    if np.any(shape[perms] != shape[None, :]):
+        raise ConfigError(
+            f"batch contains an orientation permuting unequal extents of "
+            f"shape {tuple(shape)}"
+        )
+    out = coords[..., perms]          # (m, O, ndim)
+    out = np.transpose(out, (1, 0, 2))
+    return np.where(flips[:, None, :], shape - 1 - out, out)
 
 
 def all_orientations(n: int) -> list[Orientation]:

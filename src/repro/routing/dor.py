@@ -32,12 +32,14 @@ class DimensionOrderRouter(Router):
     dim_order:
         Order in which dimensions are corrected; defaults to
         ``0, 1, ..., ndim-1``.
+    scalar_fallback:
+        Force the scalar reference load path (see :class:`Router`).
     """
 
     name = "dimension-order"
 
-    def __init__(self, topology, dim_order=None):
-        super().__init__(topology)
+    def __init__(self, topology, dim_order=None, scalar_fallback=None):
+        super().__init__(topology, scalar_fallback=scalar_fallback)
         if dim_order is None:
             dim_order = tuple(range(topology.ndim))
         dim_order = tuple(int(d) for d in dim_order)
@@ -48,13 +50,15 @@ class DimensionOrderRouter(Router):
             )
         self.dim_order = dim_order
 
+    def _stencil_signature(self) -> tuple:
+        return (*super()._stencil_signature(), self.dim_order)
+
     def _build_stencil(self, delta: tuple[int, ...]) -> Stencil:
         topo = self.topology
         ndim = topo.ndim
-        entries_off = []
-        entries_dim = []
-        entries_dir = []
-        pos = np.zeros(ndim, dtype=np.int64)
+        # Resolve direction per dimension, then emit each dimension's run
+        # of channel entries as one arange along that axis.
+        moves = []  # (dim, steps, sign, direction) in correction order
         for d in self.dim_order:
             off = int(delta[d])
             k = topo.shape[d]
@@ -75,18 +79,23 @@ class DimensionOrderRouter(Router):
                     steps, sign, direction = plus, 1, 0
                 else:
                     steps, sign, direction = minus, -1, 1
-            for _ in range(steps):
-                entries_off.append(pos.copy())
-                entries_dim.append(d)
-                entries_dir.append(direction)
-                pos[d] += sign
-        if not entries_off:
+            moves.append((d, steps, sign, direction))
+        total = sum(s for (_, s, _, _) in moves)
+        if total == 0:
             empty = np.empty((0, ndim), dtype=np.int64)
             z = np.empty(0, dtype=np.int64)
             return Stencil(empty, z, z.copy(), np.empty(0))
-        return Stencil(
-            np.array(entries_off, dtype=np.int64),
-            np.array(entries_dim, dtype=np.int64),
-            np.array(entries_dir, dtype=np.int64),
-            np.ones(len(entries_off)),
-        )
+        offsets = np.zeros((total, ndim), dtype=np.int64)
+        dims = np.empty(total, dtype=np.int64)
+        dirs = np.empty(total, dtype=np.int64)
+        pos = np.zeros(ndim, dtype=np.int64)
+        at = 0
+        for d, steps, sign, direction in moves:
+            run = slice(at, at + steps)
+            offsets[run] = pos
+            offsets[run, d] += sign * np.arange(steps, dtype=np.int64)
+            dims[run] = d
+            dirs[run] = direction
+            pos[d] += sign * steps
+            at += steps
+        return Stencil(offsets, dims, dirs, np.ones(total))

@@ -29,7 +29,7 @@ from repro.errors import RoutingError
 from repro.routing.base import Router, Stencil
 from repro.routing.paths import lattice_path_counts
 
-__all__ = ["MinimalAdaptiveRouter"]
+__all__ = ["MinimalAdaptiveRouter", "accumulate_stencil_entries"]
 
 
 class MinimalAdaptiveRouter(Router):
@@ -74,7 +74,10 @@ class MinimalAdaptiveRouter(Router):
         combos = list(itertools.product(*options))
         weight = 1.0 / len(combos)
 
-        acc: dict[tuple, float] = {}
+        off_parts: list[np.ndarray] = []
+        dim_parts: list[np.ndarray] = []
+        dir_parts: list[np.ndarray] = []
+        frac_parts: list[np.ndarray] = []
         for combo in combos:
             steps = tuple(s for (_, s, _) in combo)
             signs = np.array([sg for (_, _, sg) in combo], dtype=np.int64)
@@ -98,13 +101,21 @@ class MinimalAdaptiveRouter(Router):
                     (s + 1) if dd != d else s for dd, s in enumerate(steps)
                 )
                 coords = _box_coords(box)  # (E_d, ndim) lattice offsets
-                offsets = coords * signs[None, :]
-                f = fracs.ravel() * weight
-                for row, frac in zip(offsets, f):
-                    key = (tuple(int(v) for v in row), d, dirs[d])
-                    acc[key] = acc.get(key, 0.0) + float(frac)
+                off_parts.append(coords * signs[None, :])
+                dim_parts.append(np.full(len(coords), d, dtype=np.int64))
+                dir_parts.append(np.full(len(coords), dirs[d], dtype=np.int64))
+                frac_parts.append(fracs.ravel() * weight)
 
-        return _stencil_from_dict(acc, ndim)
+        if not off_parts:
+            empty = np.empty((0, ndim), dtype=np.int64)
+            z = np.empty(0, dtype=np.int64)
+            return Stencil(empty, z, z.copy(), np.empty(0))
+        return accumulate_stencil_entries(
+            np.concatenate(off_parts),
+            np.concatenate(dim_parts),
+            np.concatenate(dir_parts),
+            np.concatenate(frac_parts),
+        )
 
 
 def _axis_slice(arr: np.ndarray, axis: int, start: int, stop: int) -> np.ndarray:
@@ -118,14 +129,39 @@ def _box_coords(box: tuple[int, ...]) -> np.ndarray:
     return np.stack([g.ravel() for g in grids], axis=-1)
 
 
-def _stencil_from_dict(acc: dict, ndim: int) -> Stencil:
-    if not acc:
-        empty = np.empty((0, ndim), dtype=np.int64)
-        z = np.empty(0, dtype=np.int64)
-        return Stencil(empty, z, z.copy(), np.empty(0))
-    keys = list(acc.keys())
-    offsets = np.array([k[0] for k in keys], dtype=np.int64)
-    dims = np.array([k[1] for k in keys], dtype=np.int64)
-    dirs = np.array([k[2] for k in keys], dtype=np.int64)
-    fracs = np.array([acc[k] for k in keys], dtype=np.float64)
-    return Stencil(offsets, dims, dirs, fracs)
+def accumulate_stencil_entries(
+    offsets: np.ndarray,
+    dims: np.ndarray,
+    dirs: np.ndarray,
+    fracs: np.ndarray,
+    stream_weights: np.ndarray | None = None,
+) -> Stencil:
+    """Fold a (channel, fraction) entry stream into a deduplicated stencil.
+
+    Entries sharing a (offset, dim, dir) channel key are summed; output
+    entries appear in first-appearance stream order and each key's
+    fractions accumulate in stream order (``np.add.at`` is sequential),
+    so the result is bitwise-identical to the dict-accumulation loop it
+    replaces. ``stream_weights`` optionally scales each entry's fraction
+    first (e.g. the Valiant ``1/V`` intermediate-node weight).
+    """
+    ndim = offsets.shape[1]
+    fracs = fracs.astype(np.float64, copy=False)
+    if stream_weights is not None:
+        fracs = fracs * stream_weights
+    # Collision-free integer key: mixed-radix offset coords + dim + dir.
+    lo = offsets.min(axis=0)
+    radix = offsets.max(axis=0) - lo + 1
+    keys = np.zeros(len(offsets), dtype=np.int64)
+    for d in range(ndim):
+        keys = keys * radix[d] + (offsets[:, d] - lo[d])
+    keys = (keys * ndim + dims) * 2 + dirs
+    _, first, inv = np.unique(keys, return_index=True, return_inverse=True)
+    appear = np.argsort(first, kind="stable")  # unique ids, appearance order
+    rank = np.empty_like(appear)
+    rank[appear] = np.arange(len(appear))
+    ids = rank[inv]
+    acc = np.zeros(len(appear))
+    np.add.at(acc, ids, fracs)
+    rep = first[appear]  # stream index of each output entry's first hit
+    return Stencil(offsets[rep], dims[rep], dirs[rep], acc)

@@ -25,7 +25,10 @@ import numpy as np
 
 from repro.errors import RoutingError
 from repro.routing.base import Router, Stencil
-from repro.routing.minimal_adaptive import MinimalAdaptiveRouter
+from repro.routing.minimal_adaptive import (
+    MinimalAdaptiveRouter,
+    accumulate_stencil_entries,
+)
 
 __all__ = ["ValiantRouter"]
 
@@ -35,13 +38,13 @@ class ValiantRouter(Router):
 
     name = "valiant"
 
-    def __init__(self, topology):
+    def __init__(self, topology, scalar_fallback=None):
         if not all(topology.wrap):
             raise RoutingError(
                 "ValiantRouter requires a fully-wrapped torus (loads on a "
                 "mesh are not translation-invariant)"
             )
-        super().__init__(topology)
+        super().__init__(topology, scalar_fallback=scalar_fallback)
         self._minimal = MinimalAdaptiveRouter(topology)
 
     def _build_stencil(self, delta: tuple[int, ...]) -> Stencil:
@@ -49,36 +52,42 @@ class ValiantRouter(Router):
         V = topo.num_nodes
         shape = np.asarray(topo.shape, dtype=np.int64)
         delta_arr = np.asarray(delta, dtype=np.int64)
-        acc: dict[tuple, float] = {}
         inv_v = 1.0 / V
 
-        def add(offsets, dims, dirs, fracs, shift):
-            for off, dim, dr, frac in zip(offsets, dims, dirs, fracs):
-                key = (tuple(int(x) for x in (shift + off)), int(dim), int(dr))
-                acc[key] = acc.get(key, 0.0) + float(frac) * inv_v
+        off_parts: list[np.ndarray] = []
+        dim_parts: list[np.ndarray] = []
+        dir_parts: list[np.ndarray] = []
+        frac_parts: list[np.ndarray] = []
+
+        def add(st: Stencil, shift: np.ndarray) -> None:
+            if st.num_entries == 0:
+                return
+            off_parts.append(st.offsets + shift[None, :])
+            dim_parts.append(st.dims)
+            dir_parts.append(st.dirs)
+            frac_parts.append(st.fracs)
 
         for w_node in range(V):
             w = topo.coords_array[w_node]
             # Phase 1: source -> source + w, minimal offset representative.
             d1 = _reduce(w, shape)
-            st1 = self._minimal.stencil(tuple(int(x) for x in d1))
-            add(st1.offsets, st1.dims, st1.dirs, st1.fracs,
+            add(self._minimal.stencil(tuple(int(x) for x in d1)),
                 np.zeros(topo.ndim, dtype=np.int64))
             # Phase 2: intermediate -> destination, offsets shifted by w.
             d2 = _reduce(delta_arr - w, shape)
-            st2 = self._minimal.stencil(tuple(int(x) for x in d2))
-            add(st2.offsets, st2.dims, st2.dirs, st2.fracs, w)
+            add(self._minimal.stencil(tuple(int(x) for x in d2)), w)
 
-        if not acc:
+        if not off_parts:
             empty = np.empty((0, topo.ndim), dtype=np.int64)
             z = np.empty(0, dtype=np.int64)
             return Stencil(empty, z, z.copy(), np.empty(0))
-        keys = list(acc.keys())
-        return Stencil(
-            offsets=np.array([k[0] for k in keys], dtype=np.int64),
-            dims=np.array([k[1] for k in keys], dtype=np.int64),
-            dirs=np.array([k[2] for k in keys], dtype=np.int64),
-            fracs=np.array([acc[k] for k in keys]),
+        fracs = np.concatenate(frac_parts)
+        return accumulate_stencil_entries(
+            np.concatenate(off_parts),
+            np.concatenate(dim_parts),
+            np.concatenate(dir_parts),
+            fracs,
+            stream_weights=np.full(len(fracs), inv_v),
         )
 
 

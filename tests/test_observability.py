@@ -1,6 +1,7 @@
 """Observability layer: tracing, metrics, exports, and the perf gate."""
 
 import json
+import re
 import subprocess
 import sys
 import time
@@ -444,10 +445,16 @@ def test_compare_snapshots_drift_on_same_hotspot(tmp_path):
 
 def test_compare_snapshots_latest_discovers_newest_pr():
     """'latest' resolves to the newest repo-root BENCH_PR<N>.json."""
-    current = REPO / "BENCH_PR7.json"
-    proc = _gate("latest", str(current), "--trend")
+    # Track the trajectory: compare the newest committed baseline against
+    # itself, whichever PR that is, so landing BENCH_PR<N+1>.json never
+    # invalidates this test.
+    newest = max(
+        REPO.glob("BENCH_PR*.json"),
+        key=lambda p: int(re.search(r"BENCH_PR(\d+)", p.name).group(1)),
+    )
+    proc = _gate("latest", str(newest), "--trend")
     assert proc.returncode == 0, proc.stdout + proc.stderr
-    assert "BENCH_PR7.json" in proc.stdout.splitlines()[0]
+    assert newest.name in proc.stdout.splitlines()[0]
     assert "bench trajectory:" in proc.stdout
     # the trend table walks the whole trajectory, oldest first, and
     # carries the daemon latency (blank before PR 6) and fleet latency
