@@ -13,6 +13,10 @@ any host that can read the content-addressed store can also claim work::
       claims/<key>.spec.claim  one optional speculative re-execution slot
       done/<key>.json        receipts (created O_EXCL: first commit wins)
       workers/<id>.json      worker registrations (mtime heartbeat)
+      workers/<id>.stats.json  periodic worker telemetry snapshots
+                             (atomic rewrite; deliberately NOT removed
+                             on deregister so fleet counters survive
+                             worker death)
 
 Every multi-writer decision point is a single atomic filesystem
 operation, mirroring :mod:`repro.service.locking`:
@@ -318,7 +322,11 @@ class JobBoard:
     def list_workers(self) -> list[tuple[Path, dict | None, float]]:
         """``(path, registration_doc, heartbeat_age)`` per registration."""
         try:
-            paths = sorted(self.workers_dir.glob("*.json"))
+            paths = sorted(
+                p
+                for p in self.workers_dir.glob("*.json")
+                if not p.name.endswith(".stats.json")
+            )
         except OSError:
             return []
         out = []
@@ -328,6 +336,59 @@ class JobBoard:
             if age is None:
                 continue
             out.append((path, read_json(path), age))
+        return out
+
+    # -- worker telemetry ----------------------------------------------------------
+    def worker_stats_path(self, worker_id: str) -> Path:
+        reg = self.worker_path(worker_id)
+        return reg.with_name(f"{reg.stem}.stats.json")
+
+    def publish_worker_stats(self, worker_id: str, stats: dict) -> Path:
+        """Atomically (re)write one worker's telemetry snapshot.
+
+        Same discipline as registrations (full temp file + rename, no
+        fsync — rebuildable diagnostics), but a *separate* file so a
+        stats rewrite never perturbs the registration heartbeat, and the
+        snapshot outlives :meth:`deregister_worker`: a SIGKILLed
+        worker's last published counters stay mergeable into the fleet
+        totals.
+        """
+        path = self.worker_stats_path(worker_id)
+        doc = {
+            "kind": "fleet_worker_stats",
+            "schema": BOARD_SCHEMA_VERSION,
+            "worker": worker_id,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "time_unix": time.time(),
+            **stats,
+        }
+        try:
+            atomic_write_json(path, doc, fsync=False)
+        except OSError:  # pragma: no cover - telemetry is best-effort
+            pass
+        return path
+
+    def read_worker_stats(self, worker_id: str) -> dict | None:
+        return read_json(self.worker_stats_path(worker_id))
+
+    def list_worker_stats(self) -> list[tuple[str, dict | None, float]]:
+        """``(worker_id, stats_doc, age_seconds)`` per published snapshot."""
+        try:
+            paths = sorted(self.workers_dir.glob("*.stats.json"))
+        except OSError:
+            return []
+        out = []
+        now = time.time()
+        for path in paths:
+            age = _mtime_age(path, now=now)
+            if age is None:
+                continue
+            doc = read_json(path)
+            worker_id = path.name[: -len(".stats.json")]
+            if isinstance(doc, dict) and doc.get("worker"):
+                worker_id = str(doc["worker"])
+            out.append((worker_id, doc, age))
         return out
 
     def alive_workers(self, now: float | None = None) -> int:

@@ -608,4 +608,46 @@ class DistributedExecutor:
                                         if h.alive()])
         board["worker_respawns"] = self._respawns
         board["draining"] = self.draining
+        workers, totals = self._merge_worker_stats()
+        board["worker_stats"] = workers
+        board["fleet_totals"] = totals
         return board
+
+    def _merge_worker_stats(self) -> tuple[dict, dict]:
+        """Merge the board's published worker snapshots into a fleet view.
+
+        Returns ``(per_worker, fleet_totals)``. A worker whose snapshot
+        has gone stale (no publish within its own horizon) is reported
+        ``alive: False`` but *kept* — the last snapshot of a SIGKILLed
+        worker is exactly what explains where the fleet's counters came
+        from — and its ``fleet.*`` counters still sum into the totals,
+        which is why they survive worker death while the worker
+        process's own registry does not.
+        """
+        workers: dict[str, dict] = {}
+        totals: dict[str, float] = {}
+        for worker_id, doc, age in self.board.list_worker_stats():
+            if not isinstance(doc, dict):
+                continue
+            try:
+                interval = float(doc.get("interval") or 1.0)
+            except (TypeError, ValueError):
+                interval = 1.0
+            workers[worker_id] = {
+                "alive": age <= max(10.0 * interval, 10.0),
+                "age_seconds": age,
+                "host": doc.get("host"),
+                "pid": doc.get("pid"),
+                "published": doc.get("published"),
+                "executed": doc.get("executed"),
+                "jobs_per_second": doc.get("jobs_per_second"),
+            }
+            for name, cell in (doc.get("metrics") or {}).items():
+                if (isinstance(cell, dict) and cell.get("type") == "counter"
+                        and name.startswith("fleet.")):
+                    try:
+                        totals[name] = (totals.get(name, 0.0)
+                                        + float(cell.get("value") or 0.0))
+                    except (TypeError, ValueError):
+                        continue
+        return workers, {name: totals[name] for name in sorted(totals)}

@@ -97,6 +97,9 @@ class FleetWorker:
         self.published = 0
         #: Jobs this worker actually executed (mapper ran).
         self.executed = 0
+        #: (monotonic time, published) at the last stats publish, for
+        #: the throughput figure in the stats snapshot.
+        self._stats_prev = (time.monotonic(), 0)
 
     def stop(self) -> None:
         self._stop.set()
@@ -126,6 +129,7 @@ class FleetWorker:
                     pass
         log.info("worker %s serving board at %s", self.worker_id,
                  self.board.root)
+        self._publish_stats()  # visible in fleet views before first claim
         last_registration = time.monotonic()
         last_work = time.monotonic()
         try:
@@ -133,6 +137,7 @@ class FleetWorker:
                 now = time.monotonic()
                 if now - last_registration >= self.REGISTRATION_INTERVAL:
                     self._refresh_registration(reg_path)
+                    self._publish_stats()
                     last_registration = now
                 if self._scan_once():
                     last_work = time.monotonic()
@@ -144,10 +149,41 @@ class FleetWorker:
                     break
                 self._stop.wait(self.poll)
         finally:
+            # Final stats publish *before* deregistering: the snapshot
+            # survives the registration and keeps the fleet totals
+            # honest after a clean exit, same as after a SIGKILL.
+            self._publish_stats()
             self.board.deregister_worker(self.worker_id)
             for sig, prev in restore.items():
                 signal.signal(sig, prev)
         return self.published
+
+    def _publish_stats(self) -> None:
+        """Publish this worker's telemetry snapshot to the board.
+
+        Registry caveat: in-thread test workers share the process-wide
+        registry, so the ``metrics`` section reflects the *process*, not
+        strictly this worker — exact for spawned subprocess fleets,
+        which is what the aggregation is for.
+        """
+        now = time.monotonic()
+        prev_t, prev_published = self._stats_prev
+        dt = now - prev_t
+        rate = (self.published - prev_published) / dt if dt > 0 else 0.0
+        self._stats_prev = (now, self.published)
+        snapshot = get_registry().snapshot()
+        metrics = {
+            name: doc
+            for name, doc in snapshot.items()
+            if name.startswith(("fleet.", "engine.", "store."))
+        }
+        self.board.publish_worker_stats(self.worker_id, {
+            "interval": self.REGISTRATION_INTERVAL,
+            "published": self.published,
+            "executed": self.executed,
+            "jobs_per_second": rate,
+            "metrics": metrics,
+        })
 
     def _refresh_registration(self, reg_path: Path) -> None:
         try:

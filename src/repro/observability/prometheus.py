@@ -1,0 +1,227 @@
+"""Prometheus text exposition for :class:`MetricsRegistry` snapshots.
+
+:func:`render_prometheus` turns a registry snapshot into the text-based
+exposition format (version 0.0.4) that Prometheus, VictoriaMetrics, and
+every compatible scraper understand: counters and gauges as single
+samples, histograms as cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``, derived from the snapshot's ``cumulative`` pairs.
+
+Metric names are sanitized (dots become underscores) and per-tenant
+instruments — ``serve.tenant.<tenant>.<rest>`` — are folded into one
+family per ``<rest>`` with a ``tenant`` label, so dashboards can group
+and alert across tenants without regex gymnastics.
+
+:func:`parse_prometheus` is the inverse used by tests and the
+serve-smoke CI job: a strict parser that raises :class:`ValueError` on
+malformed exposition (untyped samples, non-monotone histogram buckets,
+``+Inf`` bucket disagreeing with ``_count``), so "the daemon emits
+something scrapable" is a checkable invariant, not a hope.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+#: Content-Type for the text exposition format understood by Prometheus.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_TENANT = re.compile(r"^serve\.tenant\.([^.]+)\.(.+)$")
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"  # metric name
+    r"(\{[^{}]*\})?"  # optional label set
+    r" (NaN|[+-]?Inf|[+-]?[0-9][0-9eE.+-]*|\.[0-9][0-9eE.+-]*)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: Metric types a ``# TYPE`` line may legally declare.
+_FAMILY_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _sanitize(name: str) -> str:
+    out = _NAME_OK.sub("_", name)
+    if out[:1].isdigit():
+        out = "_" + out
+    return out
+
+
+def _split_tenant(name: str) -> tuple[str, dict[str, str]]:
+    """Metric name -> (prometheus family name, labels)."""
+    m = _TENANT.match(name)
+    if m:
+        tenant, rest = m.groups()
+        return _sanitize(f"serve.tenant.{rest}"), {"tenant": tenant}
+    return _sanitize(name), {}
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return format(float(value), ".17g")
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` dict as text exposition."""
+    # Group samples into families: tenant metrics share one family name
+    # with distinct label sets, so the # TYPE line is emitted once.
+    families: dict[str, dict] = {}
+    for name in sorted(snapshot):
+        doc = snapshot[name]
+        kind = doc.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        fam_name, labels = _split_tenant(name)
+        fam = families.setdefault(fam_name, {"type": kind, "samples": []})
+        if fam["type"] != kind:
+            # Same sanitized name, different instrument types (possible
+            # across tenants only through misuse); keep both scrapable.
+            fam_name = f"{fam_name}_{kind}"
+            fam = families.setdefault(fam_name, {"type": kind, "samples": []})
+        fam["samples"].append((labels, doc))
+
+    lines: list[str] = []
+    for fam_name in sorted(families):
+        fam = families[fam_name]
+        lines.append(f"# TYPE {fam_name} {fam['type']}")
+        for labels, doc in fam["samples"]:
+            if fam["type"] in ("counter", "gauge"):
+                lines.append(
+                    f"{fam_name}{_labels_text(labels)} {_fmt(doc['value'])}"
+                )
+                continue
+            for le, cum in doc.get("cumulative") or [["+Inf", doc["count"]]]:
+                le_text = "+Inf" if le == "+Inf" else _fmt(float(le))
+                bucket_labels = {**labels, "le": le_text}
+                lines.append(
+                    f"{fam_name}_bucket{_labels_text(bucket_labels)} {cum}"
+                )
+            lab = _labels_text(labels)
+            lines.append(f"{fam_name}_sum{lab} {_fmt(doc['sum'])}")
+            lines.append(f"{fam_name}_count{lab} {doc['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_value(text: str) -> float:
+    if text == "NaN":
+        return float("nan")
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse + validate text exposition; the inverse of the renderer.
+
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``
+    where histogram families collect their ``_bucket``/``_sum``/``_count``
+    series. Raises :class:`ValueError` on anything a real scraper would
+    choke on: unparseable lines, samples without a ``# TYPE``, duplicate
+    conflicting types, non-monotone cumulative buckets, or a ``+Inf``
+    bucket that disagrees with ``_count``.
+    """
+    families: dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+                _, _, fam_name, fam_type = parts
+                if fam_type not in _FAMILY_TYPES:
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {fam_type!r}"
+                    )
+                prior = families.get(fam_name)
+                if prior is not None and prior["type"] != fam_type:
+                    raise ValueError(
+                        f"line {lineno}: {fam_name} re-typed "
+                        f"{prior['type']} -> {fam_type}"
+                    )
+                families[fam_name] = prior or {"type": fam_type, "samples": []}
+            continue  # HELP and other comments are free-form
+        m = _SAMPLE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {raw!r}")
+        name, label_text, value_text = m.groups()
+        labels: dict[str, str] = {}
+        if label_text:
+            body = label_text[1:-1].strip()
+            if body:
+                matched = _LABEL.findall(body)
+                stripped = _LABEL.sub("", body).replace(",", "").strip()
+                if stripped:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {label_text!r}"
+                    )
+                labels = dict(matched)
+        fam_name = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and families.get(base, {}).get("type") == "histogram":
+                fam_name = base
+                break
+        fam = families.get(fam_name)
+        if fam is None:
+            raise ValueError(f"line {lineno}: sample {name!r} has no # TYPE")
+        fam["samples"].append((name, labels, _parse_value(value_text)))
+
+    # Histogram invariants, per label set.
+    for fam_name, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        series: dict[tuple, dict] = {}
+        for name, labels, value in fam["samples"]:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            slot = series.setdefault(key, {"buckets": [], "count": None})
+            if name == fam_name + "_bucket":
+                if "le" not in labels:
+                    raise ValueError(f"{fam_name}: bucket without le label")
+                slot["buckets"].append((_parse_value(labels["le"]), value))
+            elif name == fam_name + "_count":
+                slot["count"] = value
+        for key, slot in series.items():
+            buckets = slot["buckets"]
+            if not buckets:
+                raise ValueError(f"{fam_name}{dict(key)}: histogram has no buckets")
+            les = [le for le, _ in buckets]
+            if les != sorted(les):
+                raise ValueError(f"{fam_name}{dict(key)}: le bounds not sorted")
+            cums = [c for _, c in buckets]
+            if any(b < a for a, b in zip(cums, cums[1:])):
+                raise ValueError(
+                    f"{fam_name}{dict(key)}: cumulative buckets decrease"
+                )
+            if les[-1] != float("inf"):
+                raise ValueError(f"{fam_name}{dict(key)}: missing +Inf bucket")
+            if slot["count"] is not None and cums[-1] != slot["count"]:
+                raise ValueError(
+                    f"{fam_name}{dict(key)}: +Inf bucket {cums[-1]} "
+                    f"!= _count {slot['count']}"
+                )
+    return families

@@ -1,0 +1,198 @@
+"""Bounded time-series sampling of the metrics registry.
+
+The :class:`MetricsRegistry` is a point-in-time snapshot: between two
+scrapes, queue waits and admission decisions vanish. The serve daemon
+closes that gap by running a :class:`TimeSeriesRecorder` on its janitor
+cadence: each tick snapshots the registry and derives the things a
+snapshot alone cannot show — counter *rates* (delta over wall time since
+the previous sample) and histogram quantiles (from the snapshot's
+``cumulative`` pairs) — into a schema-versioned row held in a ring
+buffer, so ``repro top`` and the health endpoint can show trends without
+unbounded memory.
+
+:class:`TelemetrySink` persists those rows as JSONL under
+``<cache>/telemetry/`` with size-based rotation, same append-only
+discipline as trace files: one meta row per writer, then samples. The
+files are diagnostics, not state — losing one loses history, never
+correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+
+from .metrics import MetricsRegistry, quantile_from_cumulative
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetrySink",
+    "TimeSeriesRecorder",
+]
+
+#: Bump when the sample row shape changes incompatibly.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Quantiles derived for every histogram in a sample.
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+class TimeSeriesRecorder:
+    """Ring buffer of derived registry samples.
+
+    ``capacity`` bounds retention (default 720 samples: one hour at the
+    daemon's 5 s default interval). Rates are computed against the
+    previous *retained* sample, so the first sample after start (or a
+    counter reset, e.g. tests clearing the registry) reports no rate
+    rather than a negative one.
+    """
+
+    def __init__(self, registry: MetricsRegistry, capacity: int = 720):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._registry = registry
+        self._samples: deque[dict] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def capacity(self) -> int:
+        return self._samples.maxlen or 0
+
+    def sample(self, now: float | None = None) -> dict:
+        """Snapshot the registry into a new row and retain it."""
+        now = time.time() if now is None else float(now)
+        prev = self._samples[-1] if self._samples else None
+        dt = now - prev["time_unix"] if prev is not None else 0.0
+        prev_metrics = prev["metrics"] if prev is not None else {}
+
+        metrics: dict[str, dict] = {}
+        for name, doc in self._registry.snapshot().items():
+            kind = doc.get("type")
+            if kind == "counter":
+                cell = {"type": "counter", "value": doc["value"]}
+                before = prev_metrics.get(name)
+                if before is not None and before.get("type") == "counter" and dt > 0:
+                    # Clamp resets to zero instead of a negative rate.
+                    cell["rate"] = max(doc["value"] - before["value"], 0.0) / dt
+            elif kind == "gauge":
+                cell = {"type": "gauge", "value": doc["value"]}
+            elif kind == "histogram":
+                cumulative = doc.get("cumulative") or []
+                cell = {
+                    "type": "histogram",
+                    "count": doc["count"],
+                    "sum": doc["sum"],
+                }
+                for q, label in _QUANTILES:
+                    cell[label] = quantile_from_cumulative(cumulative, q)
+                before = prev_metrics.get(name)
+                if before is not None and "count" in before and dt > 0:
+                    cell["rate"] = max(doc["count"] - before["count"], 0.0) / dt
+            else:
+                continue
+            metrics[name] = cell
+
+        row = {
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "time_unix": now,
+            "metrics": metrics,
+        }
+        self._samples.append(row)
+        return row
+
+    def latest(self) -> dict | None:
+        return self._samples[-1] if self._samples else None
+
+    def rows(self) -> list[dict]:
+        """Retained samples, oldest first."""
+        return list(self._samples)
+
+    def series(self, name: str, field: str = "value") -> list[tuple[float, float]]:
+        """``(time_unix, value)`` points for one metric field.
+
+        Samples where the metric (or field) is absent are skipped, so a
+        metric created mid-run yields a shorter series, not Nones.
+        """
+        out: list[tuple[float, float]] = []
+        for row in self._samples:
+            cell = row["metrics"].get(name)
+            if cell is None:
+                continue
+            value = cell.get(field)
+            if value is None:
+                continue
+            out.append((row["time_unix"], value))
+        return out
+
+
+class TelemetrySink:
+    """Append-only JSONL persistence with size-based rotation.
+
+    Rows land in ``<directory>/<name>``; when the file would exceed
+    ``rotate_bytes`` it is renamed to ``<name>.1`` (shifting prior
+    generations up to ``keep``) and a fresh file is started. Every fresh
+    file begins with a meta row carrying the schema version and writer
+    pid, mirroring the trace-file convention. Writes are best-effort
+    diagnostics: rotation uses plain :func:`os.replace` with no fsync.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        name: str = "metrics.jsonl",
+        rotate_bytes: int = 4 << 20,
+        keep: int = 2,
+    ):
+        if rotate_bytes < 1024:
+            raise ValueError(f"rotate_bytes must be >= 1024, got {rotate_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.name = name
+        self.rotate_bytes = rotate_bytes
+        self.keep = keep
+
+    @property
+    def path(self) -> Path:
+        return self.directory / self.name
+
+    def _rotated(self, generation: int) -> Path:
+        return self.directory / f"{self.name}.{generation}"
+
+    def _rotate(self) -> None:
+        oldest = self._rotated(self.keep)
+        if oldest.exists():
+            oldest.unlink()
+        for generation in range(self.keep - 1, 0, -1):
+            src = self._rotated(generation)
+            if src.exists():
+                os.replace(src, self._rotated(generation + 1))
+        os.replace(self.path, self._rotated(1))
+
+    def append(self, row: dict) -> Path:
+        """Append one sample row, rotating and stamping meta as needed."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path
+        try:
+            size = path.stat().st_size
+        except FileNotFoundError:
+            size = 0
+        if size >= self.rotate_bytes:
+            self._rotate()
+            size = 0
+        with path.open("a", encoding="utf-8") as fh:
+            if size == 0:
+                meta = {
+                    "telemetry_schema": TELEMETRY_SCHEMA_VERSION,
+                    "kind": "telemetry_meta",
+                    "pid": os.getpid(),
+                    "time_unix": time.time(),
+                }
+                fh.write(json.dumps(meta, sort_keys=True) + "\n")
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+        return path

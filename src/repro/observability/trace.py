@@ -184,9 +184,25 @@ class Tracer:
     under the innermost open one (or as a root). Spans left open by an
     exception are closed by their handle's ``__exit__`` on unwind, so the
     stack can never leak.
+
+    Long-lived processes (the serve daemon) pass ``sink`` and/or
+    ``max_roots``: whenever the stack empties, completed root spans are
+    appended to the ``sink`` JSONL file (meta row written once per
+    tracer, ids continuing across flushes) and in-memory retention is
+    trimmed to the newest ``max_roots`` roots — a week of ``repro
+    serve`` batches streams to disk instead of accumulating in RAM.
+    :meth:`rows`/:meth:`write_jsonl` keep their batch semantics over
+    whatever is still retained.
     """
 
-    def __init__(self, run_id: str = ""):
+    def __init__(
+        self,
+        run_id: str = "",
+        sink: str | os.PathLike | None = None,
+        max_roots: int | None = None,
+    ):
+        if max_roots is not None and max_roots < 1:
+            raise ValueError(f"max_roots must be >= 1, got {max_roots}")
         self.run_id = str(run_id)
         #: Owning process: a forked pool worker inherits the parent's
         #: active tracer, whose recordings would die with the fork's
@@ -195,6 +211,11 @@ class Tracer:
         self.pid = os.getpid()
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self.sink = Path(sink) if sink is not None else None
+        self.max_roots = max_roots
+        self._sink_started = False
+        self._flushed = 0  # roots[:_flushed] are already in the sink
+        self._next_id = 1  # first id for the next sink flush
 
     # -- recording ----------------------------------------------------------------
     def span(self, name: str, **attrs) -> _SpanHandle:
@@ -235,6 +256,40 @@ class Tracer:
             top = self._stack.pop()
             if top is sp:
                 break
+        if not self._stack and (self.sink is not None or self.max_roots is not None):
+            self._drain_roots()
+
+    def _drain_roots(self) -> None:
+        """Flush completed roots to the sink and trim retention."""
+        if self.sink is not None and self._flushed < len(self.roots):
+            fresh = self.roots[self._flushed :]
+            try:
+                self._append_to_sink(fresh)
+            except OSError:
+                pass  # diagnostics only — never fail the traced work
+            self._flushed = len(self.roots)
+        if self.max_roots is not None and len(self.roots) > self.max_roots:
+            drop = len(self.roots) - self.max_roots
+            del self.roots[:drop]
+            self._flushed = max(self._flushed - drop, 0)
+
+    def _append_to_sink(self, roots: list[Span]) -> None:
+        rows = self._rows_for(roots, self._next_id)
+        if not rows:
+            return
+        self.sink.parent.mkdir(parents=True, exist_ok=True)
+        with self.sink.open("a") as fh:
+            if not self._sink_started:
+                meta = {
+                    "trace_schema": TRACE_SCHEMA_VERSION,
+                    "run_id": self.run_id,
+                    "streaming": True,
+                }
+                fh.write(json.dumps(meta, sort_keys=True) + "\n")
+                self._sink_started = True
+            for row in rows:
+                fh.write(json.dumps(row, sort_keys=True, default=str) + "\n")
+        self._next_id += len(rows)
 
     # -- export -------------------------------------------------------------------
     def to_dicts(self) -> list[dict]:
@@ -246,11 +301,15 @@ class Tracer:
         Ids are assigned during the walk, so they are unique within one
         export by construction — including across grafted worker subtrees.
         """
+        return self._rows_for(self.roots, 1)
+
+    @staticmethod
+    def _rows_for(roots: list[Span], first_id: int) -> list[dict]:
         out: list[dict] = []
 
         def visit(sp: Span, parent: int | None, depth: int) -> None:
             row = {
-                "id": len(out) + 1,
+                "id": first_id + len(out),
                 "parent": parent,
                 "depth": depth,
                 "name": sp.name,
@@ -265,7 +324,7 @@ class Tracer:
             for child in sp.children:
                 visit(child, my_id, depth + 1)
 
-        for root in self.roots:
+        for root in roots:
             visit(root, None, 0)
         return out
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import os
+import re
 import signal as signal_module
 import threading
 import time
@@ -46,10 +47,16 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError, ServiceError
 from repro.observability.metrics import get_registry
-from repro.observability.trace import span
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.observability.timeseries import TelemetrySink, TimeSeriesRecorder
+from repro.observability.trace import Tracer, activate, active_tracer, span
 from repro.resilience import faultinject
 from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.queueing import FairQueue, QuotaExceeded, TenantPolicy
+from repro.serve.slo import SloEvaluator, SloPolicy
 from repro.service.doctor import diagnose
 from repro.service.engine import MappingEngine
 from repro.service.executor import ExecutorConfig
@@ -78,6 +85,12 @@ READY_NAME = "serve.json"
 
 #: Tenant used when a submission names none.
 DEFAULT_TENANT = "default"
+
+#: Directory under the cache root holding telemetry JSONL + span logs.
+TELEMETRY_DIR = "telemetry"
+
+#: Characters allowed in the tenant segment of a metric name.
+_TENANT_UNSAFE = re.compile(r"[^0-9A-Za-z_\-]")
 
 # Job states. Terminal: DONE / FAILED / CANCELLED / DRAINED.
 QUEUED = "queued"
@@ -119,6 +132,19 @@ class DaemonConfig:
     #: sharing the cache dir join the same fleet).
     backend: str = "local"
     lease_seconds: float = 15.0
+    #: Seconds between telemetry samples (ring buffer + JSONL under
+    #: ``<cache>/telemetry/``); 0 disables live telemetry and SLOs.
+    telemetry_interval: float = 5.0
+    #: Samples retained in memory (720 x 5 s = one hour by default).
+    telemetry_capacity: int = 720
+    #: SLO thresholds; None disables the corresponding alert rule.
+    slo_p99_seconds: float | None = None
+    slo_reject_rate: float | None = None
+    slo_lease_deaths_per_minute: float | None = None
+    #: Stream the daemon's own spans to ``<cache>/telemetry/spans.jsonl``
+    #: with bounded in-memory retention (off by default: the tracer
+    #: global is process-wide and embedding hosts may own it).
+    span_log: bool = False
 
     def __post_init__(self):
         if not self.cache_dir:
@@ -134,6 +160,15 @@ class DaemonConfig:
                               "'local' or 'distributed'")
         if self.lease_seconds <= 0:
             raise ConfigError("lease_seconds must be > 0")
+        if self.telemetry_interval < 0:
+            raise ConfigError("telemetry_interval must be >= 0 (0 disables)")
+        if self.telemetry_capacity < 1:
+            raise ConfigError("telemetry_capacity must be >= 1")
+        for name in ("slo_p99_seconds", "slo_reject_rate",
+                     "slo_lease_deaths_per_minute"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be > 0 (None disables)")
 
 
 @dataclass
@@ -261,6 +296,32 @@ class MappingDaemon:
         self._wake: asyncio.Event | None = None
         self._stopping: asyncio.Event | None = None
         self._registry = get_registry()
+        # -- live telemetry plane ---------------------------------------
+        self.telemetry = TimeSeriesRecorder(
+            self._registry, capacity=config.telemetry_capacity)
+        self._telemetry_sink = TelemetrySink(
+            self.engine.store.root / TELEMETRY_DIR)
+        self.slo = SloEvaluator(self._registry, SloPolicy(
+            p99_latency_seconds=config.slo_p99_seconds,
+            reject_rate=config.slo_reject_rate,
+            lease_deaths_per_minute=config.slo_lease_deaths_per_minute,
+        ))
+        #: Alerts firing as of the last telemetry tick (healthz surface).
+        self.alerts: list[dict] = []
+        self._alert_keys: set[tuple] = set()
+        self._tenants: set[str] = set()
+        self._tracer: Tracer | None = None
+
+    # ================= per-tenant instruments =====================================
+    @staticmethod
+    def _tenant_label(tenant: str) -> str:
+        """Tenant name -> metric-name-safe segment."""
+        return _TENANT_UNSAFE.sub("_", tenant) or "_"
+
+    def _tenant_metric(self, tenant: str, suffix: str) -> str:
+        label = self._tenant_label(tenant)
+        self._tenants.add(label)
+        return f"serve.tenant.{label}.{suffix}"
 
     # ================= state-machine API (HTTP-independent) =======================
     def submit(self, doc: dict) -> tuple[int, dict]:
@@ -294,6 +355,8 @@ class MappingDaemon:
                   deadline: float | None, force: bool = False,
                   requeued: bool = False) -> tuple[int, dict]:
         key = job.cache_key()
+        self._registry.counter(
+            self._tenant_metric(tenant, "submitted")).inc()
         with self._lock:
             record = self.records.get(key)
             if record is not None:
@@ -326,9 +389,15 @@ class MappingDaemon:
                 self._registry.counter("serve.cache_hits").inc()
                 self._registry.gauge("engine.cache_hit_saved_seconds").add(
                     float(payload.get("map_seconds", 0.0)))
+                self._registry.counter(
+                    self._tenant_metric(tenant, "completed")).inc()
+                self._registry.histogram(
+                    self._tenant_metric(tenant, "e2e_seconds")).record(0.0)
                 return 200, record.to_dict()
             decision = self.admission.admit(deadline, force=force)
             if not decision.admitted:
+                self._registry.counter(
+                    self._tenant_metric(tenant, "rejected")).inc()
                 return 429, {"error": decision.reason,
                              "admission": decision.to_dict()}
             try:
@@ -337,6 +406,8 @@ class MappingDaemon:
             except QuotaExceeded as exc:
                 self.admission.release(decision)
                 self._registry.counter("serve.quota_rejected").inc()
+                self._registry.counter(
+                    self._tenant_metric(tenant, "rejected")).inc()
                 return 429, {"error": str(exc)}
             except Exception as exc:
                 self.admission.release(decision)
@@ -431,14 +502,34 @@ class MappingDaemon:
                              "p95": wait.quantile(0.95)},
             "engine": self.engine.stats.as_dict(),
             "store": self.engine.store.stats.as_dict(),
+            "alerts": list(self.alerts),
+            "telemetry": {
+                "interval_seconds": self.config.telemetry_interval,
+                "samples": len(self.telemetry),
+                "capacity": self.telemetry.capacity,
+                "last_sample_unix": (self.telemetry.latest()
+                                     or {}).get("time_unix"),
+            },
         }
         if hasattr(self.engine.executor, "snapshot"):
-            # Distributed backend: board depths + spawned-worker health.
+            # Distributed backend: board depths, spawned-worker health,
+            # merged per-worker stats and death-surviving fleet totals.
             doc["fleet"] = self.engine.executor.snapshot()
         return 200, doc
 
-    def metrics(self) -> tuple[int, dict]:
-        return 200, self._registry.snapshot()
+    def metrics(self, fmt: str | None = None) -> tuple[int, object]:
+        """Registry snapshot: JSON by default, text exposition on
+        ``fmt="prometheus"`` (the ``?format=`` query parameter)."""
+        snapshot = self._registry.snapshot()
+        if fmt in (None, "", "json"):
+            return 200, snapshot
+        if fmt == "prometheus":
+            from repro.serve.http import PlainText
+
+            return 200, PlainText(render_prometheus(snapshot),
+                                  PROMETHEUS_CONTENT_TYPE)
+        return 400, {"error": f"unknown metrics format {fmt!r}; "
+                              "use 'json' or 'prometheus'"}
 
     # ================= scheduler ===================================================
     def _next_key(self) -> str | None:
@@ -474,6 +565,9 @@ class MappingDaemon:
                 record.wait_seconds = now - record.submitted_unix
                 self._registry.histogram("serve.wait_seconds").record(
                     record.wait_seconds)
+                self._registry.histogram(
+                    self._tenant_metric(record.tenant, "queue_wait_seconds")
+                ).record(record.wait_seconds)
                 batch.append(record)
             self._registry.gauge("serve.queue_depth").set(self.queue.depth())
             return batch
@@ -511,6 +605,11 @@ class MappingDaemon:
                         # keep the bytes so GET result still answers.
                         record.result_payload = result_doc(result)
                     self._registry.counter("serve.completed").inc()
+                    self._registry.counter(
+                        self._tenant_metric(record.tenant, "completed")).inc()
+                    self._registry.histogram(
+                        self._tenant_metric(record.tenant, "e2e_seconds")
+                    ).record(now - record.submitted_unix)
                 elif outcome.drained:
                     record.state = DRAINED
                     record.error = outcome.error
@@ -519,6 +618,8 @@ class MappingDaemon:
                     record.state = FAILED
                     record.error = outcome.error
                     self._registry.counter("serve.failed").inc()
+                    self._registry.counter(
+                        self._tenant_metric(record.tenant, "failed")).inc()
                 self.admission.release(record.admission)
                 self.queue.charge(record.tenant, outcome.wall_seconds)
                 log.info("finished [%s] %s state=%s wall=%.3fs",
@@ -556,13 +657,51 @@ class MappingDaemon:
             log.warning("janitor repaired %d finding(s): %s", len(problems),
                         "; ".join(f"{f.kind}:{f.path}" for f in problems))
 
+    def _sample_telemetry(self) -> None:
+        """One telemetry tick: sample the registry, persist, evaluate SLOs."""
+        t0 = time.perf_counter()
+        row = self.telemetry.sample()
+        try:
+            self._telemetry_sink.append(row)
+        except OSError as exc:
+            self._registry.counter("telemetry.persist_errors").inc()
+            log.warning("telemetry persist failed: %s", exc)
+        self.alerts = self.slo.evaluate(sorted(self._tenants))
+        keys = {(a["rule"], a["tenant"]) for a in self.alerts}
+        if keys != self._alert_keys:
+            # Log transitions only; a steadily-firing alert lives in
+            # /healthz, not in an ever-growing log.
+            if self.alerts:
+                log.warning("SLO alerts firing: %s",
+                            "; ".join(a["detail"] for a in self.alerts))
+            else:
+                log.warning("all SLO alerts resolved")
+            self._alert_keys = keys
+        self._registry.gauge("telemetry.alerts_firing").set(len(self.alerts))
+        self._registry.counter("telemetry.samples").inc()
+        self._registry.histogram("telemetry.sample_seconds").record(
+            time.perf_counter() - t0)
+
     async def _janitor(self) -> None:
+        """Maintenance loop: telemetry ticks + doctor sweeps.
+
+        Runs on the shorter of the two enabled intervals; the doctor
+        fires only once its own interval has elapsed, so a 5 s telemetry
+        cadence does not turn into a 5 s fsck cadence.
+        """
+        telemetry = self.config.telemetry_interval
+        janitor = self.config.janitor_interval
+        tick = min(i for i in (telemetry, janitor) if i > 0)
+        last_janitor = time.monotonic()
         while not self.draining:
             with contextlib.suppress(asyncio.TimeoutError):
-                await asyncio.wait_for(self._stopping.wait(),
-                                       timeout=self.config.janitor_interval)
+                await asyncio.wait_for(self._stopping.wait(), timeout=tick)
                 return
-            await asyncio.to_thread(self._run_janitor)
+            if telemetry > 0:
+                await asyncio.to_thread(self._sample_telemetry)
+            if janitor > 0 and time.monotonic() - last_janitor >= janitor:
+                await asyncio.to_thread(self._run_janitor)
+                last_janitor = time.monotonic()
 
     # ================= drain / resume ==============================================
     def _requeue_pending(self) -> None:
@@ -678,6 +817,19 @@ class MappingDaemon:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._stopping = asyncio.Event()
+        span_scope = contextlib.ExitStack()
+        if self.config.span_log and active_tracer() is None:
+            # Stream the daemon's own batch spans to disk with bounded
+            # in-memory retention. Only when nothing else owns the
+            # process-wide tracer: an embedding host's (or test's)
+            # activation always wins.
+            self._tracer = Tracer(
+                run_id=f"serve-{os.getpid()}",
+                sink=(self.engine.store.root / TELEMETRY_DIR
+                      / "spans.jsonl"),
+                max_roots=64,
+            )
+            span_scope.enter_context(activate(self._tracer))
         for sig in ("SIGTERM", "SIGINT"):
             signum = getattr(signal_module, sig, None)
             if signum is None:
@@ -707,7 +859,8 @@ class MappingDaemon:
         })
         scheduler = asyncio.create_task(self._scheduler())
         janitor = (asyncio.create_task(self._janitor())
-                   if self.config.janitor_interval > 0 else None)
+                   if (self.config.janitor_interval > 0
+                       or self.config.telemetry_interval > 0) else None)
         log.warning("repro serve listening on %s (cache %s, %d worker "
                     "process(es))", self.url, self.config.cache_dir,
                     self.config.jobs)
@@ -727,6 +880,11 @@ class MappingDaemon:
                 with contextlib.suppress(asyncio.CancelledError):
                     await janitor
             self._persist_pending_state()
+            if self.config.telemetry_interval > 0 and len(self.telemetry):
+                # Final sample so the persisted series covers the drain.
+                with contextlib.suppress(Exception):
+                    self._sample_telemetry()
+            span_scope.close()
             with contextlib.suppress(FileNotFoundError, OSError):
                 ready_path.unlink()
             log.warning("repro serve exited cleanly")

@@ -14,23 +14,28 @@ GET    ``/jobs/{id}/result``      stored result payload (done jobs only)
 DELETE ``/jobs/{id}``             cancel (queued jobs only)
 GET    ``/healthz``               liveness + queue/admission/latency view
 GET    ``/metrics``               :class:`MetricsRegistry` snapshot
+                                  (``?format=prometheus`` for text
+                                  exposition)
 ====== ========================== ==========================================
 
-Every request runs inside an observability span and bumps
-``serve.http_requests``; malformed requests get a 400 and never reach
-the daemon's state machine.
+Responses are JSON unless a handler returns a :class:`PlainText`
+payload (the Prometheus exposition), which is written verbatim with its
+own Content-Type. Every request runs inside an observability span and
+bumps ``serve.http_requests``; malformed requests get a 400 and never
+reach the daemon's state machine.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 
 from repro.observability.metrics import get_registry
 from repro.observability.trace import span
 from repro.utils.logconf import get_logger
 
-__all__ = ["HttpApi"]
+__all__ = ["HttpApi", "PlainText"]
 
 log = get_logger("serve.http")
 
@@ -62,6 +67,22 @@ class _BadRequest(Exception):
         self.status = status
 
 
+class PlainText:
+    """A non-JSON response body with its own Content-Type.
+
+    Handlers return ``(status, PlainText(...))`` instead of a dict when
+    the payload is already serialized text — the Prometheus exposition
+    must not be JSON-wrapped or scrapers reject it.
+    """
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str,
+                 content_type: str = "text/plain; charset=utf-8"):
+        self.text = text
+        self.content_type = content_type
+
+
 class HttpApi:
     """Bridges raw connections onto the daemon's synchronous state machine."""
 
@@ -87,10 +108,15 @@ class HttpApi:
         except Exception as exc:  # pragma: no cover - defensive
             log.error("unhandled error serving %s %s: %s", method, path, exc)
             status, doc = 500, {"error": f"internal error: {exc}"}
-        body_bytes = (json.dumps(doc, sort_keys=True) + "\n").encode()
+        if isinstance(doc, PlainText):
+            body_bytes = doc.text.encode()
+            content_type = doc.content_type
+        else:
+            body_bytes = (json.dumps(doc, sort_keys=True) + "\n").encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body_bytes)}\r\n"
             f"Connection: close\r\n"
             f"\r\n"
@@ -137,12 +163,16 @@ class HttpApi:
                  body: bytes) -> tuple[int, dict]:
         """Route one parsed request; returns ``(status, json_doc)``."""
         self._requests.inc()
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         with span("serve.http", method=method, path=path):
             if path == "/healthz":
                 return self._get_only(method, self.daemon.healthz)
             if path == "/metrics":
-                return self._get_only(method, self.daemon.metrics)
+                params = urllib.parse.parse_qs(query)
+                fmt = params.get("format", [None])[0]
+                return self._get_only(
+                    method, lambda: self.daemon.metrics(fmt))
             if path == "/jobs":
                 if method != "POST":
                     return 405, {"error": "use POST /jobs to submit"}

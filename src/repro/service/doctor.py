@@ -72,6 +72,9 @@ PROBLEM_KINDS = frozenset({
     "stale-lock", "orphan-claim", "expired-lease", "stale-worker",
 })
 
+#: Age past which a worker stats snapshot counts as board debris.
+STALE_STATS_SECONDS = 3600.0
+
 
 @dataclass
 class Finding:
@@ -411,6 +414,21 @@ def _scan_board(root: Path, report: DoctorReport, repair: bool) -> None:
             kind="stale-worker", path=_relative(path),
             detail=f"registration of {doc.get('worker') if doc else '?'}: "
                    f"{why}")
+        _repair_unlink(finding, path)
+        report.findings.append(finding)
+
+    # -- worker stats snapshots ---------------------------------------------
+    # Stats files deliberately outlive their worker (the fleet totals of
+    # a SIGKILLed worker stay mergeable), so only sweep truly ancient
+    # ones — an hour with no publish means nobody is merging them.
+    for worker_id, _doc, age in board.list_worker_stats():
+        if age <= STALE_STATS_SECONDS:
+            continue
+        path = board.worker_stats_path(worker_id)
+        finding = Finding(
+            kind="board-debris", path=_relative(path),
+            detail=f"worker stats snapshot of {worker_id}: "
+                   f"last published {age:.0f}s ago")
         _repair_unlink(finding, path)
         report.findings.append(finding)
 
