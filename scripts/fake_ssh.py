@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""A stand-in `ssh` for CI: run the remote command locally.
+
+The multi-host smoke test (and the transport-lifecycle unit tests)
+exercise the real `SshSpawner` path — launch script, pid marker, log
+teeing, signal escalation through the transport — without a second
+machine. Pointing ``$REPRO_SSH`` at this script makes every "remote"
+host an alias for localhost while keeping the ssh argv contract
+honest:
+
+    fake_ssh.py [-o opt]... [-X]... <host> <command string>
+
+exactly what ``SshTransport`` produces. Options are accepted and
+ignored, the host name is dropped (all hosts are this machine), and
+the single pre-joined command string is handed to ``/bin/sh -c`` via
+``exec`` — so the shell's ``$$`` marker trick and ``exec`` into the
+worker behave just as they would under real ssh's remote shell.
+"""
+
+import os
+import sys
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    # Skip ssh-style options: `-o value` consumes the next token, any
+    # other dash-option stands alone (-q, -T, -4, ...).
+    while args and args[0].startswith("-"):
+        flag = args.pop(0)
+        if flag == "-o" and args:
+            args.pop(0)
+    if len(args) < 2:
+        sys.stderr.write(
+            "fake_ssh: expected <host> <command>, got %r\n" % (argv,))
+        return 2
+    _host, command = args[0], args[1]
+    if len(args) > 2:
+        # Real ssh joins trailing words with spaces; mirror that.
+        command = " ".join(args[1:])
+    os.execv("/bin/sh", ["/bin/sh", "-c", command])
+    return 127  # pragma: no cover - execv does not return
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -422,6 +422,7 @@ def cmd_serve(args) -> int:
         checkpoint_dir=args.checkpoint_dir,
         backend=args.backend,
         lease_seconds=args.lease,
+        fleet_hosts=tuple(args.fleet_host or ()),
         telemetry_interval=args.telemetry_interval,
         slo_p99_seconds=args.slo_p99,
         slo_reject_rate=args.slo_reject_rate,
@@ -440,6 +441,8 @@ def cmd_worker(args) -> int:
         worker_id=args.id,
         poll=args.poll,
         idle_exit=args.idle_exit,
+        host_label=args.host_label,
+        once=args.once,
     )
     print(f"worker {worker.worker_id} stealing from "
           f"{worker.board.root} (ctrl-C to stop)")
@@ -769,6 +772,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="distributed-backend claim lease in seconds; a "
                         "worker whose heartbeat goes quiet this long "
                         "loses its job to the reaper")
+    p.add_argument("--fleet-host", action="append", metavar="SPEC",
+                   help="dispatch distributed-backend workers to a host "
+                        "instead of spawning locally: [kind:]name[*slots] "
+                        "with kind local|ssh|slurm (repeatable; e.g. "
+                        "ssh:node7*4, slurm:batch*8, local*2)")
     p.add_argument("--telemetry-interval", type=float, default=5.0,
                    help="seconds between telemetry samples (ring buffer "
                         "+ <cache>/telemetry/metrics.jsonl; 0 disables "
@@ -802,6 +810,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: run until signalled)")
     p.add_argument("--id", default=None,
                    help="worker id (default: w-<hostname>-<pid>)")
+    p.add_argument("--host-label", default=None,
+                   help="host label recorded on claims, receipts and "
+                        "registrations (default: $REPRO_HOST_LABEL, else "
+                        "this machine's hostname)")
+    p.add_argument("--once", action="store_true",
+                   help="process at most one job then exit (smoke tests, "
+                        "cron-style draining)")
     p.set_defaults(func=cmd_worker)
 
     def client_opts(p):

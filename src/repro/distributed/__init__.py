@@ -1,34 +1,60 @@
 """Fault-tolerant distributed execution of mapping batches.
 
 A shared **job board** under the cache directory (claim files with
-O_EXCL + lease heartbeats, receipts with first-commit-wins publish), a
-**coordinator** that reaps expired leases back onto the queue with the
-DirectoryLock rename-aside discipline, and **workers** (``repro worker
-DIR``) that claim, execute and commit through the checksummed result
-store. See ``docs/distributed.md`` for semantics and the operator
+O_EXCL + lease heartbeats carrying a monotonic sequence number,
+receipts with first-commit-wins publish), a **coordinator** that reaps
+expired leases back onto the queue with the DirectoryLock rename-aside
+discipline (skew-aware: a stale mtime with an advancing seq is a live
+worker on a bad clock, not a corpse), and **workers** (``repro worker
+DIR``) that claim, execute, commit through the checksummed result
+store, and *self-fence* — demoting to a duplicate marker instead of a
+receipt when their lease was reclaimed mid-job. Spawners dispatch
+workers locally, over SSH (through a pluggable transport, so the full
+remote lifecycle runs in CI against a fake-ssh shim), or via SLURM
+``srun``. See ``docs/distributed.md`` for semantics and the operator
 runbook.
 """
 
 from repro.distributed.board import (
     BOARD_DIR,
     BOARD_SCHEMA_VERSION,
+    ENV_HOST_LABEL,
     JobBoard,
     exclusive_publish_json,
+    node_host,
 )
 from repro.distributed.coordinator import DistributedConfig, DistributedExecutor
-from repro.distributed.spawn import SshSpawner, SubprocessSpawner, WorkerHandle
+from repro.distributed.spawn import (
+    HostSpec,
+    RemoteWorkerHandle,
+    SlurmSpawner,
+    SshSpawner,
+    SubprocessSpawner,
+    WorkerHandle,
+    build_spawner,
+)
+from repro.distributed.transport import LocalTransport, SshTransport, Transport
 from repro.distributed.worker import FleetWorker, default_worker_id
 
 __all__ = [
     "BOARD_DIR",
     "BOARD_SCHEMA_VERSION",
+    "ENV_HOST_LABEL",
     "JobBoard",
     "exclusive_publish_json",
+    "node_host",
     "DistributedConfig",
     "DistributedExecutor",
     "SubprocessSpawner",
     "SshSpawner",
+    "SlurmSpawner",
+    "RemoteWorkerHandle",
     "WorkerHandle",
+    "HostSpec",
+    "build_spawner",
+    "Transport",
+    "LocalTransport",
+    "SshTransport",
     "FleetWorker",
     "default_worker_id",
 ]

@@ -17,6 +17,9 @@ any host that can read the content-addressed store can also claim work::
                              (atomic rewrite; deliberately NOT removed
                              on deregister so fleet counters survive
                              worker death)
+      hosts.json             coordinator-published registry of
+                             legitimate fleet host labels (doctor
+                             flags registrations from unknown hosts)
 
 Every multi-writer decision point is a single atomic filesystem
 operation, mirroring :mod:`repro.service.locking`:
@@ -30,8 +33,14 @@ operation, mirroring :mod:`repro.service.locking`:
   DirectoryLock stale-takeover discipline: two reapers cannot both
   "win" an unlink race, the loser's ``os.replace`` raises
   ``FileNotFoundError`` and it backs off;
-- **heartbeats** are ``os.utime`` on an existing file — cheap, atomic,
-  and observable from any host sharing the filesystem via ``stat``.
+- **heartbeats** rewrite the claim document *in place* (``pwrite`` at
+  offset 0 with a bumped ``seq`` counter, never creating the file) so a
+  beat both refreshes the mtime and advances a monotonic sequence
+  number the reaper can read. The sequence is what distinguishes a
+  clock-skewed-but-alive host (mtime looks ancient, seq advances) from
+  a dead worker (both frozen); opening without ``O_CREAT`` is what
+  makes a beat *fencing-safe* — once a reaper renames the claim aside,
+  the holder's next beat fails instead of resurrecting the lease.
 
 The board itself holds no results: workers commit through the
 checksummed :class:`~repro.service.store.ResultStore` and the receipt
@@ -58,9 +67,12 @@ __all__ = [
     "CLAIMS_DIR",
     "DONE_DIR",
     "WORKERS_DIR",
+    "HOSTS_FILE",
+    "ENV_HOST_LABEL",
     "BOARD_SCHEMA_VERSION",
     "exclusive_publish_json",
     "read_json",
+    "node_host",
     "JobBoard",
 ]
 
@@ -72,9 +84,21 @@ QUEUE_DIR = "queue"
 CLAIMS_DIR = "claims"
 DONE_DIR = "done"
 WORKERS_DIR = "workers"
+HOSTS_FILE = "hosts.json"
+
+#: Environment override for this process's fleet host label. Spawners
+#: set it (via ``repro worker --host-label``) so a worker's board
+#: documents carry the *registry* name of its host, not whatever
+#: ``gethostname()`` returns inside a container.
+ENV_HOST_LABEL = "REPRO_HOST_LABEL"
 
 #: Version stamped into every board document.
 BOARD_SCHEMA_VERSION = 1
+
+
+def node_host() -> str:
+    """The host label this process stamps into board documents."""
+    return os.environ.get(ENV_HOST_LABEL) or socket.gethostname()
 
 
 def exclusive_publish_json(path: Path, doc: dict) -> bool:
@@ -184,7 +208,8 @@ class JobBoard:
         return self.claims_dir / f"{key}{suffix}"
 
     def try_claim(self, key: str, worker_id: str, lease_seconds: float,
-                  speculative: bool = False) -> Path | None:
+                  speculative: bool = False,
+                  host: str | None = None) -> Path | None:
         """Take the claim for ``key`` with O_EXCL; None when already held."""
         path = self.claim_path(key, speculative=speculative)
         doc = {
@@ -192,20 +217,70 @@ class JobBoard:
             "schema": BOARD_SCHEMA_VERSION,
             "key": key,
             "worker": worker_id,
-            "host": socket.gethostname(),
+            "host": host or node_host(),
             "pid": os.getpid(),
             "claimed_unix": time.time(),
             "lease_seconds": float(lease_seconds),
             "speculative": bool(speculative),
+            "seq": 0,
         }
         return path if exclusive_publish_json(path, doc) else None
 
-    def heartbeat(self, claim_path: Path) -> bool:
-        """Refresh a lease's mtime; False when the claim was reclaimed."""
+    def heartbeat(self, claim_path: Path,
+                  worker_id: str | None = None) -> bool:
+        """Refresh a lease; False when the claim was reclaimed (fenced).
+
+        A beat rewrites the claim document in place with an incremented
+        ``seq`` and a fresh ``beat_unix`` — the write updates the mtime
+        (the cheap liveness signal) *and* advances the sequence number
+        (the skew-proof one). Two properties make this fencing-safe
+        where an ``os.replace`` rewrite would not be:
+
+        - the file is opened **without O_CREAT**: after a reaper's
+          rename-aside, the open fails and the holder learns it lost
+          the lease — it can never resurrect the claim file;
+        - the document is padded with trailing whitespace (valid JSON)
+          rather than truncated, and lands in a single ``pwrite`` at
+          offset 0, so a concurrent reader sees either the old or the
+          new document, at worst with a torn tail that falls into
+          :meth:`claim_info`'s unparseable-claim grace for one beat.
+
+        When ``worker_id`` is given, a claim now owned by someone else
+        (speculation slot reassigned, requeue re-claimed) also returns
+        False — the caller must treat that as a fence, not a beat.
+        Unparseable claim files degrade to a bare ``os.utime`` so a
+        legacy or half-written document still carries liveness.
+        """
+        doc = read_json(claim_path)
+        if doc is None:
+            # Missing file → fenced; present-but-unparseable → legacy
+            # mtime-only beat (claim_info grants the same grace).
+            try:
+                os.utime(claim_path)
+            except OSError:
+                return False
+            return True
+        if worker_id is not None and doc.get("worker") != worker_id:
+            return False
         try:
-            os.utime(claim_path)
+            doc["seq"] = int(doc.get("seq", 0)) + 1
+        except (TypeError, ValueError):
+            doc["seq"] = 1
+        doc["beat_unix"] = time.time()
+        data = json.dumps(doc).encode()
+        try:
+            fd = os.open(claim_path, os.O_WRONLY)
         except OSError:
             return False
+        try:
+            size = os.fstat(fd).st_size
+            if len(data) < size:
+                data += b" " * (size - len(data))
+            os.pwrite(fd, data, 0)
+        except OSError:  # pragma: no cover - mount dropped mid-beat
+            return False
+        finally:
+            os.close(fd)
         return True
 
     def claim_info(self, key: str, speculative: bool = False,
@@ -271,12 +346,17 @@ class JobBoard:
             return False
         return True
 
-    def record_duplicate(self, key: str, worker_id: str) -> None:
-        """Mark a lost first-commit-wins race *after a real execution*.
+    def record_duplicate(self, key: str, worker_id: str,
+                         reason: str = "lost-receipt-race",
+                         executed: bool = True,
+                         host: str | None = None) -> None:
+        """Mark a demoted completion: a receipt this worker did *not* publish.
 
-        The marker is what lets tests (and operators) prove how many
-        duplicate mapper executions speculation actually cost; the
-        doctor sweeps the files as board debris.
+        Written on a lost first-commit-wins race (``lost-receipt-race``)
+        and by a self-fencing worker whose lease was reclaimed while it
+        worked (``fenced``). The marker is what lets tests (and
+        operators) prove how many duplicate mapper executions the fleet
+        actually paid for; the doctor sweeps the files as board debris.
         """
         path = self.done_dir / f"{key}.dup-{worker_id}-{time.monotonic_ns()}"
         try:
@@ -285,6 +365,9 @@ class JobBoard:
                 "schema": BOARD_SCHEMA_VERSION,
                 "key": key,
                 "worker": worker_id,
+                "host": host or node_host(),
+                "reason": reason,
+                "executed": bool(executed),
                 "time_unix": time.time(),
             }, fsync=False)
         except OSError:  # pragma: no cover - marker is best-effort
@@ -296,17 +379,23 @@ class JobBoard:
                        for c in worker_id)
         return self.workers_dir / f"{safe}.json"
 
-    def register_worker(self, worker_id: str,
-                        heartbeat_interval: float) -> Path:
+    def register_worker(self, worker_id: str, heartbeat_interval: float,
+                        host: str | None = None, seq: int = 0,
+                        started_unix: float | None = None) -> Path:
         path = self.worker_path(worker_id)
         atomic_write_json(path, {
             "kind": "fleet_worker",
             "schema": BOARD_SCHEMA_VERSION,
             "worker": worker_id,
-            "host": socket.gethostname(),
+            "host": host or node_host(),
             "pid": os.getpid(),
-            "started_unix": time.time(),
+            "started_unix": time.time() if started_unix is None
+            else float(started_unix),
             "heartbeat_interval": float(heartbeat_interval),
+            # Monotonic refresh counter — paired against the stats
+            # file's seq by the doctor to spot skew debris (a stats
+            # snapshot "newer" by mtime but older by sequence).
+            "seq": int(seq),
             # Recorded so a doctor on *any* host can age-test the
             # registration without knowing the worker's configuration.
             "stale_after": max(10.0 * float(heartbeat_interval), 10.0),
@@ -343,7 +432,8 @@ class JobBoard:
         reg = self.worker_path(worker_id)
         return reg.with_name(f"{reg.stem}.stats.json")
 
-    def publish_worker_stats(self, worker_id: str, stats: dict) -> Path:
+    def publish_worker_stats(self, worker_id: str, stats: dict,
+                             host: str | None = None) -> Path:
         """Atomically (re)write one worker's telemetry snapshot.
 
         Same discipline as registrations (full temp file + rename, no
@@ -358,7 +448,7 @@ class JobBoard:
             "kind": "fleet_worker_stats",
             "schema": BOARD_SCHEMA_VERSION,
             "worker": worker_id,
-            "host": socket.gethostname(),
+            "host": host or node_host(),
             "pid": os.getpid(),
             "time_unix": time.time(),
             **stats,
@@ -405,6 +495,39 @@ class JobBoard:
             if age <= stale_after:
                 count += 1
         return count
+
+    # -- host registry -------------------------------------------------------------
+    @property
+    def hosts_path(self) -> Path:
+        return self.root / HOSTS_FILE
+
+    def write_host_registry(self, hosts) -> Path:
+        """Publish the coordinator's view of legitimate fleet hosts.
+
+        The doctor flags worker registrations whose host label is not in
+        this list — a split-brain symptom (a worker from another rig
+        writing into this board) worth surfacing even though it cannot
+        corrupt results (the store is still first-commit-wins).
+        """
+        path = self.hosts_path
+        atomic_write_json(path, {
+            "kind": "fleet_hosts",
+            "schema": BOARD_SCHEMA_VERSION,
+            "hosts": sorted({str(h) for h in hosts}),
+            "written_by": node_host(),
+            "time_unix": time.time(),
+        }, fsync=False)
+        return path
+
+    def read_host_registry(self) -> list[str] | None:
+        """Known host labels, or None when no registry was published."""
+        doc = read_json(self.hosts_path)
+        if not isinstance(doc, dict):
+            return None
+        hosts = doc.get("hosts")
+        if not isinstance(hosts, list):
+            return None
+        return [str(h) for h in hosts]
 
     # -- introspection -------------------------------------------------------------
     def snapshot(self) -> dict:

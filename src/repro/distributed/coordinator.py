@@ -79,14 +79,26 @@ class DistributedConfig:
     spawn_workers:
         Local worker subprocesses the coordinator launches and
         supervises (0 = external workers only, e.g. ``repro worker``
-        on other hosts).
+        on other hosts). Ignored when ``hosts`` is set.
+    hosts:
+        Multi-host fleet registry: ``HostSpec``\\ s or
+        ``"[kind:]name[*slots]"`` strings (``"local*2"``,
+        ``"ssh:node7*4"``, ``"slurm:gpu*8"``). Each host gets its own
+        spawner (subprocess / SSH transport / ``srun``), its own respawn
+        budget of ``max_worker_respawns``, and its label threaded into
+        worker registrations, claims, stats, and poison reports. The
+        coordinator publishes the host list to ``board/hosts.json`` so
+        the doctor can flag registrations from unknown hosts.
     worker_poll / worker_idle_exit:
         Passed to spawned workers; idle-exit keeps abandoned fleets
         from running forever.
+    worker_python:
+        Interpreter used on remote (ssh/slurm) hosts.
     max_worker_respawns:
-        Dead spawned workers revived while work is pending, total per
-        executor (a backstop, not a health policy — the reaper already
-        recovers their jobs).
+        Dead spawned workers revived while work is pending, **per
+        host** (a backstop, not a health policy — the reaper already
+        recovers their jobs). A single-host fleet keeps the old
+        whole-batch semantics.
     speculation_seconds:
         Age of a healthy claim before a speculative re-execution slot
         opens (None = derive from ``timeout`` x ``speculation_fraction``;
@@ -108,8 +120,10 @@ class DistributedConfig:
     reclaim_backoff: float = 0.25
     max_reposts: int = 3
     spawn_workers: int = 0
+    hosts: tuple = ()
     worker_poll: float = 0.05
     worker_idle_exit: float | None = 300.0
+    worker_python: str = "python3"
     max_worker_respawns: int = 8
     speculation_seconds: float | None = None
     speculation_fraction: float = 0.75
@@ -143,6 +157,13 @@ class DistributedConfig:
             tuple(sorted((str(k), str(v))
                          for k, v in dict(self.worker_env).items())),
         )
+        if self.hosts:
+            from repro.distributed.spawn import HostSpec
+
+            object.__setattr__(
+                self, "hosts",
+                tuple(HostSpec.parse(spec) for spec in self.hosts),
+            )
 
     @property
     def speculation_after(self) -> float | None:
@@ -157,7 +178,7 @@ class _KeyState:
     """Reaper bookkeeping for one distinct job key in a batch."""
 
     __slots__ = ("indices", "entry", "posted", "reclaims", "reposts",
-                 "started", "speculated", "t0")
+                 "started", "speculated", "t0", "lease_seq")
 
     def __init__(self, indices: list[int], entry: dict, posted: bool):
         self.indices = indices
@@ -168,6 +189,23 @@ class _KeyState:
         self.started = False
         self.speculated = False
         self.t0 = time.perf_counter()
+        #: Per claim slot (speculative flag -> (last seen heartbeat seq,
+        #: coordinator-monotonic time it was first seen)). The reaper's
+        #: skew defence: a stale-mtime claim is only dead once its seq
+        #: also stops advancing on *our* clock.
+        self.lease_seq: dict[bool, tuple[int, float]] = {}
+
+
+class _HostState:
+    """Supervision bookkeeping for one fleet host's spawned workers."""
+
+    __slots__ = ("spec", "spawner", "handles", "respawns")
+
+    def __init__(self, spec, spawner):
+        self.spec = spec
+        self.spawner = spawner
+        self.handles: list = []
+        self.respawns = 0
 
 
 class DistributedExecutor:
@@ -193,9 +231,7 @@ class DistributedExecutor:
         #: Batch runtime, assigned by the engine before each ``run``.
         self.runtime: JobRuntime | None = None
         self._drain = threading.Event()
-        self._spawner = None
-        self._handles: list = []
-        self._respawns = 0
+        self._host_states: list[_HostState] | None = None
 
     # -- drain / events ------------------------------------------------------------
     @property
@@ -217,47 +253,83 @@ class DistributedExecutor:
             self.on_event(event, info)
 
     # -- spawned-worker supervision --------------------------------------------------
-    def _ensure_spawner(self):
-        if self._spawner is None:
-            from repro.distributed.spawn import SubprocessSpawner
+    @property
+    def _handles(self) -> list:
+        """Every live-or-dead spawned worker handle, across all hosts."""
+        if self._host_states is None:
+            return []
+        return [h for hs in self._host_states for h in hs.handles]
 
-            self._spawner = SubprocessSpawner(
-                self.store.root,
-                poll=self.config.worker_poll,
-                idle_exit=self.config.worker_idle_exit,
-                env=dict(self.config.worker_env),
-            )
-        return self._spawner
+    @property
+    def _respawns(self) -> int:
+        if self._host_states is None:
+            return 0
+        return sum(hs.respawns for hs in self._host_states)
+
+    def _ensure_hosts(self) -> list[_HostState]:
+        """Build one supervised spawner per configured fleet host.
+
+        ``hosts`` wins; otherwise ``spawn_workers > 0`` becomes one
+        implicit local host with that many slots (the PR 7 semantics);
+        otherwise the fleet is fully external and the list is empty.
+        """
+        if self._host_states is not None:
+            return self._host_states
+        from repro.distributed.spawn import HostSpec, build_spawner
+
+        cfg = self.config
+        specs = list(cfg.hosts)
+        if not specs and cfg.spawn_workers > 0:
+            specs = [HostSpec("local", slots=cfg.spawn_workers,
+                              kind="local")]
+        self._host_states = [
+            _HostState(spec, build_spawner(
+                spec, self.store.root,
+                poll=cfg.worker_poll,
+                idle_exit=cfg.worker_idle_exit,
+                env=dict(cfg.worker_env),
+                python=cfg.worker_python,
+            ))
+            for spec in specs
+        ]
+        return self._host_states
 
     def _maintain_workers(self, initial: bool = False) -> None:
-        """Top the local fleet back up to ``spawn_workers`` processes."""
+        """Top each fleet host back up to its configured slot count."""
         cfg = self.config
-        if cfg.spawn_workers <= 0 or self._drain.is_set():
+        if self._drain.is_set():
             return
-        alive = [h for h in self._handles if h.alive()]
-        dead = len(self._handles) - len(alive)
-        self._handles = alive
         registry = get_registry()
-        while len(self._handles) < cfg.spawn_workers:
-            if not initial:
-                if self._respawns >= cfg.max_worker_respawns:
-                    log.error("spawned-worker respawn budget (%d) exhausted; "
-                              "relying on external workers and the reaper",
-                              cfg.max_worker_respawns)
-                    break
-                self._respawns += 1
-                registry.counter("fleet.worker_respawns").inc()
-                log.warning("respawning dead fleet worker (%d dead, "
-                            "respawn %d/%d)", dead, self._respawns,
+        alive_total = 0
+        for hs in self._ensure_hosts():
+            alive = [h for h in hs.handles if h.alive()]
+            dead = len(hs.handles) - len(alive)
+            hs.handles = alive
+            while len(hs.handles) < hs.spec.slots:
+                if not initial:
+                    if hs.respawns >= cfg.max_worker_respawns:
+                        log.error(
+                            "host %s: respawn budget (%d) exhausted; "
+                            "relying on other hosts, external workers, "
+                            "and the reaper", hs.spec.name,
                             cfg.max_worker_respawns)
-            self._handles.append(self._ensure_spawner().spawn())
-        registry.gauge("fleet.spawned_workers").set(len(self._handles))
+                        break
+                    hs.respawns += 1
+                    registry.counter("fleet.worker_respawns").inc()
+                    log.warning("host %s: respawning dead fleet worker "
+                                "(%d dead, respawn %d/%d)", hs.spec.name,
+                                dead, hs.respawns, cfg.max_worker_respawns)
+                hs.handles.append(hs.spawner.spawn())
+            alive_total += len(hs.handles)
+        registry.gauge("fleet.spawned_workers").set(alive_total)
 
     def stop_workers(self, timeout: float = 5.0) -> None:
         """Terminate every spawned worker (drain hooks, tests, benches)."""
-        for handle in self._handles:
-            handle.stop(timeout=timeout)
-        self._handles = []
+        if self._host_states is not None:
+            for hs in self._host_states:
+                for handle in hs.handles:
+                    handle.stop(timeout=timeout)
+                hs.handles = []
         get_registry().gauge("fleet.spawned_workers").set(0)
 
     # -- the batch -----------------------------------------------------------------
@@ -303,6 +375,14 @@ class DistributedExecutor:
             key_indices.setdefault(job.cache_key(), []).append(i)
 
         self.board.ensure_dirs()
+        if cfg.hosts:
+            # Publish the legitimate host list so the doctor can flag
+            # registrations from hosts nobody configured. The
+            # coordinator's own host is always legitimate (external
+            # `repro worker` processes run here too).
+            self.board.write_host_registry(
+                [spec.name for spec in cfg.hosts]
+                + [socket.gethostname(), "local"])
         state: dict[str, _KeyState] = {}
         for key, idxs in key_indices.items():
             job = items[idxs[0]]
@@ -377,16 +457,23 @@ class DistributedExecutor:
         also count as signs of life.
         """
         cfg = self.config
-        if cfg.spawn_workers <= 0 or self._handles:
+        if not cfg.hosts and cfg.spawn_workers <= 0:
             return False
-        if self._respawns < cfg.max_worker_respawns:
-            return False
+        states = self._host_states or []
+        for hs in states:
+            if hs.handles and any(h.alive() for h in hs.handles):
+                return False
+            if hs.respawns < cfg.max_worker_respawns:
+                return False
         if self.board.alive_workers() > 0:
             return False
         for key in pending:
             for speculative in (False, True):
                 _, age = self.board.claim_info(key, speculative=speculative)
-                if age is not None and age <= cfg.lease_seconds:
+                # 2x lease matches the skew-tolerant reap horizon: a
+                # claim can stay un-reaped that long while its seq is
+                # checked, and it is a sign of life for just as long.
+                if age is not None and age <= 2.0 * cfg.lease_seconds:
                     return False
         return True
 
@@ -428,7 +515,9 @@ class DistributedExecutor:
                                   or cfg.lease_seconds)
                 except (TypeError, ValueError):
                     pass
-            expired = age > lease or faultinject.fires("lease-expire")
+            expired = (self._claim_expired(st, speculative, claim, age,
+                                           lease)
+                       or faultinject.fires("lease-expire"))
             if expired:
                 if self.board.reclaim(key, speculative=speculative):
                     decided = self._on_reclaim(key, st, items, claim, age,
@@ -467,6 +556,41 @@ class DistributedExecutor:
             self.board.post(key, entry)
         return None
 
+    def _claim_expired(self, st: _KeyState, speculative: bool,
+                       claim: dict | None, age: float,
+                       lease: float) -> bool:
+        """Is this claim dead, or merely on a skewed/slow host?
+
+        A fresh mtime is always alive (and resets the seq watch). A
+        stale mtime alone is *not* death: the holder's clock may be
+        skewed (mtimes stamped in the past) or its mount slow. The claim
+        payload's monotonic heartbeat ``seq`` breaks the tie on the
+        coordinator's **own** clock: reclaim only once the seq has also
+        been static for a further full lease of our time. Worst-case
+        failover doubles to ~2 leases; in exchange, renewal gaps and
+        clock skew up to a lease cause zero spurious reclaims.
+        (Continuous seq tracking without the mtime gate was considered
+        and rejected: it reintroduces spurious reclaims the moment
+        renewal latency exceeds the lease.) Legacy claims without a seq
+        keep the original mtime-only rule.
+        """
+        if age <= lease:
+            st.lease_seq.pop(speculative, None)
+            return False
+        seq = claim.get("seq") if isinstance(claim, dict) else None
+        if not isinstance(seq, int):
+            return True
+        now = time.monotonic()
+        prev = st.lease_seq.get(speculative)
+        if prev is None or prev[0] != seq:
+            if prev is not None and prev[0] != seq:
+                # Stale mtime but the seq moved: a live worker on a
+                # skewed clock or slow mount. Tolerated, observable.
+                get_registry().counter("fleet.skew_tolerated").inc()
+            st.lease_seq[speculative] = (seq, now)
+            return False
+        return now - prev[1] > lease
+
     def _on_reclaim(self, key: str, st: _KeyState, items: list,
                     claim: dict | None, age: float,
                     speculative: bool) -> dict | None:
@@ -474,16 +598,19 @@ class DistributedExecutor:
         cfg = self.config
         registry = get_registry()
         st.reclaims += 1
+        st.lease_seq.pop(speculative, None)
         registry.counter("fleet.reclaims").inc()
         worker = claim.get("worker") if claim else None
-        log.warning("reclaimed %s lease on %s from %s (heartbeat %.2fs "
+        host = claim.get("host") if claim else None
+        log.warning("reclaimed %s lease on %s from %s@%s (heartbeat %.2fs "
                     "old, lease death %d/%d)",
                     "speculative" if speculative else "expired", key[:12],
-                    worker or "<unparseable claim>", age, st.reclaims,
-                    cfg.poison_threshold)
+                    worker or "<unparseable claim>", host or "?", age,
+                    st.reclaims, cfg.poison_threshold)
         self._emit("reclaimed", index=st.indices[0],
                    item=items[st.indices[0]], reclaims=st.reclaims,
-                   worker=worker, heartbeat_age=age, speculative=speculative)
+                   worker=worker, host=host, heartbeat_age=age,
+                   speculative=speculative)
         if st.reclaims >= cfg.poison_threshold:
             registry.counter("fleet.poisoned").inc()
             self.board.remove_entry(key)
@@ -494,7 +621,7 @@ class DistributedExecutor:
                      "consecutive time(s) running it; quarantined")
             self._emit("poisoned", index=st.indices[0],
                        item=items[st.indices[0]], deaths=st.reclaims,
-                       error=error)
+                       worker=worker, host=host, error=error)
             return {"payload": None, "error": error, "poisoned": True}
         entry = self.board.read_entry(key) or dict(st.entry)
         entry["reclaims"] = st.reclaims
@@ -608,6 +735,17 @@ class DistributedExecutor:
                                         if h.alive()])
         board["worker_respawns"] = self._respawns
         board["draining"] = self.draining
+        if self._host_states:
+            board["hosts"] = {
+                hs.spec.name: {
+                    "kind": hs.spec.kind,
+                    "slots": hs.spec.slots,
+                    "alive": len([h for h in hs.handles if h.alive()]),
+                    "respawns": hs.respawns,
+                    "respawn_budget": self.config.max_worker_respawns,
+                }
+                for hs in self._host_states
+            }
         workers, totals = self._merge_worker_stats()
         board["worker_stats"] = workers
         board["fleet_totals"] = totals

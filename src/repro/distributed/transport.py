@@ -1,0 +1,118 @@
+"""Command transports: how a spawner's command reaches a host.
+
+The spawners in :mod:`repro.distributed.spawn` decide *what* to run (the
+``repro worker`` command line, the log file, the worker identity); a
+:class:`Transport` decides *where and how* that command executes. The
+seam is deliberately tiny — two methods, both mapping a POSIX shell
+command string onto a local ``argv`` — so the full remote lifecycle
+(launch, log teeing, liveness, signal escalation against a remote pid)
+is testable without a second machine:
+
+- :class:`LocalTransport` runs the shell command on this host
+  (``/bin/sh -c ...``). It is also what a fake-``ssh`` shim reduces to,
+  which is how CI drives :class:`~repro.distributed.spawn.SshSpawner`
+  end to end (``scripts/fake_ssh.py``).
+- :class:`SshTransport` wraps the command for a remote host
+  (``ssh -o BatchMode=yes HOST '<command>'``). The ssh client process
+  is the local proxy: its stdout/stderr carry the worker's log home,
+  its exit mirrors the remote command's exit, and *control* commands
+  (``kill -TERM <remote pid>``) ride separate short-lived invocations
+  of the same wrapper.
+
+The ``ssh`` binary is replaceable per transport (``ssh_command=``) or
+process-wide via ``$REPRO_SSH`` — a multi-token value is split with
+shell rules, so ``REPRO_SSH="python3 scripts/fake_ssh.py"`` works.
+Everything here builds argv lists only; the spawners own process
+creation and supervision.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+
+from repro.utils.logconf import get_logger
+
+__all__ = ["ENV_SSH", "Transport", "LocalTransport", "SshTransport"]
+
+log = get_logger("distributed.transport")
+
+#: Environment override for the ssh client command (tests, CI shims).
+ENV_SSH = "REPRO_SSH"
+
+
+class Transport:
+    """Maps a shell command string onto a locally-executable argv."""
+
+    #: Host label this transport dispatches to ("local" = this machine).
+    host = "local"
+
+    def launch_argv(self, shell_command: str) -> list[str]:
+        """Argv for the long-running launch (the worker process)."""
+        raise NotImplementedError
+
+    def control_argv(self, shell_command: str) -> list[str]:
+        """Argv for a short control command (kill, liveness probe)."""
+        raise NotImplementedError
+
+    def run(self, shell_command: str, timeout: float = 10.0) -> bool:
+        """Run a control command; True when it exited 0.
+
+        Control failures are expected operating conditions (the remote
+        pid already exited, the host dropped off the network) — they
+        are logged and reported, never raised.
+        """
+        argv = self.control_argv(shell_command)
+        try:
+            proc = subprocess.run(
+                argv, timeout=timeout, check=False,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            log.warning("control command %r via %s failed: %s",
+                        shell_command, self.host, exc)
+            return False
+        return proc.returncode == 0
+
+
+class LocalTransport(Transport):
+    """Execute on this host through ``/bin/sh`` (no remoting)."""
+
+    def launch_argv(self, shell_command: str) -> list[str]:
+        return ["/bin/sh", "-c", shell_command]
+
+    control_argv = launch_argv
+
+
+class SshTransport(Transport):
+    """Execute on a remote host through an ``ssh``-shaped client.
+
+    ``ssh_command`` replaces the client binary (a string is split with
+    shell rules; a sequence is taken verbatim); when omitted,
+    ``$REPRO_SSH`` applies, then plain ``ssh``. ``options`` ride between
+    the client and the host on every invocation — ``BatchMode=yes`` by
+    default, because an interactive password prompt inside a fleet
+    coordinator is a hang, not a login.
+    """
+
+    def __init__(self, host: str, ssh_command=None,
+                 options: tuple = ("-o", "BatchMode=yes")):
+        self.host = str(host)
+        if ssh_command is None:
+            raw = os.environ.get(ENV_SSH, "").strip()
+            ssh_command = shlex.split(raw) if raw else ["ssh"]
+        elif isinstance(ssh_command, str):
+            ssh_command = shlex.split(ssh_command)
+        self.ssh_command = [str(part) for part in ssh_command]
+        self.options = tuple(options)
+
+    def _argv(self, shell_command: str) -> list[str]:
+        # One pre-joined command string, exactly what a real ssh client
+        # hands the remote login shell — the fake-ssh shim must honour
+        # the same contract (`sh -c <string>`) or it is not a test of
+        # the real lifecycle.
+        return [*self.ssh_command, *self.options, self.host, shell_command]
+
+    launch_argv = _argv
+    control_argv = _argv

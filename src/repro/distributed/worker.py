@@ -20,12 +20,29 @@ has still made the result durable, so the reclaimed re-execution is a
 free cache hit — the re-claiming worker finds the key in the store and
 publishes an ``executed=False`` receipt without touching the mapper.
 
+**Self-fencing** closes the partitioned-worker window the store cannot:
+before publishing a receipt, a worker whose heartbeat failed (the claim
+was reclaimed from under it) — or whose heartbeats stalled so it cannot
+*know* — verifies it still owns its lease. A fenced worker demotes its
+completion to a duplicate marker (``done/<key>.dup-*`` with
+``reason="fenced"``) instead of a receipt, so a live-but-unreachable
+worker can never race the reclaiming coordinator into the fleet's
+accounting. First-commit-wins in the store already protects the
+*result*; fencing protects receipts and counters.
+
 Fault hooks (armed via ``REPRO_FAULTS`` in the worker's environment):
 
 - ``worker-kill-after-claim`` — SIGKILL immediately after a claim is
   taken, the worst-case death (lease held, zero work durable);
 - ``heartbeat-stall`` — the heartbeat thread stops refreshing while the
-  job keeps running, simulating a wedged-but-alive worker.
+  job keeps running, simulating a wedged-but-alive worker;
+- ``worker-partition`` — heartbeat-stall plus the worker treating the
+  board as unreachable: it must self-fence before publishing;
+- ``clock-skew`` — each beat stamps the claim mtime an hour into the
+  past while the sequence number keeps advancing (a host whose clock is
+  wrong but whose worker is healthy);
+- ``lease-renew-latency`` — every renewal write stalls ``delay``
+  seconds first (slow shared mount).
 """
 
 from __future__ import annotations
@@ -38,7 +55,12 @@ import time
 from pathlib import Path
 
 from repro.errors import JobTimeoutError, ServiceError
-from repro.distributed.board import BOARD_SCHEMA_VERSION, JobBoard
+from repro.distributed.board import (
+    BOARD_SCHEMA_VERSION,
+    ENV_HOST_LABEL,
+    JobBoard,
+    read_json,
+)
 from repro.observability.metrics import get_registry
 from repro.resilience import faultinject
 from repro.service.executor import _deadline
@@ -57,6 +79,23 @@ log = get_logger("distributed.worker")
 
 def default_worker_id() -> str:
     return f"w-{socket.gethostname()}-{os.getpid()}"
+
+
+class _LeaseState:
+    """What a job's heartbeat thread tells its publish path.
+
+    ``fenced`` is set the moment a beat discovers the claim is gone or
+    owned by someone else — the worker has *proof* it lost the lease.
+    ``partitioned`` means the beats stopped without proof either way
+    (injected partition): the publish path must go re-establish the
+    truth before it may publish.
+    """
+
+    __slots__ = ("fenced", "partitioned")
+
+    def __init__(self):
+        self.fenced = threading.Event()
+        self.partitioned = False
 
 
 class FleetWorker:
@@ -79,24 +118,41 @@ class FleetWorker:
         Install SIGTERM/SIGINT handlers that finish the current job and
         exit cleanly (only possible from the main thread; in-thread test
         workers call :meth:`stop` instead).
+    host_label:
+        Fleet host name stamped into this worker's claims, receipts,
+        registration, and stats. Spawners thread their registry name
+        through ``repro worker --host-label``; defaults to
+        ``$REPRO_HOST_LABEL`` then ``gethostname()``.
+    once:
+        Run a single board scan (claiming and processing at most one
+        job) and exit — for debugging claim/fence behavior on a live
+        board without a poll loop.
     """
 
     REGISTRATION_INTERVAL = 1.0
 
     def __init__(self, cache_dir, worker_id: str | None = None,
                  poll: float = 0.05, idle_exit: float | None = None,
-                 install_signals: bool = True):
+                 install_signals: bool = True,
+                 host_label: str | None = None, once: bool = False):
         self.store = ResultStore(cache_dir)
         self.board = JobBoard.under_cache(cache_dir)
         self.worker_id = worker_id or default_worker_id()
         self.poll = float(poll)
         self.idle_exit = idle_exit if idle_exit is None else float(idle_exit)
         self.install_signals = install_signals
+        self.host = (host_label or os.environ.get(ENV_HOST_LABEL)
+                     or socket.gethostname())
+        self.once = bool(once)
         self._stop = threading.Event()
         #: Receipts this worker published (including free cache hits).
         self.published = 0
         #: Jobs this worker actually executed (mapper ran).
         self.executed = 0
+        #: Registration refresh counter; paired into the stats snapshot
+        #: so the doctor can spot sequence regressions (skew debris).
+        self._reg_seq = 0
+        self._reg_started: float | None = None
         #: (monotonic time, published) at the last stats publish, for
         #: the throughput figure in the stats snapshot.
         self._stats_prev = (time.monotonic(), 0)
@@ -112,8 +168,10 @@ class FleetWorker:
     def run(self) -> int:
         """Serve the board until stopped; returns receipts published."""
         self.board.ensure_dirs()
-        reg_path = self.board.register_worker(self.worker_id,
-                                              self.REGISTRATION_INTERVAL)
+        self._reg_started = time.time()
+        reg_path = self.board.register_worker(
+            self.worker_id, self.REGISTRATION_INTERVAL, host=self.host,
+            seq=self._reg_seq, started_unix=self._reg_started)
         restore: dict[int, object] = {}
         if (self.install_signals
                 and threading.current_thread() is threading.main_thread()):
@@ -139,8 +197,12 @@ class FleetWorker:
                     self._refresh_registration(reg_path)
                     self._publish_stats()
                     last_registration = now
-                if self._scan_once():
+                worked = self._scan_once()
+                if worked:
                     last_work = time.monotonic()
+                if self.once:
+                    break
+                if worked:
                     continue
                 if (self.idle_exit is not None
                         and time.monotonic() - last_work >= self.idle_exit):
@@ -182,17 +244,19 @@ class FleetWorker:
             "published": self.published,
             "executed": self.executed,
             "jobs_per_second": rate,
+            "seq": self._reg_seq,
             "metrics": metrics,
-        })
+        }, host=self.host)
 
     def _refresh_registration(self, reg_path: Path) -> None:
-        try:
-            os.utime(reg_path)
-        except OSError:
-            # A doctor --repair (or an operator) swept the file while we
-            # were busy; a live worker simply re-registers.
-            self.board.register_worker(self.worker_id,
-                                       self.REGISTRATION_INTERVAL)
+        # A full rewrite rather than a bare utime: the refresh bumps the
+        # registration's seq counter (skew forensics for the doctor) and
+        # transparently re-registers if a doctor --repair (or an
+        # operator) swept the file while we were busy.
+        self._reg_seq += 1
+        self.board.register_worker(
+            self.worker_id, self.REGISTRATION_INTERVAL, host=self.host,
+            seq=self._reg_seq, started_unix=self._reg_started)
 
     # -- one scan ------------------------------------------------------------------
     def _scan_once(self) -> bool:
@@ -211,12 +275,14 @@ class FleetWorker:
                 pass
             lease = self._lease_of(entry)
             speculative = False
-            claim = self.board.try_claim(key, self.worker_id, lease)
+            claim = self.board.try_claim(key, self.worker_id, lease,
+                                         host=self.host)
             if claim is None and entry.get("speculate"):
                 # The primary holder is a straggler: race it through the
                 # one speculative slot. First receipt wins either way.
                 claim = self.board.try_claim(key, self.worker_id, lease,
-                                             speculative=True)
+                                             speculative=True,
+                                             host=self.host)
                 speculative = claim is not None
             if claim is None:
                 continue
@@ -249,9 +315,10 @@ class FleetWorker:
                  entry.get("describe", "?"))
         lease = self._lease_of(entry)
         stop_beat = threading.Event()
+        state = _LeaseState()
         beat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(claim_path, max(lease / 4.0, 0.02), stop_beat),
+            args=(claim_path, max(lease / 4.0, 0.02), stop_beat, state),
             daemon=True,
         )
         beat.start()
@@ -261,7 +328,7 @@ class FleetWorker:
             "schema": BOARD_SCHEMA_VERSION,
             "key": key,
             "worker": self.worker_id,
-            "host": socket.gethostname(),
+            "host": self.host,
             "pid": os.getpid(),
             "speculative": speculative,
             "executed": False,
@@ -325,7 +392,22 @@ class FleetWorker:
             beat.join(timeout=2.0)
         receipt["wall_seconds"] = time.perf_counter() - t0
         receipt["time_unix"] = time.time()
-        if self.board.publish_receipt(key, receipt):
+        if self._fenced(state, claim_path, lease):
+            # Self-fence: our lease was (or may have been) reclaimed
+            # while we worked. The store commit — if any — still stands
+            # (first commit wins), but we must not race the reclaiming
+            # coordinator's requeue into the receipt slot: demote to a
+            # duplicate marker so fleet accounting stays consistent.
+            registry.counter("fleet.worker_fenced").inc()
+            if executed:
+                registry.counter("fleet.worker_duplicate_executions").inc()
+            self.board.record_duplicate(key, self.worker_id,
+                                        reason="fenced", executed=executed,
+                                        host=self.host)
+            log.warning("worker %s: fenced on %s (lease lost%s); demoted "
+                        "to duplicate marker", self.worker_id, key[:12],
+                        " after executing" if executed else "")
+        elif self.board.publish_receipt(key, receipt):
             self.published += 1
         elif executed:
             # Lost the first-commit-wins race *after* running the
@@ -333,16 +415,66 @@ class FleetWorker:
             # (the chaos suite asserts there are none without
             # speculation in play).
             registry.counter("fleet.worker_duplicate_executions").inc()
-            self.board.record_duplicate(key, self.worker_id)
+            self.board.record_duplicate(key, self.worker_id, host=self.host)
             log.warning("worker %s: lost receipt race for %s after "
                         "executing it", self.worker_id, key[:12])
         self.board.release_claim(claim_path, self.worker_id)
 
+    # -- fencing -------------------------------------------------------------------
+    def _fenced(self, state: _LeaseState, claim_path: Path,
+                lease: float) -> bool:
+        """Must this completion be demoted to a duplicate marker?
+
+        Called with the heartbeat thread already joined, so the claim
+        file is quiescent from our side. Proof of reclaim (a failed
+        beat) fences outright; a partition (beats stopped, no proof)
+        first waits out the reaper — a partitioned worker cannot
+        distinguish "coordinator reclaimed me" from "coordinator is
+        slow", and publishing before the reaper's horizon passes would
+        reopen exactly the race fencing exists to close.
+        """
+        if state.partitioned:
+            self._await_partition_verdict(claim_path, lease)
+        if state.fenced.is_set():
+            return True
+        doc = read_json(claim_path)
+        if doc is None:
+            # Missing (reclaimed from under us) or unreadable: without
+            # positive proof of ownership we must not publish. The
+            # result, if committed, resurfaces as a free cache hit.
+            return True
+        return doc.get("worker") != self.worker_id
+
+    def _await_partition_verdict(self, claim_path: Path,
+                                 lease: float) -> None:
+        """Wait until the reaper has decided our fate (claim reclaimed)
+        or long enough that it never will (we still own the claim after
+        its skew-tolerant horizon, ~2 leases, with margin)."""
+        deadline = time.monotonic() + 4.0 * max(lease, 0.1) + 1.0
+        while time.monotonic() < deadline:
+            doc = read_json(claim_path)
+            if doc is None or doc.get("worker") != self.worker_id:
+                return
+            time.sleep(0.05)
+
     def _heartbeat_loop(self, claim_path: Path, interval: float,
-                        stop: threading.Event) -> None:
+                        stop: threading.Event,
+                        state: _LeaseState | None = None) -> None:
+        state = state if state is not None else _LeaseState()
         stalled = False
+        skewed = False
         while not stop.wait(interval):
             if stalled:
+                continue
+            if faultinject.fires("worker-partition"):
+                # Full partition: the board is unreachable from here on.
+                # Unlike a plain stall, the worker *knows* it cannot know
+                # whether it still holds the lease — the publish path
+                # must self-fence.
+                log.warning("worker %s: partitioned from board (injected)",
+                            self.worker_id)
+                state.partitioned = True
+                stalled = True
                 continue
             if faultinject.fires("heartbeat-stall"):
                 # Wedged-but-alive: the process keeps computing but the
@@ -351,8 +483,25 @@ class FleetWorker:
                             self.worker_id)
                 stalled = True
                 continue
-            if not self.board.heartbeat(claim_path):
+            delay = faultinject.stall_seconds("lease-renew-latency")
+            if delay:
+                # Slow shared mount: the renewal itself lags.
+                time.sleep(delay)
+            if not self.board.heartbeat(claim_path,
+                                        worker_id=self.worker_id):
                 # Reclaimed from under us (our lease expired). Keep
-                # computing: our store commit still lands, and the
-                # receipt race decides whose result counts.
+                # computing — the store commit may still land first and
+                # win — but flag the loss so the publish path fences.
+                state.fenced.set()
                 return
+            if skewed or faultinject.fires("clock-skew"):
+                # Clock-skewed host: the beat succeeded (seq advanced)
+                # but the mtime tells the coordinator we died an hour
+                # ago. The seq-aware reaper must not believe it.
+                skewed = True
+                past = time.time() - 3600.0
+                try:
+                    os.utime(claim_path, (past, past))
+                except OSError:
+                    state.fenced.set()
+                    return

@@ -25,6 +25,23 @@ heartbeat-stall       fleet worker heartbeat thread                   stops refr
                       (``FleetWorker._heartbeat_loop``)               lease while the job
                                                                       keeps running
                                                                       (behavioral, sticky)
+worker-partition      fleet worker heartbeat thread                   full partition: beats
+                      (``FleetWorker._heartbeat_loop``)               stop AND the worker
+                                                                      assumes it lost sight
+                                                                      of the board — it must
+                                                                      self-fence before
+                                                                      publishing (behavioral,
+                                                                      sticky)
+clock-skew            fleet worker heartbeat thread, after            stamps the claim mtime
+                      each successful beat                            an hour into the past —
+                                                                      seq advances, mtime
+                                                                      looks dead (behavioral,
+                                                                      sticky)
+lease-renew-latency   fleet worker heartbeat thread, before           sleeps ``delay`` seconds
+                      each beat                                       before the renewal write
+                                                                      (slow shared mount;
+                                                                      behavioral, via
+                                                                      :func:`stall_seconds`)
 ===================== ============================================== =========================
 
 A second family of **kill points** (:data:`KILL_POINTS`) SIGKILLs the
@@ -90,6 +107,7 @@ __all__ = [
     "injected_faults",
     "inject",
     "fires",
+    "stall_seconds",
 ]
 
 INJECTION_POINTS = (
@@ -100,10 +118,16 @@ INJECTION_POINTS = (
     "store-enospc",
     "checkpoint-torn-write",
     "serve-enqueue",
-    # Fleet (behavioral, consumed via fires()): the coordinator treats a
-    # healthy claim as expired; a worker's heartbeat thread goes quiet.
+    # Fleet (behavioral, consumed via fires()/stall_seconds()): the
+    # coordinator treats a healthy claim as expired; a worker's
+    # heartbeat thread goes quiet, partitions, skews its clock, or
+    # renews through a slow mount. Harmless in the local chaos matrix —
+    # the local engine never consults these hooks.
     "lease-expire",
     "heartbeat-stall",
+    "worker-partition",
+    "clock-skew",
+    "lease-renew-latency",
 )
 
 #: SIGKILL-the-writer points along the store commit protocol. Deliberately
@@ -309,3 +333,15 @@ def fires(point: str) -> bool:
     if plan is None:
         return False
     return plan.claim(point) is not None
+
+
+def stall_seconds(point: str) -> float | None:
+    """Behavioral delay hook: the armed spec's ``delay`` when ``point``
+    fires (consuming a hit), else None. Lets latency-shaped faults
+    (``lease-renew-latency``) carry their magnitude in the plan —
+    ``lease-renew-latency:*:0.7`` stalls every renewal 0.7 s."""
+    plan = _active()
+    if plan is None:
+        return None
+    spec = plan.claim(point)
+    return None if spec is None else spec.delay

@@ -19,7 +19,11 @@ dropped socket) and 503 responses (the daemon draining). This is safe
 for every endpoint because the API is idempotent by construction — the
 job id *is* the spec's cache key, so a resubmitted spec joins the
 existing job rather than executing twice. 429s (admission/quota
-rejections) are deliberate policy answers and are never retried.
+rejections) are deliberate policy answers and are never retried on the
+client's own initiative — but when a 429/503 carries a ``Retry-After``
+header, the *server* has invited the retry, and the client honors the
+server's delay (clamped, counted in a retry attempt) in place of its
+own jittered backoff.
 """
 
 from __future__ import annotations
@@ -46,7 +50,16 @@ _TERMINAL = frozenset({"done", "failed", "cancelled", "drained"})
 #: HTTP statuses worth retrying: the daemon said "not right now", not
 #: "no". 429 is absent on purpose — admission control rejections are
 #: policy, and hammering them would fight the backpressure mechanism.
+#: (A 429 *with* a Retry-After header is different: the server named
+#: its price, so the client may pay it — see ``_retry_after_of``.)
 _RETRYABLE_STATUSES = frozenset({503})
+
+#: Statuses on which a server-sent Retry-After header is honored.
+_RETRY_AFTER_STATUSES = frozenset({429, 503})
+
+#: Ceiling on a server-sent Retry-After delay (seconds) — a typo'd or
+#: hostile header must not park the client for an hour.
+_MAX_RETRY_AFTER = 30.0
 
 
 def discover_url(url: str | None = None,
@@ -118,6 +131,16 @@ class ServeClient:
                 # 4xx/5xx carry a JSON body describing why; that is API
                 # data, not a transport failure.
                 code, body = exc.code, self._parse(exc.read())
+                retry_after = self._retry_after_of(exc, code)
+                if retry_after is not None and attempt <= self.retries:
+                    # The server named a delay: honor it in place of our
+                    # own jittered guess (admission rejections become
+                    # retryable only through this invitation).
+                    get_registry().counter(
+                        "serve.client_retry_after_honored").inc()
+                    get_registry().counter("serve.client_retries").inc()
+                    time.sleep(retry_after)
+                    continue
                 if (code not in _RETRYABLE_STATUSES
                         or attempt > self.retries):
                     return code, body
@@ -128,6 +151,27 @@ class ServeClient:
                         f"{attempt} attempt(s): {exc.reason}") from exc
             get_registry().counter("serve.client_retries").inc()
             time.sleep(full_jitter_delay(self.backoff, attempt, path))
+
+    @staticmethod
+    def _retry_after_of(exc, code: int) -> float | None:
+        """Parsed, clamped Retry-After delay, or None when absent/invalid.
+
+        Only delta-seconds form is understood (what the daemon emits);
+        HTTP-date values are ignored rather than misparsed.
+        """
+        if code not in _RETRY_AFTER_STATUSES:
+            return None
+        headers = getattr(exc, "headers", None)
+        raw = headers.get("Retry-After") if headers is not None else None
+        if raw is None:
+            return None
+        try:
+            seconds = float(str(raw).strip())
+        except ValueError:
+            return None
+        if seconds < 0:
+            return None
+        return min(seconds, _MAX_RETRY_AFTER)
 
     @staticmethod
     def _parse(raw: bytes) -> dict:

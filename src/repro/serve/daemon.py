@@ -132,6 +132,11 @@ class DaemonConfig:
     #: sharing the cache dir join the same fleet).
     backend: str = "local"
     lease_seconds: float = 15.0
+    #: Multi-host fleet registry for the distributed backend:
+    #: ``[kind:]name[*slots]`` strings (``repro serve --fleet-host``),
+    #: forwarded to :class:`~repro.distributed.DistributedConfig.hosts`.
+    #: When set, ``jobs`` no longer spawns local workers — the hosts do.
+    fleet_hosts: tuple = ()
     #: Seconds between telemetry samples (ring buffer + JSONL under
     #: ``<cache>/telemetry/``); 0 disables live telemetry and SLOs.
     telemetry_interval: float = 5.0
@@ -261,7 +266,8 @@ class MappingDaemon:
                 cache_dir=config.cache_dir,
                 backend="distributed",
                 distributed=DistributedConfig(
-                    spawn_workers=config.jobs,
+                    spawn_workers=0 if config.fleet_hosts else config.jobs,
+                    hosts=tuple(config.fleet_hosts),
                     timeout=config.job_timeout,
                     lease_seconds=config.lease_seconds,
                 ),
@@ -351,6 +357,11 @@ class MappingDaemon:
                     return 400, {"error": "deadline_seconds must be > 0"}
             return self._register(job, tenant, deadline)
 
+    def _retry_after(self) -> float:
+        """Seconds a rejected client should wait before resubmitting:
+        one default-cost job's worth of drain, clamped to [1, 30]."""
+        return max(1.0, min(self.config.default_cost_seconds, 30.0))
+
     def _register(self, job: MappingJob, tenant: str,
                   deadline: float | None, force: bool = False,
                   requeued: bool = False) -> tuple[int, dict]:
@@ -368,7 +379,8 @@ class MappingDaemon:
             if self.draining and not force:
                 return 503, {"error": "daemon is draining; resubmit "
                                       "after restart (completed jobs "
-                                      "will hit the cache)"}
+                                      "will hit the cache)",
+                             "retry_after_seconds": 2.0}
             payload = self.engine.store.get(key)
             if payload is not None:
                 # The engine's cache-hit contract, honoured at submit
@@ -398,8 +410,12 @@ class MappingDaemon:
             if not decision.admitted:
                 self._registry.counter(
                     self._tenant_metric(tenant, "rejected")).inc()
+                # Retry-After rides both the body and (via HttpApi) the
+                # header: once a default-cost job's worth of capacity
+                # has drained, a resubmit has a real chance.
                 return 429, {"error": decision.reason,
-                             "admission": decision.to_dict()}
+                             "admission": decision.to_dict(),
+                             "retry_after_seconds": self._retry_after()}
             try:
                 faultinject.inject("serve-enqueue")
                 self.queue.push(tenant, key, force=force)
@@ -408,7 +424,8 @@ class MappingDaemon:
                 self._registry.counter("serve.quota_rejected").inc()
                 self._registry.counter(
                     self._tenant_metric(tenant, "rejected")).inc()
-                return 429, {"error": str(exc)}
+                return 429, {"error": str(exc),
+                             "retry_after_seconds": self._retry_after()}
             except Exception as exc:
                 self.admission.release(decision)
                 log.error("enqueue failed for %s: %s", key[:12], exc)

@@ -111,13 +111,23 @@ class HttpApi:
         if isinstance(doc, PlainText):
             body_bytes = doc.text.encode()
             content_type = doc.content_type
+            extra = ""
         else:
             body_bytes = (json.dumps(doc, sort_keys=True) + "\n").encode()
             content_type = "application/json"
+            # A body-level retry hint doubles as the standard header so
+            # clients that never parse the body (and ServeClient, which
+            # honors the header on 429/503) still see it.
+            extra = ""
+            retry_after = (doc.get("retry_after_seconds")
+                           if isinstance(doc, dict) else None)
+            if isinstance(retry_after, (int, float)) and retry_after > 0:
+                extra = f"Retry-After: {max(1, int(round(retry_after)))}\r\n"
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body_bytes)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n"
             f"\r\n"
         ).encode()

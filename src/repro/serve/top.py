@@ -151,14 +151,29 @@ def render(health: dict, metrics: dict, history=None, width: int = 100) -> str:
             f"spawned={_fmt_num(fleet.get('spawned_workers'))} "
             f"respawns={_fmt_num(fleet.get('worker_respawns'))}"
         )
+    hosts = fleet.get("hosts") or {}
+    if hosts:
+        parts = []
+        for name in sorted(hosts):
+            hdoc = hosts[name] or {}
+            parts.append(
+                f"{name}[{hdoc.get('kind', '?')}] "
+                f"alive={_fmt_num(hdoc.get('alive'))}/"
+                f"{_fmt_num(hdoc.get('slots'))} "
+                f"respawns={_fmt_num(hdoc.get('respawns'))}"
+            )
+        lines.append("hosts: " + "  ".join(parts))
     if workers:
-        lines.append(f"{'worker':<28} {'alive':>5} {'age':>6} "
+        lines.append(f"{'worker':<28} {'host':<12} {'alive':>5} {'age':>6} "
                      f"{'published':>9} {'executed':>8} {'jobs/s':>7}")
         for worker_id in sorted(workers):
             stats = workers[worker_id] or {}
             rate = stats.get("jobs_per_second")
+            host = stats.get("host")
+            host = host if isinstance(host, str) and host else "-"
             lines.append(
                 f"{worker_id[:28]:<28} "
+                f"{host[:12]:<12} "
                 f"{'yes' if stats.get('alive') else 'DEAD':>5} "
                 f"{_fmt_seconds(stats.get('age_seconds')):>6} "
                 f"{_fmt_num(stats.get('published')):>9} "

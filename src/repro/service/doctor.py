@@ -23,7 +23,12 @@ that *eagerly* visible for one directory tree:
   claims whose heartbeat outlived their lease (``expired-lease``),
   claims whose queue entry is gone (``orphan-claim``), worker
   registrations whose process died or stopped heartbeating
-  (``stale-worker``), and reclaim/duplicate-marker/temp debris
+  (``stale-worker``), registrations whose host label is absent from the
+  coordinator-published ``board/hosts.json`` registry
+  (``unknown-host``, informational — possibly a live foreign worker,
+  never swept), stats snapshots whose heartbeat sequence regressed
+  behind their registration's (skew debris: mtimes on that host cannot
+  be trusted), and reclaim/duplicate-marker/temp debris
   (``board-debris``, informational). Repairs reuse the board's own
   rename-aside reclaim discipline, so a doctor racing a live reaper is
   safe.
@@ -33,8 +38,9 @@ The exit contract is binary: a directory is **clean** when it has no
 ``orphan-tmp``, ``stale-lock``, ``missing-root``, ``orphan-claim``,
 ``expired-lease``, ``stale-worker``). Informational findings
 (``quarantine-entry``, ``active-lock``, ``pending-batch``,
-``board-debris``) never fail a directory — quarantine is where problems
-go to be *handled*, so its contents are news, not sickness.
+``board-debris``, ``unknown-host``) never fail a directory —
+quarantine is where problems go to be *handled*, so its contents are
+news, not sickness.
 
 Repairs run under the store's :class:`~repro.service.locking.DirectoryLock`
 so two doctors (or a doctor and a ``clear``) never interleave sweeps.
@@ -373,12 +379,16 @@ def _scan_board(root: Path, report: DoctorReport, repair: bool) -> None:
             continue  # heartbeat is fresh: the holder is alive
         holder = (f"worker {doc.get('worker')}" if isinstance(doc, dict)
                   else "unparseable claim")
+        seq_note = ""
+        if isinstance(doc, dict) and isinstance(doc.get("seq"), int):
+            seq_note = f", heartbeat seq {doc['seq']}"
         if board.entry_path(key).exists():
             finding = Finding(
                 kind="expired-lease", path=_relative(path), key=key,
                 detail=(f"{holder} stopped heartbeating "
-                        f"{age:.1f}s ago (lease {lease:.1f}s); a live "
-                        "coordinator would reclaim and requeue this job"))
+                        f"{age:.1f}s ago (lease {lease:.1f}s{seq_note}); "
+                        "a live coordinator would reclaim and requeue "
+                        "this job"))
         else:
             finding = Finding(
                 kind="orphan-claim", path=_relative(path), key=key,
@@ -393,6 +403,8 @@ def _scan_board(root: Path, report: DoctorReport, repair: bool) -> None:
         report.findings.append(finding)
 
     # -- worker registrations -----------------------------------------------
+    known_hosts = board.read_host_registry()
+    reg_seq: dict[str, int] = {}
     for path, doc, age in board.list_workers():
         stale_after = 10.0
         host = pid = None
@@ -402,6 +414,20 @@ def _scan_board(root: Path, report: DoctorReport, repair: bool) -> None:
                 stale_after = float(doc.get("stale_after", 10.0))
             except (TypeError, ValueError):
                 pass
+            worker = doc.get("worker")
+            if isinstance(doc.get("seq"), int) and worker:
+                reg_seq[str(worker)] = doc["seq"]
+        if (known_hosts is not None and isinstance(host, str)
+                and host not in known_hosts
+                and host != socket.gethostname()):
+            # Informational, never swept: possibly a live worker from a
+            # rig nobody told this coordinator about (split brain) — the
+            # store stays safe either way, but the operator should know.
+            report.findings.append(Finding(
+                kind="unknown-host", path=_relative(path),
+                detail=(f"registration of {doc.get('worker') if doc else '?'}"
+                        f" claims host {host!r}, which is not in the "
+                        "board's host registry")))
         same_host = host in (None, socket.gethostname())
         dead = (same_host and isinstance(pid, int)
                 and not pid_alive(pid))
@@ -420,11 +446,27 @@ def _scan_board(root: Path, report: DoctorReport, repair: bool) -> None:
     # -- worker stats snapshots ---------------------------------------------
     # Stats files deliberately outlive their worker (the fleet totals of
     # a SIGKILLed worker stay mergeable), so only sweep truly ancient
-    # ones — an hour with no publish means nobody is merging them.
-    for worker_id, _doc, age in board.list_worker_stats():
+    # ones — an hour with no publish means nobody is merging them — plus
+    # sequence regressions: a snapshot lagging its own registration's
+    # heartbeat seq by more than one publish means mtimes on that host
+    # went backwards (clock skew debris) or its stats writes are failing.
+    for worker_id, doc, age in board.list_worker_stats():
+        path = board.worker_stats_path(worker_id)
+        stats_seq = doc.get("seq") if isinstance(doc, dict) else None
+        expected = reg_seq.get(worker_id)
+        if (isinstance(stats_seq, int) and expected is not None
+                and stats_seq + 2 < expected):
+            finding = Finding(
+                kind="board-debris", path=_relative(path),
+                detail=(f"worker stats snapshot of {worker_id}: heartbeat "
+                        f"sequence went backwards (stats seq {stats_seq} "
+                        f"vs registration seq {expected}; clock-skew "
+                        "debris)"))
+            _repair_unlink(finding, path)
+            report.findings.append(finding)
+            continue
         if age <= STALE_STATS_SECONDS:
             continue
-        path = board.worker_stats_path(worker_id)
         finding = Finding(
             kind="board-debris", path=_relative(path),
             detail=f"worker stats snapshot of {worker_id}: "

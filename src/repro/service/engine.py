@@ -206,6 +206,8 @@ class MappingEngine:
                             "job": job.payload(),
                             "describe": job.describe(),
                             "deaths": info.get("deaths"),
+                            "worker": info.get("worker"),
+                            "host": info.get("host"),
                             "error": info.get("error"),
                             "time_unix": time.time(),
                         },

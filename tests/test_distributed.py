@@ -16,20 +16,26 @@ The headline guarantees under test:
 import json
 import io
 import os
+import sys
 import threading
 import time
 import urllib.error
+from pathlib import Path
 
 import pytest
 
+import repro
 from repro.cli import main as cli_main
 from repro.distributed import (
     DistributedConfig,
     DistributedExecutor,
     FleetWorker,
+    HostSpec,
     JobBoard,
+    SlurmSpawner,
     SshSpawner,
     SubprocessSpawner,
+    build_spawner,
     exclusive_publish_json,
 )
 from repro.errors import ConfigError, ServiceError
@@ -135,6 +141,37 @@ def test_worker_registration_lifecycle(tmp_path):
     assert board.alive_workers() == 0
     board.deregister_worker("w-test-1")
     assert board.list_workers() == []
+
+
+def test_heartbeat_advances_seq_and_enforces_ownership(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 5.0)
+    assert board.claim_info("k")[0]["seq"] == 0
+    assert board.heartbeat(claim, worker_id="w1")
+    assert board.heartbeat(claim, worker_id="w1")
+    assert board.claim_info("k")[0]["seq"] == 2
+    # a beat naming the wrong holder is a fence signal, not a refresh
+    assert not board.heartbeat(claim, worker_id="w2")
+    assert board.claim_info("k")[0]["seq"] == 2
+
+
+def test_heartbeat_cannot_resurrect_a_reclaimed_claim(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 5.0)
+    assert board.reclaim("k")
+    # the rename-aside means the old path is gone: no silent recreate
+    assert not board.heartbeat(claim, worker_id="w1")
+    assert board.claim_info("k") == (None, None)
+
+
+def test_host_registry_roundtrip(tmp_path):
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    assert board.read_host_registry() is None
+    board.write_host_registry(["beta", "alpha", "beta"])
+    assert board.read_host_registry() == ["alpha", "beta"]
 
 
 # -- in-thread worker -----------------------------------------------------------------
@@ -295,6 +332,182 @@ def test_injected_lease_expiry_reclaims_a_healthy_claim(tmp_path):
     assert get_registry().counter("fleet.reclaims").value == 1
 
 
+# -- fencing & skew chaos -------------------------------------------------------------
+def test_partitioned_worker_fences_instead_of_publishing(tmp_path,
+                                                         monkeypatch):
+    """The fencing proof: a worker partitioned from the board finishes
+    its job after the lease is reclaimed — the result lands in the store
+    (first commit wins) but the completion is demoted to a duplicate
+    marker, never a receipt."""
+    import repro.distributed.worker as worker_mod
+
+    real_execute = worker_mod.execute_mapping_job
+
+    def slow_execute(job, runtime=None):
+        time.sleep(0.6)  # outlive the reclaim below
+        return real_execute(job, runtime=runtime)
+
+    monkeypatch.setattr(worker_mod, "execute_mapping_job", slow_execute)
+
+    cache = tmp_path / "cache"
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    job = _jobs(1)[0]
+    key = job.cache_key()
+    board.post(key, {"key": key, "spec": job.payload(),
+                     "lease_seconds": 0.4})
+    worker = FleetWorker(cache, worker_id="part-w", poll=0.01,
+                         install_signals=False, host_label="ghost",
+                         once=True)
+    errors: list[BaseException] = []
+
+    def _serve():
+        try:
+            worker.run()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    with injected_faults(FaultSpec("worker-partition")):
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while board.claim_info(key)[0] is None and time.time() < deadline:
+            time.sleep(0.01)
+        assert board.claim_info(key)[0] is not None
+        time.sleep(0.3)  # partition fires ~0.1s in; worker still busy
+        assert board.reclaim(key)
+        thread.join(timeout=15)
+    assert not thread.is_alive() and not errors, errors
+
+    assert board.read_receipt(key) is None  # fenced: no receipt
+    dups = list(board.done_dir.glob(f"{key}.dup-*"))
+    assert len(dups) == 1
+    marker = json.loads(dups[0].read_text())
+    assert marker["reason"] == "fenced"
+    assert marker["worker"] == "part-w"
+    assert marker["host"] == "ghost"
+    assert marker["executed"] is True
+    registry = get_registry()
+    assert registry.counter("fleet.worker_fenced").value == 1
+    assert registry.counter("fleet.worker_duplicate_executions").value == 1
+    assert worker.published == 0 and worker.executed == 1
+    # the work itself is durable: the requeued job is a free cache hit
+    assert key in worker.store
+
+
+def test_skew_tolerant_reaper_spares_an_advancing_seq(tmp_path):
+    """A claim whose mtime says "expired an hour ago" but whose
+    heartbeat seq keeps advancing is a clock-skewed host, not a dead
+    worker: the reaper must tolerate it, not reclaim."""
+    from repro.distributed.coordinator import _KeyState
+
+    store = ResultStore(tmp_path / "cache")
+    executor = DistributedExecutor(
+        store, DistributedConfig(spawn_workers=0, lease_seconds=30.0))
+    board = executor.board
+    board.ensure_dirs()
+    job = _jobs(1)[0]
+    key = job.cache_key()
+    entry = {"key": key, "spec": job.payload(), "lease_seconds": 30.0,
+             "reclaims": 0, "not_before": 0.0, "speculate": False}
+    board.post(key, entry)
+    claim = board.try_claim(key, "w-skewed", 30.0)
+    st = _KeyState([0], entry, True)
+
+    def _age_mtime():
+        old = time.time() - 3600
+        os.utime(claim, (old, old))
+
+    _age_mtime()
+    for _ in range(3):
+        assert executor._poll_key(key, st, [job]) is None
+        assert st.reclaims == 0
+        assert board.claim_info(key)[0] is not None  # claim survived
+        assert board.heartbeat(claim, worker_id="w-skewed")
+        _age_mtime()
+    registry = get_registry()
+    assert registry.counter("fleet.skew_tolerated").value >= 2
+    assert registry.counter("fleet.reclaims").value == 0
+
+
+def test_skew_tolerant_reaper_still_reaps_a_frozen_seq(tmp_path):
+    """Skew tolerance must not become immortality: a stale mtime whose
+    seq then *stops* advancing is reclaimed after one more lease on the
+    coordinator's own clock."""
+    from repro.distributed.coordinator import _KeyState
+
+    store = ResultStore(tmp_path / "cache")
+    executor = DistributedExecutor(
+        store, DistributedConfig(spawn_workers=0, lease_seconds=0.3))
+    board = executor.board
+    board.ensure_dirs()
+    job = _jobs(1)[0]
+    key = job.cache_key()
+    entry = {"key": key, "spec": job.payload(), "lease_seconds": 0.3,
+             "reclaims": 0, "not_before": 0.0, "speculate": False}
+    board.post(key, entry)
+    claim = board.try_claim(key, "w-frozen", 0.3)
+    old = time.time() - 3600
+    os.utime(claim, (old, old))
+
+    assert executor._poll_key(key, st := _KeyState([0], entry, True),
+                              [job]) is None
+    assert st.reclaims == 0  # first sighting: benefit of the doubt
+    time.sleep(0.45)  # > lease with the seq frozen
+    assert executor._poll_key(key, st, [job]) is None
+    assert st.reclaims == 1
+    assert board.claim_info(key) == (None, None)
+    assert get_registry().counter("fleet.reclaims").value == 1
+
+
+def test_slow_lease_renewal_keeps_the_lease_alive(tmp_path):
+    """`lease-renew-latency` (slow shared mount) delays every renewal
+    write; as long as the stall stays under the lease, the claim must
+    never look expired and no spurious reclaim can happen."""
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 0.8)
+    worker = FleetWorker(tmp_path, worker_id="w1", install_signals=False)
+    stop = threading.Event()
+    ages = []
+    with injected_faults(FaultSpec("lease-renew-latency", max_hits=None,
+                                   delay=0.25)):
+        beat = threading.Thread(target=worker._heartbeat_loop,
+                                args=(claim, 0.2, stop), daemon=True)
+        beat.start()
+        deadline = time.monotonic() + 1.6
+        while time.monotonic() < deadline:
+            age = board.claim_info("k")[1]
+            if age is not None:
+                ages.append(age)
+            time.sleep(0.05)
+        stop.set()
+        beat.join(timeout=3.0)
+    assert ages and max(ages) <= 0.8  # never looked expired
+    assert board.claim_info("k")[0]["seq"] >= 2  # renewals kept landing
+
+
+def test_clock_skew_fault_ages_mtime_but_advances_seq(tmp_path):
+    """`clock-skew` models a host whose clock is an hour behind: the
+    claim mtime looks ancient while the heartbeat seq keeps moving —
+    the exact signature the skew-tolerant reaper keys on."""
+    board = JobBoard(tmp_path / "board")
+    board.ensure_dirs()
+    claim = board.try_claim("k", "w1", 5.0)
+    worker = FleetWorker(tmp_path, worker_id="w1", install_signals=False)
+    stop = threading.Event()
+    with injected_faults(FaultSpec("clock-skew", max_hits=None)):
+        beat = threading.Thread(target=worker._heartbeat_loop,
+                                args=(claim, 0.05, stop), daemon=True)
+        beat.start()
+        time.sleep(0.4)
+        stop.set()
+        beat.join(timeout=3.0)
+    doc, age = board.claim_info("k")
+    assert age > 3000  # mtime stamped an hour into the past
+    assert doc["seq"] >= 2  # but the worker is demonstrably alive
+
+
 def test_two_coordinators_share_one_board(tmp_path):
     cache = tmp_path / "cache"
     jobs = _jobs(3)
@@ -420,13 +633,114 @@ def test_subprocess_spawner_command_shape(tmp_path):
 
 
 def test_ssh_spawner_pins_the_launch_contract():
-    spawner = SshSpawner("node7", "/mnt/shared/cache", python="python3.12")
+    spawner = SshSpawner("node7", "/mnt/shared/cache", python="python3.12",
+                         env={"PYTHONPATH": "/mnt/shared/src"})
     cmd = spawner.command("w-7")
     assert cmd[:4] == ["ssh", "-o", "BatchMode=yes", "node7"]
     assert cmd[4] == "python3.12"
     assert "/mnt/shared/cache" in cmd
-    with pytest.raises(NotImplementedError):
-        spawner.spawn()
+    assert cmd[cmd.index("--host-label") + 1] == "node7"
+    script = spawner._launch_script("w-7")
+    # pid marker lets the coordinator signal the remote process directly
+    assert '::repro-worker-pid $' in script
+    # the worker replaces the login shell: remote pid == worker pid
+    assert script.split("; ")[-1].startswith("exec ")
+    assert "export PYTHONPATH=/mnt/shared/src" in script
+
+
+def _fake_ssh_env(monkeypatch):
+    script = Path(__file__).resolve().parents[1] / "scripts" / "fake_ssh.py"
+    monkeypatch.setenv("REPRO_SSH", f"{sys.executable} {script}")
+
+
+def test_ssh_spawner_full_remote_lifecycle(tmp_path, monkeypatch):
+    """The whole remote contract under fake-ssh: launch through the
+    transport, log teeing, pid-marker discovery, stats labeled with the
+    host, and signal escalation through the transport."""
+    _fake_ssh_env(monkeypatch)
+    cache = tmp_path / "cache"
+    job = _jobs(1)[0]
+    MappingEngine(cache_dir=cache, jobs=1).run([job])  # warm the store
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    key = job.cache_key()
+    board.post(key, {"key": key, "spec": job.payload(),
+                     "lease_seconds": 10.0})
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    spawner = SshSpawner("alpha", cache, python=sys.executable,
+                         poll=0.02, idle_exit=30.0,
+                         env={"PYTHONPATH": src_root})
+    handle = spawner.spawn("ssh-w1")
+    try:
+        deadline = time.time() + 60
+        while board.read_receipt(key) is None and time.time() < deadline:
+            time.sleep(0.05)
+        receipt = board.read_receipt(key)
+        assert receipt is not None, handle.log_path.read_text()
+        assert receipt["worker"] == "ssh-w1"
+        assert receipt["host"] == "alpha"
+        assert receipt["executed"] is False  # store hit, mapper skipped
+        # fake-ssh exec chain: the "remote" pid is the local child's pid
+        assert handle.remote_pid() == handle.process.pid
+        assert handle.host == "alpha"
+        stats = board.read_worker_stats("ssh-w1")
+        assert stats["host"] == "alpha"
+    finally:
+        handle.stop()
+    assert not handle.alive()
+
+
+def test_slurm_spawner_command_shape(tmp_path):
+    spawner = SlurmSpawner(tmp_path, partition="batch",
+                           srun_options=("--time=10",), poll=0.1,
+                           idle_exit=30.0)
+    cmd = spawner.command("w-s")
+    assert cmd[:4] == ["srun", "--nodes=1", "--ntasks=1", "--unbuffered"]
+    assert "--partition" in cmd and cmd[cmd.index("--partition") + 1] == "batch"
+    assert "--time=10" in cmd
+    assert cmd[cmd.index("--id") + 1] == "w-s"
+    default = SlurmSpawner(tmp_path).command("w-s")
+    assert "--partition" not in default
+
+
+def test_host_spec_parsing():
+    assert HostSpec.parse("local") == HostSpec("local", kind="local")
+    assert HostSpec.parse("node7") == HostSpec("node7", kind="ssh")
+    assert HostSpec.parse("ssh:node7*4") == \
+        HostSpec("node7", kind="ssh", slots=4)
+    assert HostSpec.parse("slurm:batch*8") == \
+        HostSpec("batch", kind="slurm", slots=8)
+    assert HostSpec.parse("local*2") == HostSpec("local", kind="local",
+                                                 slots=2)
+    spec = HostSpec("x", kind="ssh")
+    assert HostSpec.parse(spec) is spec  # passthrough
+    for bad in ("node*two", "*3", "teleport:node", ""):
+        with pytest.raises(ValueError):
+            HostSpec.parse(bad)
+    with pytest.raises(ValueError):
+        HostSpec("x", kind="ssh", slots=0)
+
+
+def test_build_spawner_dispatch(tmp_path):
+    local = build_spawner(HostSpec.parse("local*2"), tmp_path,
+                          poll=0.1, idle_exit=30.0)
+    assert isinstance(local, SubprocessSpawner)
+    assert local.host_label is None
+    labeled = build_spawner(HostSpec("rack1", kind="local"), tmp_path,
+                            poll=0.1, idle_exit=30.0)
+    assert isinstance(labeled, SubprocessSpawner)
+    assert labeled.host_label == "rack1"
+    remote = build_spawner(HostSpec.parse("ssh:node7"), tmp_path,
+                           poll=0.1, idle_exit=30.0, python="py3")
+    assert isinstance(remote, SshSpawner)
+    assert remote.host == "node7" and remote.python == "py3"
+    batch = build_spawner(HostSpec.parse("slurm:-"), tmp_path,
+                          poll=0.1, idle_exit=30.0)
+    assert isinstance(batch, SlurmSpawner) and batch.partition is None
+    gpu = build_spawner(HostSpec.parse("slurm:gpu*4"), tmp_path,
+                        poll=0.1, idle_exit=30.0)
+    assert gpu.partition == "gpu"
 
 
 def test_cli_worker_idles_out_cleanly(tmp_path, capsys):
@@ -435,6 +749,73 @@ def test_cli_worker_idles_out_cleanly(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "cli-w" in out and "published 0 receipt(s)" in out
+
+
+def test_worker_once_processes_at_most_one_job(tmp_path):
+    cache = tmp_path / "cache"
+    jobs = _jobs(2)
+    MappingEngine(cache_dir=cache, jobs=1).run(jobs)  # warm the store
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    for job in jobs:
+        key = job.cache_key()
+        board.post(key, {"key": key, "spec": job.payload(),
+                         "lease_seconds": 5.0})
+    worker = FleetWorker(cache, worker_id="once-w", poll=0.01,
+                         install_signals=False, once=True)
+    assert worker.run() == 1  # one scan, one job, then exit
+    receipts = [board.read_receipt(j.cache_key()) for j in jobs]
+    assert sum(r is not None for r in receipts) == 1
+
+
+def test_cli_worker_once_and_host_label(tmp_path, capsys):
+    rc = cli_main(["worker", str(tmp_path), "--once", "--poll", "0.01",
+                   "--id", "cli-once", "--host-label", "hostX"])
+    assert rc == 0
+    assert "published 0 receipt(s)" in capsys.readouterr().out
+    stats = JobBoard.under_cache(tmp_path).read_worker_stats("cli-once")
+    assert stats["host"] == "hostX"
+
+
+# -- multi-host fleet ------------------------------------------------------------------
+def test_sigkilled_ssh_worker_reclaim_and_parity(tmp_path, monkeypatch):
+    """The multi-host chaos headline: a two-host ssh fleet (fake-ssh
+    transport) with one worker SIGKILLed right after claiming still
+    produces bitwise-serial results, one reclaim, zero duplicates, and
+    host labels threaded end to end."""
+    _fake_ssh_env(monkeypatch)
+    jobs = _jobs(3)
+    want = MappingEngine(cache_dir=tmp_path / "serial", jobs=1).run(jobs)
+    registry = get_registry()
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    engine = _fleet_engine(
+        tmp_path / "fleet", workers=0,
+        hosts=("ssh:alpha", "ssh:beta"),
+        worker_python=sys.executable,
+        lease_seconds=1.0, cleanup=False,
+        worker_env={
+            "PYTHONPATH": src_root,
+            "REPRO_FAULTS": "worker-kill-after-claim:1",
+            "REPRO_FAULT_HITS_DIR": str(tmp_path / "hits"),
+        },
+    )
+    try:
+        got = engine.run(jobs)
+        snap = engine.executor.snapshot()
+    finally:
+        engine.executor.stop_workers()
+    _assert_parity(want, got)
+    assert registry.counter("fleet.reclaims").value >= 1
+    assert registry.counter("fleet.worker_respawns").value >= 1
+    board = engine.executor.board
+    for job in jobs:
+        receipt = board.read_receipt(job.cache_key())
+        assert receipt["error"] is None
+        assert receipt["host"] in {"alpha", "beta"}
+    assert list(board.done_dir.glob("*.dup-*")) == []
+    # the coordinator published its host registry for the doctor
+    assert {"alpha", "beta"} <= set(board.read_host_registry())
+    assert set(snap["hosts"]) == {"alpha", "beta"}
 
 
 # -- doctor board fsck ----------------------------------------------------------------
@@ -497,6 +878,52 @@ def test_doctor_board_exit_code_through_cli(tmp_path, capsys):
     assert cli_main(["doctor", str(cache)]) == 1
     assert cli_main(["doctor", str(cache), "--repair"]) == 0
     assert cli_main(["doctor", str(cache)]) == 0
+
+
+def test_doctor_flags_unknown_hosts_without_failing(tmp_path):
+    """A registration from a host nobody configured is worth an eyebrow
+    (informational), not an exit-code failure or a sweep: the worker is
+    live and its receipts are valid."""
+    cache = tmp_path / "cache"
+    ResultStore(cache)
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    board.write_host_registry(["alpha", "beta"])
+    stranger = board.register_worker("stranger", 30.0, host="rogue-rig")
+    board.register_worker("citizen", 30.0, host="alpha")
+
+    report = diagnose(cache)
+    unknown = [f for f in report.findings if f.kind == "unknown-host"]
+    assert len(unknown) == 1
+    assert "rogue-rig" in unknown[0].detail
+    assert report.clean  # informational, not a problem
+
+    diagnose(cache, repair=True)
+    assert stranger.exists()  # never swept
+
+
+def test_doctor_sweeps_seq_regressed_stats(tmp_path):
+    """A stats snapshot whose heartbeat seq runs *behind* the live
+    registration is debris from a previous incarnation (host clock went
+    backwards, or a stale mount replayed a write): sweep the stats, keep
+    the registration."""
+    cache = tmp_path / "cache"
+    ResultStore(cache)
+    board = JobBoard.under_cache(cache)
+    board.ensure_dirs()
+    reg = board.register_worker("w-replay", 30.0, host="alpha", seq=9)
+    stats = board.publish_worker_stats(
+        "w-replay", {"published": 1, "executed": 1, "seq": 2},
+        host="alpha")
+
+    report = diagnose(cache)
+    debris = [f for f in report.findings
+              if f.kind == "board-debris" and "backwards" in f.detail]
+    assert len(debris) == 1
+
+    diagnose(cache, repair=True)
+    assert not stats.exists()
+    assert reg.exists()
 
 
 # -- ServeClient retry satellite ------------------------------------------------------
@@ -581,3 +1008,57 @@ def test_client_rejects_bad_retry_config():
         ServeClient("http://x", retries=-1)
     with pytest.raises(ConfigError):
         ServeClient("http://x", backoff=-0.1)
+
+
+def test_client_honors_server_retry_after_on_429():
+    """A 429 *with* Retry-After is the server naming its price: the
+    client pays it (once per retry budget) instead of treating the
+    rejection as final."""
+    client = ServeClient("http://daemon.test", retries=2, backoff=0.0)
+    script = [429, 200]
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(1)
+        code = script.pop(0)
+        if code == 200:
+            return _Resp({"id": "x"})
+        raise urllib.error.HTTPError(
+            req.full_url, code, "busy", {"Retry-After": "0"},
+            io.BytesIO(b'{"error": "admission"}'))
+
+    client._urlopen = fake_urlopen
+    code, doc = client.submit({"spec": 1})
+    assert (code, doc["id"]) == (200, "x")
+    assert len(calls) == 2
+    registry = get_registry()
+    assert registry.counter("serve.client_retry_after_honored").value == 1
+
+
+def test_client_ignores_unparseable_retry_after():
+    client = ServeClient("http://daemon.test", retries=3, backoff=0.0)
+    calls = []
+
+    def fake_urlopen(req, timeout=None):
+        calls.append(1)
+        raise urllib.error.HTTPError(
+            req.full_url, 429, "busy",
+            {"Retry-After": "Fri, 31 Dec 1999 23:59:59 GMT"},
+            io.BytesIO(b'{"error": "admission"}'))
+
+    client._urlopen = fake_urlopen
+    code, doc = client.submit({"spec": 1})
+    # HTTP-date form is ignored, so the 429 stays a final policy answer
+    assert code == 429 and len(calls) == 1
+
+
+def test_client_clamps_retry_after():
+    class _Exc:
+        def __init__(self, headers):
+            self.headers = headers
+
+    of = ServeClient._retry_after_of
+    assert of(_Exc({"Retry-After": "9999"}), 429) == 30.0
+    assert of(_Exc({"Retry-After": "5"}), 404) is None  # wrong status
+    assert of(_Exc(None), 429) is None  # no headers at all
+    assert of(_Exc({"Retry-After": "-5"}), 503) is None

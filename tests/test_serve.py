@@ -8,7 +8,10 @@ no sleeps, no flakiness.
 
 from __future__ import annotations
 
+import json
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -272,8 +275,11 @@ def test_stored_result_completes_at_submit_time(daemon_factory, tmp_path):
 
 
 def test_admission_rejects_over_capacity_submits(daemon_factory):
-    _, client = daemon_factory(capacity_seconds=4.0, min_grant_seconds=1.0,
+    # retries=0: a 429 now carries Retry-After (a server-invited retry a
+    # default client would honor); this test asserts the one-shot answer.
+    daemon, _ = daemon_factory(capacity_seconds=4.0, min_grant_seconds=1.0,
                                batch_size=1)
+    client = ServeClient(daemon.url, timeout=15, retries=0)
     specs = [job_spec(workload=f"ring:{n}") for n in (4, 6, 8, 10)]
     results = [client.submit(s, deadline_seconds=3.0) for s in specs]
     actions = [d["admission"]["action"] if c in (200, 202) else "reject"
@@ -282,6 +288,8 @@ def test_admission_rejects_over_capacity_submits(daemon_factory):
     assert "reject" in actions
     rejected = [d for c, d in results if c == 429]
     assert rejected and "capacity" in rejected[0]["error"]
+    # the rejection names its price: when to come back
+    assert rejected[0]["retry_after_seconds"] >= 1.0
 
 
 def test_cancel_queued_job_and_conflicts(daemon_factory):
@@ -309,7 +317,10 @@ def test_cancel_queued_job_and_conflicts(daemon_factory):
 
 
 def test_quota_bounds_queued_jobs_per_tenant(daemon_factory):
-    _, client = daemon_factory(tenant_quota=1, batch_size=1)
+    # retries=0: a quota 429 now invites a delayed retry via Retry-After;
+    # here we pin the immediate policy answer, not the retry dance.
+    daemon, _ = daemon_factory(tenant_quota=1, batch_size=1)
+    client = ServeClient(daemon.url, timeout=15, retries=0)
     slow = job_spec(workload="ring:16", shape=(4, 4), mapper="anneal-mcl",
                     iterations=1200)
     q1 = job_spec(workload="ring:4")
@@ -319,8 +330,29 @@ def test_quota_bounds_queued_jobs_per_tenant(daemon_factory):
     code, doc = client.submit(q2, tenant="bob")
     assert code == 429
     assert "quota" in doc["error"]
+    assert doc["retry_after_seconds"] >= 1.0
     # Another tenant is unaffected.
     assert client.submit(q2, tenant="carol")[0] == 202
+
+
+def test_rejections_carry_a_retry_after_header(daemon_factory):
+    """The body-level retry hint doubles as a real HTTP header, so
+    clients that never parse JSON still learn when to come back."""
+    daemon, _ = daemon_factory(tenant_quota=1, batch_size=1)
+    client = ServeClient(daemon.url, timeout=15, retries=0)
+    slow = job_spec(workload="ring:16", shape=(4, 4), mapper="anneal-mcl",
+                    iterations=1200)
+    assert client.submit(slow, tenant="bob")[0] == 202
+    assert client.submit(job_spec(workload="ring:4"), tenant="bob")[0] == 202
+    body = json.dumps({"spec": job_spec(workload="ring:6"),
+                       "tenant": "bob"}).encode()
+    req = urllib.request.Request(
+        daemon.url + "/jobs", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(req, timeout=15)
+    assert excinfo.value.code == 429
+    assert int(excinfo.value.headers["Retry-After"]) >= 1
 
 
 def test_http_api_errors(daemon_factory):
